@@ -1,0 +1,108 @@
+"""E10 — online queries: O(D · sketch-size) vs Ω(S) (paper Section 2.1).
+
+Claims under test:
+* exchanging sketches answers a pairwise query in rounds governed by the
+  hop distance and the sketch size — independent of S,
+* any fresh computation (distributed Bellman-Ford here) pays Ω(S) rounds
+  and floods the network,
+* the gap is unbounded: on star-path graphs D = 2 while S = n - 2, so the
+  fresh cost grows linearly in n while the online cost stays flat.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._workloads import workload
+from repro import build_sketches
+from repro.algorithms import single_source_distances
+from repro.analysis import render_table
+from repro.graphs import graph_stats
+from repro.oracle.online import online_query_cost, simulate_online_exchange
+
+NS = (17, 33, 65, 129)  # star_path sizes (n_path + hub)
+
+
+@pytest.fixture(scope="module")
+def e10_table(experiment_report):
+    rows = []
+    for n in NS:
+        g = workload("star_path", n - 1)
+        stats = graph_stats(g)
+        built = build_sketches(g, scheme="tz", k=2, seed=61)
+        words = built.max_size_words()
+        cost, online = simulate_online_exchange(g, u=0, v=g.n - 2,
+                                                sketch_words=words)
+        _, _, fresh = single_source_distances(g, 0)
+        rows.append({
+            "n": stats.n,
+            "D": stats.hop_diameter,
+            "S": stats.shortest_path_diameter,
+            "sketch(w)": words,
+            "online-rounds": online.rounds,
+            "D*size-bound": stats.hop_diameter * words,
+            "fresh-BF-rounds": fresh.rounds,
+            "fresh-BF-msgs": fresh.messages,
+        })
+    experiment_report("E10-online-query", render_table(
+        rows, title="E10: online sketch exchange vs fresh computation "
+                    "(star-path: D stays 2, S grows with n)"))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def e10_bandwidth(experiment_report):
+    """Ablation: the bandwidth parameter B trades rounds for words/round.
+
+    The model allows generalizing to B bits per edge (Section 2.2); the
+    online exchange makes the tradeoff visible directly: chunks =
+    ceil(words / B), rounds = hops + chunks - 1.
+    """
+    g = workload("star_path", 64)
+    rows = []
+    for bw in (2, 6, 12, 24):
+        cost, metrics = simulate_online_exchange(g, u=0, v=g.n - 2,
+                                                 sketch_words=48,
+                                                 bandwidth_words=bw)
+        rows.append({"B(words)": bw, "chunks": cost.chunks,
+                     "rounds": metrics.rounds,
+                     "words-delivered": metrics.words})
+    experiment_report("E10a-bandwidth-ablation", render_table(
+        rows, title="E10 ablation: per-edge bandwidth B vs exchange rounds "
+                    "(48-word sketch over a 3-hop path)"))
+    return rows
+
+
+def test_e10_bandwidth_monotone(e10_bandwidth):
+    rounds = [r["rounds"] for r in e10_bandwidth]
+    assert rounds == sorted(rounds, reverse=True)
+
+
+def test_e10_online_within_D_times_size(e10_table):
+    assert all(r["online-rounds"] <= r["D*size-bound"] for r in e10_table)
+
+
+def test_e10_fresh_pays_S(e10_table):
+    assert all(r["fresh-BF-rounds"] >= r["S"] for r in e10_table)
+
+
+def test_e10_gap_grows_with_n(e10_table):
+    gaps = [r["fresh-BF-rounds"] / r["online-rounds"] for r in e10_table]
+    assert gaps[-1] > gaps[0]
+
+
+def test_e10_pipelining_formula(e10_table):
+    # closed-form pipelined relay: hops + chunks - 1 (verified against the
+    # simulator inside simulate_online_exchange itself)
+    c = online_query_cost(hops=7, sketch_words=30, bandwidth_words=6)
+    assert c.rounds_pipelined == 7 + 5 - 1
+
+
+def test_e10_benchmark_exchange(benchmark, e10_table, e10_bandwidth):
+    """Timing kernel: simulated sketch relay on star-path(64)."""
+    g = workload("star_path", 64)
+
+    def run():
+        return simulate_online_exchange(g, u=0, v=g.n - 2, sketch_words=48)
+
+    benchmark(run)

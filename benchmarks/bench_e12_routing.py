@@ -1,0 +1,94 @@
+"""E12 (extension) — compact routing from the sketch structures.
+
+The paper motivates sketches with "basic node to node communication"
+(Section 1); the canonical communication application of the Thorup-Zwick
+machinery is compact routing.  This experiment measures the scheme built
+in ``repro.routing`` (tables from the cluster trees, O(k)-word addresses,
+O(1)-word headers):
+
+* routed stretch vs the proved ``4k-3`` bound and vs the *distance
+  estimate* stretch of the same k (routing pays extra because the packet
+  commits to one pivot without seeing the target's bunch),
+* table/address sizes vs k — the same size-vs-stretch dial as sketches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks._workloads import workload, workload_apsp
+from repro.analysis import render_table
+from repro.oracle.evaluation import evaluate_stretch
+from repro.routing import build_routing_scheme, evaluate_routing, route_packet
+from repro.tz import build_tz_sketches_centralized, estimate_distance
+
+N = 128
+KS = (1, 2, 3, 4)
+
+
+@pytest.fixture(scope="module")
+def e12_table(experiment_report):
+    g = workload("er", N, weighted=True)
+    d = workload_apsp("er", N, weighted=True)
+    rng = np.random.default_rng(8)
+    iu, ju = np.triu_indices(N, k=1)
+    sel = rng.choice(iu.shape[0], size=2500, replace=False)
+    pairs = list(zip(iu[sel].tolist(), ju[sel].tolist()))
+    rows = []
+    for k in KS:
+        scheme = build_routing_scheme(g, k=k, seed=k)
+        rep = evaluate_routing(scheme, g, d, pairs=pairs)
+        sketches, _ = build_tz_sketches_centralized(
+            g, hierarchy=scheme.hierarchy)
+        est = evaluate_stretch(
+            d, lambda u, v: estimate_distance(sketches[u], sketches[v]),
+            max_pairs=2500, seed=8)
+        rows.append({
+            "k": k,
+            "route-max": round(rep["max_stretch"], 2),
+            "route-mean": round(rep["mean_stretch"], 3),
+            "bound(4k-3)": scheme.stretch_bound(),
+            "estimate-max": round(est.max_stretch, 2),
+            "estimate-bound": 2 * k - 1,
+            "table(w)": scheme.max_table_words(),
+            "addr(w)": scheme.max_address_words(),
+        })
+    experiment_report("E12-compact-routing", render_table(
+        rows, title=f"E12 (extension): routed stretch vs proved 4k-3, "
+                    f"er n={N}, 2500 pairs (same hierarchy as the "
+                    "estimate columns)"))
+    return rows
+
+
+def test_e12_routes_within_bound(e12_table):
+    assert all(r["route-max"] <= r["bound(4k-3)"] + 1e-9 for r in e12_table)
+
+
+def test_e12_k1_exact(e12_table):
+    assert e12_table[0]["route-max"] == 1.0
+
+
+def test_e12_tables_shrink_with_k(e12_table):
+    tables = [r["table(w)"] for r in e12_table]
+    assert tables[-1] < tables[0]
+
+
+def test_e12_routing_no_cheaper_than_estimation(e12_table):
+    # the routed path realizes a real walk; it can never beat the best
+    # label-based estimate bound regime: mean route stretch >= 1
+    assert all(r["route-mean"] >= 1.0 for r in e12_table)
+
+
+def test_e12_benchmark_route(benchmark, e12_table):
+    """Timing kernel: one packet forwarding at n=128, k=3."""
+    g = workload("er", N, weighted=True)
+    scheme = build_routing_scheme(g, k=3, seed=3)
+
+    def run():
+        total = 0.0
+        for u in range(0, N, 13):
+            total += route_packet(scheme, g, u, (u * 7 + 5) % N).weight
+        return total
+
+    benchmark(run)

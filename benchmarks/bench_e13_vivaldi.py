@@ -1,0 +1,112 @@
+"""E13 (baseline) — sketches vs network coordinates (paper Section 1).
+
+The paper's positioning claim: network coordinate systems (Vivaldi,
+Meridian) are practical but "can easily be shown to exhibit poor behavior
+in pathological instances" — their guarantees require low-dimensional
+metrics, while the sketch guarantees hold for *all* weighted graphs.
+
+This experiment puts the implemented Vivaldi baseline next to TZ sketches
+of comparable per-node size on two workloads:
+
+* `geo` — a genuinely low-dimensional metric (Vivaldi's home turf),
+* weighted `er` — a high-dimensional metric that does not embed in R^3.
+
+Reported: the over/underestimate spread.  Two facts must reproduce:
+coordinates **underestimate** (sketches never do — their estimates are
+path lengths), and their worst-case ratio degrades sharply off the
+low-dimensional regime while TZ's bound is topology-independent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks._workloads import workload, workload_apsp
+from repro.analysis import render_table
+from repro.baselines import build_vivaldi
+from repro.tz import build_tz_sketches_centralized, estimate_distance
+
+N = 128
+K = 3  # TZ comparison point: stretch bound 5
+
+
+def _profile(query, d, n, rng) -> dict:
+    iu, ju = np.triu_indices(n, k=1)
+    sel = rng.choice(iu.shape[0], size=min(3000, iu.shape[0]), replace=False)
+    ratios = []
+    under = 0
+    for u, v in zip(iu[sel], ju[sel]):
+        u, v = int(u), int(v)
+        est = query(u, v)
+        ratios.append(est / d[u, v])
+        if est < d[u, v] * (1 - 1e-9):
+            under += 1
+    arr = np.asarray(ratios)
+    return {
+        "max-over": round(float(arr.max()), 2),
+        "worst-under": round(float(arr.min()), 3),
+        "mean": round(float(arr.mean()), 3),
+        "underestimates": f"{under}/{arr.size}",
+    }
+
+
+@pytest.fixture(scope="module")
+def e13_table(experiment_report):
+    rng = np.random.default_rng(19)
+    rows = []
+    for family, weighted in (("geo", False), ("er", True)):
+        g = workload(family, N, weighted=weighted)
+        d = workload_apsp(family, N, weighted=weighted)
+        vc = build_vivaldi(g, dim=3, seed=20, dist_matrix=d)
+        sketches, _ = build_tz_sketches_centralized(g, k=K, seed=21)
+        mean_tz_size = float(np.mean([s.size_words() for s in sketches]))
+        for label, query, size in (
+                (f"vivaldi dim=3", vc.estimate, vc.size_words()),
+                (f"tz k={K}", lambda u, v: estimate_distance(
+                    sketches[u], sketches[v]), round(mean_tz_size, 1))):
+            prof = _profile(query, d, N, rng)
+            rows.append({"family": family, "scheme": label,
+                         "size(w)": size, **prof})
+    experiment_report("E13-vivaldi-baseline", render_table(
+        rows, title=f"E13: coordinates vs sketches, n={N} "
+                    "(paper §1: coordinates lack worst-case guarantees)"))
+    return rows
+
+
+def test_e13_sketches_never_underestimate(e13_table):
+    for r in e13_table:
+        if r["scheme"].startswith("tz"):
+            assert r["underestimates"].startswith("0/")
+            assert r["worst-under"] >= 1.0 - 1e-9
+
+
+def test_e13_vivaldi_underestimates(e13_table):
+    viv = [r for r in e13_table if r["scheme"].startswith("vivaldi")]
+    assert all(not r["underestimates"].startswith("0/") for r in viv)
+
+
+def test_e13_vivaldi_degrades_off_geometry(e13_table):
+    by_family = {r["family"]: r for r in e13_table
+                 if r["scheme"].startswith("vivaldi")}
+    # worst-case spread (over + under) is clearly wider on er than geo
+    geo_spread = by_family["geo"]["max-over"] / by_family["geo"]["worst-under"]
+    er_spread = by_family["er"]["max-over"] / by_family["er"]["worst-under"]
+    assert er_spread > 1.5 * geo_spread
+
+
+def test_e13_tz_bound_is_topology_independent(e13_table):
+    for r in e13_table:
+        if r["scheme"].startswith("tz"):
+            assert r["max-over"] <= 2 * K - 1 + 1e-9
+
+
+def test_e13_benchmark_embedding(benchmark, e13_table):
+    """Timing kernel: Vivaldi relaxation at n=128, dim=3, 50 rounds."""
+    g = workload("geo", N)
+    d = workload_apsp("geo", N)
+
+    def run():
+        return build_vivaldi(g, dim=3, rounds=50, seed=22, dist_matrix=d)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

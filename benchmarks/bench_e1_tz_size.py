@@ -1,0 +1,96 @@
+"""E1 — Thorup-Zwick sketch size (Lemma 3.1, Theorem 1.1/3.8).
+
+Claims under test:
+* expected label size O(k n^{1/k}) words (Lemma 3.1),
+* w.h.p. label size O(k n^{1/k} log n) words (Lemma 3.6 / Theorem 3.8),
+* the size/stretch knob: k = log n minimizes size at O(log^2 n)-ish words.
+
+The table reports, for each (family, n, k): measured mean and max label
+size in words against both theory curves; the implied constants must not
+drift upward with n (shape reproduction).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from benchmarks._workloads import workload
+from repro.analysis import render_table, tz_size_bound
+from repro.tz import build_tz_sketches_centralized
+
+FAMILIES = ("er", "geo")
+NS = (64, 128, 256, 512)
+KS = (1, 2, 3, "log n")
+
+
+def _resolve_k(k, n: int) -> int:
+    return max(1, int(math.log2(n))) if k == "log n" else k
+
+
+def _measure(family: str, n: int, k) -> dict:
+    kk = _resolve_k(k, n)
+    g = workload(family, n)
+    sketches, _ = build_tz_sketches_centralized(g, k=kk, seed=n + kk)
+    sizes = np.array([s.size_words() for s in sketches])
+    return {
+        "family": family,
+        "n": n,
+        "k": f"{k}" if k != "log n" else f"log n={kk}",
+        "mean(words)": round(float(sizes.mean()), 1),
+        "max(words)": int(sizes.max()),
+        "E-bound k*n^(1/k)": round(2 * tz_size_bound(n, kk, whp=False), 1),
+        "mean/E-bound": round(float(sizes.mean())
+                              / (2 * tz_size_bound(n, kk, whp=False)), 3),
+        "max/whp-bound": round(int(sizes.max())
+                               / (2 * tz_size_bound(n, kk, whp=True)), 3),
+    }
+
+
+@pytest.fixture(scope="module")
+def e1_table(experiment_report):
+    rows = [_measure(f, n, k) for f in FAMILIES for n in NS for k in KS]
+    experiment_report("E1-tz-sketch-size", render_table(
+        rows, title="E1: TZ label size vs k n^{1/k} (Lemma 3.1 / Thm 3.8); "
+                     "bounds in words = 2 entries"))
+    return rows
+
+
+def test_e1_mean_size_tracks_expectation(e1_table):
+    """Implied constant of the Lemma 3.1 expectation stays O(1)."""
+    assert all(r["mean/E-bound"] <= 3.0 for r in e1_table)
+
+
+def test_e1_max_size_within_whp_bound(e1_table):
+    assert all(r["max/whp-bound"] <= 3.0 for r in e1_table)
+
+
+def test_e1_no_upward_drift_in_n(e1_table):
+    """Shape: the implied constant must not grow along the n sweep."""
+    for family in FAMILIES:
+        for k in ("2", "3"):
+            ratios = [r["mean/E-bound"] for r in e1_table
+                      if r["family"] == family and r["k"] == k]
+            assert ratios[-1] <= 2.0 * ratios[0] + 0.2
+
+
+def test_e1_klogn_smallest_at_large_n(e1_table):
+    """k=log n gives the smallest sketches at the largest n (paper: the
+    minimum-size point of the tradeoff)."""
+    big = [r for r in e1_table if r["n"] == max(NS) and r["family"] == "er"]
+    sizes = {r["k"]: r["mean(words)"] for r in big}
+    logk = next(v for k, v in sizes.items() if k.startswith("log"))
+    assert logk <= sizes["1"]
+    assert logk <= sizes["2"]
+
+
+def bench_build(n=256, k=3):
+    g = workload("er", n)
+    return build_tz_sketches_centralized(g, k=k, seed=1)
+
+
+def test_e1_benchmark_build_centralized(benchmark, e1_table):
+    """Timing kernel: centralized TZ preprocessing at n=256, k=3."""
+    benchmark.pedantic(bench_build, rounds=3, iterations=1)

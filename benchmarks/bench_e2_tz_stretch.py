@@ -1,0 +1,85 @@
+"""E2 — Thorup-Zwick stretch (Lemma 3.2) + query-algorithm ablation A3.
+
+Claims under test:
+* ``d(u,v) <= d'(u,v) <= (2k-1) d(u,v)`` for every pair (Lemma 3.2),
+* query time O(k) (measured as the timing kernel),
+* A3: the paper's level-scan query vs the classic [TZ05] bunch walk —
+  same worst-case bound, empirically compared head to head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks._workloads import workload, workload_apsp
+from repro.analysis import render_table
+from repro.oracle.evaluation import evaluate_stretch
+from repro.tz import build_tz_sketches_centralized, estimate_distance
+
+FAMILIES = ("er", "ba", "geo")
+N = 192
+KS = (1, 2, 3, 4)
+
+
+@pytest.fixture(scope="module")
+def e2_table(experiment_report):
+    rows = []
+    for family in FAMILIES:
+        g = workload(family, N, weighted=(family != "geo"))
+        d = workload_apsp(family, N, weighted=(family != "geo"))
+        for k in KS:
+            sketches, _ = build_tz_sketches_centralized(g, k=k, seed=k)
+            for method in ("paper", "classic"):
+                rep = evaluate_stretch(
+                    d, lambda u, v: estimate_distance(sketches[u],
+                                                      sketches[v],
+                                                      method=method),
+                    max_pairs=4000, seed=1)
+                rows.append({
+                    "family": family,
+                    "k": k,
+                    "query": method,
+                    "bound": 2 * k - 1,
+                    "max": round(rep.max_stretch, 2),
+                    "mean": round(rep.mean_stretch, 3),
+                    "p95": round(rep.p95_stretch, 2),
+                    "exact%": round(100 * rep.exact_fraction, 1),
+                    "under": rep.underestimates,
+                })
+    experiment_report("E2-tz-stretch", render_table(
+        rows, title=f"E2: TZ stretch vs 2k-1 (Lemma 3.2), n={N}, "
+                    f"4000 sampled pairs; A3 = paper vs classic query"))
+    return rows
+
+
+def test_e2_stretch_within_bound(e2_table):
+    assert all(r["max"] <= r["bound"] + 1e-9 for r in e2_table)
+
+
+def test_e2_never_underestimates(e2_table):
+    assert all(r["under"] == 0 for r in e2_table)
+
+
+def test_e2_k1_exact(e2_table):
+    assert all(r["max"] == 1.0 for r in e2_table if r["k"] == 1)
+
+
+def test_e2_mean_stretch_much_better_than_worst_case(e2_table):
+    # the well-known empirical fact the paper's average-stretch section
+    # leverages: typical stretch is far below 2k-1
+    assert all(r["mean"] <= (r["bound"] + 1) / 2 for r in e2_table)
+
+
+def test_e2_benchmark_query(benchmark, e2_table):
+    """Timing kernel: one O(k) label-pair query (k=4, n=192)."""
+    g = workload("er", N, weighted=True)
+    sketches, _ = build_tz_sketches_centralized(g, k=4, seed=4)
+
+    def run():
+        s = 0.0
+        for u in range(0, N, 7):
+            s += estimate_distance(sketches[u], sketches[(u * 3 + 1) % N])
+        return s
+
+    benchmark(run)

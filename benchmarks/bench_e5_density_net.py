@@ -1,0 +1,121 @@
+"""E5 — ε-density nets (Definition 4.1, Lemma 4.2) + A2 ablation.
+
+Claims under test:
+* property 1 (coverage): every node has a net node within R(u, ε) — w.h.p.
+  over the sampling; the table reports the empirical failure rate over
+  many seeds,
+* property 2 (size): |N| <= (10/ε) ln n — likewise w.h.p.,
+* the construction takes "constant time" (zero communication — sampling is
+  local coin flips); the companion super-source assignment costs O(S)
+  rounds (reported),
+* A2: the original [CDG06] centralized net (|N| ~ 1/ε, radius 2R) vs the
+  paper's distributable sampled net (|N| ~ (10/ε) ln n, radius R) — the
+  modification buys distributability with a log-factor size cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks._workloads import workload, workload_apsp, workload_S
+from repro.analysis import render_table
+from repro.slack.density_net import (
+    build_density_net_distributed,
+    cdg_original_net,
+    sample_density_net,
+    verify_density_net,
+)
+
+N = 384
+EPSES = (0.5, 0.25, 0.1, 0.05)
+TRIALS = 30
+
+
+@pytest.fixture(scope="module")
+def e5_table(experiment_report):
+    d = workload_apsp("geo", N)
+    rows = []
+    for eps in EPSES:
+        sizes, cover_fail, size_fail = [], 0, 0
+        for t in range(TRIALS):
+            net = sample_density_net(N, eps, seed=1000 * t + 7)
+            rep = verify_density_net(d, net)
+            sizes.append(rep["size"])
+            cover_fail += not rep["coverage_ok"]
+            size_fail += not rep["size_ok"]
+        rows.append({
+            "eps": eps,
+            "mean|N|": round(float(np.mean(sizes)), 1),
+            "bound(10/e)ln n": round(10 / eps * np.log(N), 1),
+            "coverage-failures": f"{cover_fail}/{TRIALS}",
+            "size-failures": f"{size_fail}/{TRIALS}",
+        })
+    experiment_report("E5-density-net", render_table(
+        rows, title=f"E5: sampled eps-density nets on geo n={N} "
+                    f"(Lemma 4.2), {TRIALS} seeds each"))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def e5_ablation(experiment_report):
+    d = workload_apsp("geo", N)
+    rows = []
+    for eps in (0.25, 0.1):
+        sampled = sample_density_net(N, eps, seed=77)
+        original = cdg_original_net(d, eps)
+        rows.append({"eps": eps, "net": "paper (sampled, radius R)",
+                     "|N|": sampled.size()})
+        rows.append({"eps": eps, "net": "CDG'06 (greedy, radius 2R)",
+                     "|N|": original.size()})
+    experiment_report("E5a-net-ablation", render_table(
+        rows, title="E5/A2: distributability costs a log factor in |N| "
+                    "(paper Section 4 modification)"))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def e5_assignment(experiment_report):
+    g = workload("geo", 128)
+    S = workload_S("geo", 128)
+    net, _, metrics = build_density_net_distributed(g, 0.25, seed=5)
+    text = (f"super-source assignment on geo n=128: {metrics.rounds} rounds "
+            f"(S = {S}), {metrics.messages} messages, |N| = {net.size()}")
+    experiment_report("E5b-net-assignment", text)
+    return metrics, S
+
+
+def test_e5_rare_failures(e5_table):
+    for r in e5_table:
+        assert int(r["coverage-failures"].split("/")[0]) <= 2
+        assert int(r["size-failures"].split("/")[0]) == 0
+
+
+def test_e5_mean_size_below_bound(e5_table):
+    assert all(r["mean|N|"] <= r["bound(10/e)ln n"] for r in e5_table)
+
+
+def test_e5_ablation_ordering(e5_ablation):
+    by_eps = {}
+    for r in e5_ablation:
+        by_eps.setdefault(r["eps"], {})[r["net"][:3]] = r["|N|"]
+    for eps, d in by_eps.items():
+        assert d["CDG"] <= d["pap"]  # original net is smaller...
+    # ...but cannot be built by local sampling (it needs global greedy)
+
+
+def test_e5_assignment_rounds_order_S(e5_assignment):
+    metrics, S = e5_assignment
+    assert metrics.rounds <= 3 * S + 3
+
+
+def test_e5_benchmark_sampling(benchmark, e5_table, e5_ablation,
+                               e5_assignment):
+    """Timing kernel: net sampling + exact verification at n=384."""
+    d = workload_apsp("geo", N)
+
+    def run():
+        net = sample_density_net(N, 0.1, seed=3)
+        return verify_density_net(d, net)
+
+    benchmark(run)

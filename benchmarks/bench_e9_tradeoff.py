@@ -1,0 +1,82 @@
+"""E9 — the combined tradeoff table (paper Section 1.1 narrative).
+
+One network, every scheme, full distributed accounting: "these tradeoffs
+can then be combined to give an efficient construction of small sketches
+with provable average-case as well as worst-case performance."  This is
+the table a systems reader would want: size vs worst-case stretch vs
+average stretch vs construction cost, side by side.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._workloads import workload, workload_apsp, workload_S
+from repro import build_sketches
+from repro.analysis import render_table
+from repro.oracle.evaluation import average_stretch, evaluate_stretch
+
+N = 96
+SCHEMES = [
+    ("tz k=2", "tz", {"k": 2}),
+    ("tz k=3", "tz", {"k": 3}),
+    ("tz k=log n", "tz", {"k": 6}),
+    ("stretch3 e=.25", "stretch3", {"eps": 0.25}),
+    ("cdg e=.25 k=2", "cdg", {"eps": 0.25, "k": 2}),
+    ("graceful", "graceful", {}),
+]
+
+
+@pytest.fixture(scope="module")
+def e9_table(experiment_report):
+    g = workload("ba", N)
+    d = workload_apsp("ba", N)
+    rows = []
+    for label, scheme, params in SCHEMES:
+        built = build_sketches(g, scheme=scheme, mode="distributed",
+                               seed=51, **params)
+        rep = evaluate_stretch(d, built.query, eps=built.slack())
+        avg = average_stretch(d, built.query)
+        rows.append({
+            "scheme": label,
+            "bound": built.stretch_bound(),
+            "slack": built.slack() if built.slack() is not None else "-",
+            "max-str": round(rep.max_stretch, 2),
+            "avg-str": round(avg, 3),
+            "size(w)": built.max_size_words(),
+            "rounds": built.metrics.rounds,
+            "messages": built.metrics.messages,
+        })
+    experiment_report("E9-tradeoff", render_table(
+        rows, title=f"E9: all schemes on one ba n={N} overlay, distributed "
+                    "builds (max-str on slack-covered pairs)"))
+    return rows
+
+
+def test_e9_all_bounds_hold(e9_table):
+    assert all(r["max-str"] <= r["bound"] + 1e-9 for r in e9_table)
+
+
+def test_e9_graceful_has_best_average(e9_table):
+    avg = {r["scheme"]: r["avg-str"] for r in e9_table}
+    assert avg["graceful"] <= min(v for k, v in avg.items()
+                                  if k != "graceful") + 0.1
+
+
+def test_e9_tz_size_decreases_with_k(e9_table):
+    size = {r["scheme"]: r["size(w)"] for r in e9_table}
+    assert size["tz k=log n"] <= size["tz k=2"]
+
+
+def test_e9_benchmark_full_tradeoff_query(benchmark, e9_table):
+    """Timing kernel: graceful query (the most expensive query path)."""
+    g = workload("ba", N)
+    built = build_sketches(g, scheme="graceful", seed=51)
+
+    def run():
+        s = 0.0
+        for u in range(0, N, 11):
+            s += built.query(u, (u * 5 + 2) % N)
+        return s
+
+    benchmark(run)

@@ -1,0 +1,45 @@
+"""Benchmark-harness plumbing.
+
+Each experiment file (``bench_e1_*`` … ``bench_e10_*``) computes the table
+for one paper claim and registers it via the ``experiment_report`` fixture.
+All registered tables are printed in the terminal summary (so they appear
+in ``bench_output.txt``) and persisted under ``benchmarks/results/``.
+
+The ``benchmark`` fixture times a representative kernel of each experiment;
+the tables themselves are computed once per session.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+_REPORTS: list[tuple[str, str]] = []
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def experiment_report():
+    """Callable ``report(name, text)`` registering an experiment table."""
+
+    def report(name: str, text: str) -> None:
+        _REPORTS.append((name, text))
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        path = _RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+
+    return report
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    tr = terminalreporter
+    tr.section("experiment tables (paper-claim reproduction)")
+    for name, text in _REPORTS:
+        tr.write_line("")
+        tr.write_line(f"──── {name} " + "─" * max(0, 66 - len(name)))
+        for line in text.splitlines():
+            tr.write_line(line)

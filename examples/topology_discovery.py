@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Topology discovery scenario: when is S much bigger than D, and why care?
+
+The paper's Section 2.1 argument: a fresh distance computation needs
+Ω(S) rounds (S = shortest-path diameter), while an online sketch exchange
+needs only ~D rounds times sketch size — and S can be as large as n while
+D stays constant.  This example makes the gap concrete on the star-path
+family, sweeping n and printing both costs, then shows the gracefully
+degrading sketch (Theorem 4.8) delivering constant *average* stretch on
+the same instances.
+
+Run:  python examples/topology_discovery.py
+"""
+
+from repro import build_sketches
+from repro.algorithms import single_source_distances
+from repro.analysis import render_table
+from repro.graphs import apsp, graph_stats, star_path
+from repro.oracle import average_stretch, simulate_online_exchange
+
+
+def main() -> None:
+    rows = []
+    for n_path in (16, 32, 64):
+        g = star_path(n_path)
+        stats = graph_stats(g)
+
+        # cost of answering "how far is node 0 from node n_path-1?"
+        built = build_sketches(g, scheme="tz", k=2, seed=19)
+        words = built.max_size_words()
+        cost, online = simulate_online_exchange(g, u=0, v=n_path - 1,
+                                                sketch_words=words)
+        _, _, fresh = single_source_distances(g, 0)
+
+        rows.append({
+            "n": stats.n,
+            "D": stats.hop_diameter,
+            "S": stats.shortest_path_diameter,
+            "sketch(words)": words,
+            "online-rounds": online.rounds,
+            "fresh-BF-rounds": fresh.rounds,
+        })
+    print(render_table(rows, title="online query vs fresh computation "
+                                   "(star-path: D=2, S=n-2)"))
+    print("\nS grows linearly while the online cost tracks the sketch size —")
+    print("the paper's case for precomputing distance sketches.\n")
+
+    # average stretch on the largest instance
+    g = star_path(64)
+    d = apsp(g)
+    built = build_sketches(g, scheme="graceful", seed=23)
+    avg = average_stretch(d, built.query)
+    print(f"gracefully degrading sketches on star-path(64): "
+          f"average stretch {avg:.3f} (Corollary 4.9 predicts O(1)), "
+          f"size {built.max_size_words()} words")
+
+
+if __name__ == "__main__":
+    main()

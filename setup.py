@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+that ``pip install -e . --no-build-isolation --no-use-pep517`` works in
+fully offline environments where the ``wheel`` package (required by pip's
+PEP-660 editable builds with older setuptools) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

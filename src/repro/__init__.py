@@ -1,0 +1,35 @@
+"""repro — distributed distance sketches in the CONGEST model.
+
+A full reproduction of *Efficient Computation of Distance Sketches in
+Distributed Networks* (Das Sarma, Dinitz, Pandurangan; SPAA 2012):
+
+* :mod:`repro.graphs` — the weighted-network substrate,
+* :mod:`repro.congest` — the synchronous CONGEST simulator,
+* :mod:`repro.algorithms` — Bellman-Ford variants, BFS trees, termination
+  detection,
+* :mod:`repro.tz` — Thorup–Zwick sketches, centralized and distributed,
+* :mod:`repro.slack` — ε-slack, CDG, and gracefully degrading sketches,
+* :mod:`repro.oracle` — the high-level build/query/evaluate API,
+* :mod:`repro.analysis` — stretch statistics and theory-curve checks.
+
+Quickstart::
+
+    from repro import build_sketches, estimate_distance
+    from repro.graphs import erdos_renyi
+
+    g = erdos_renyi(128, seed=1)
+    built = build_sketches(g, scheme="tz", k=3, seed=2)
+    est = built.query(5, 99)
+"""
+
+from repro._version import __version__
+from repro.oracle.api import build_sketches, BuiltSketches
+from repro.tz.sketch import TZSketch, estimate_distance
+
+__all__ = [
+    "__version__",
+    "build_sketches",
+    "BuiltSketches",
+    "TZSketch",
+    "estimate_distance",
+]

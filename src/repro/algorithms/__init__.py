@@ -1,0 +1,39 @@
+"""Distributed building-block protocols (systems S3–S7).
+
+These are the CONGEST primitives the paper's constructions are assembled
+from: distributed Bellman-Ford (Algorithm 1), the round-robin multi-source
+variant at the heart of Algorithm 2, k-Source Shortest Paths, super-source
+(distance-to-a-set) Bellman-Ford, leader election with BFS-tree
+construction, tree broadcast/convergecast, and the ECHO bookkeeping used by
+the Section 3.3 termination detector.
+"""
+
+from repro.algorithms.bellman_ford import BellmanFordProgram, single_source_distances
+from repro.algorithms.round_robin import RoundRobinBFProgram
+from repro.algorithms.ksource import KSourceBFProgram, k_source_shortest_paths
+from repro.algorithms.supersource import SuperSourceBFProgram, distances_to_set
+from repro.algorithms.bfs_tree import BFSTreeProgram, TreeInfo, build_bfs_tree
+from repro.algorithms.broadcast import TreeBroadcastProgram, tree_broadcast
+from repro.algorithms.termination import EchoBookkeeper
+from repro.algorithms.reliable_bf import (
+    ReliableBellmanFordProgram,
+    reliable_single_source_distances,
+)
+
+__all__ = [
+    "BellmanFordProgram",
+    "single_source_distances",
+    "RoundRobinBFProgram",
+    "KSourceBFProgram",
+    "k_source_shortest_paths",
+    "SuperSourceBFProgram",
+    "distances_to_set",
+    "BFSTreeProgram",
+    "TreeInfo",
+    "build_bfs_tree",
+    "TreeBroadcastProgram",
+    "tree_broadcast",
+    "EchoBookkeeper",
+    "ReliableBellmanFordProgram",
+    "reliable_single_source_distances",
+]

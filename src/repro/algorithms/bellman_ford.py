@@ -1,0 +1,83 @@
+"""Distributed single-source Bellman-Ford — paper Algorithm 1, verbatim.
+
+Each node keeps a distance guess ``d'`` (initially infinity); on hearing a
+neighbor's guess ``a(w)`` it checks whether ``a(w) + w(u, w)`` improves
+``d'`` and, if so, adopts it and broadcasts the new value.  The source
+starts by broadcasting 0.  After ``O(S)`` rounds (``S`` = shortest-path
+diameter) every node's guess equals its true distance, using ``O(S |E|)``
+messages — the standard analysis the paper builds on (Lemmas 3.3/3.4 cite
+it for the k-source generalization).
+
+This module is the single-source special case, kept separate and
+deliberately simple because it is the paper's Algorithm 1 and serves as the
+reference point for the more elaborate multi-source machinery in
+:mod:`repro.algorithms.round_robin`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from repro.congest.context import NodeContext
+from repro.congest.metrics import RunMetrics
+from repro.congest.node import NodeProgram
+from repro.graphs.graph import Graph
+from repro.rng import SeedLike
+
+
+class BellmanFordProgram(NodeProgram):
+    """Node program for paper Algorithm 1.
+
+    Message format: ``("bf1", distance)`` — the sender's current distance
+    guess.  The sender's identity is implicit in the edge the message
+    arrives on, exactly as in the paper's pseudocode.
+    """
+
+    KIND = "bf1"
+
+    def __init__(self, node: int, source: int):
+        self.node = node
+        self.is_source = node == source
+        self.dist: float = 0.0 if self.is_source else math.inf
+        self.parent: Optional[int] = None
+
+    def on_start(self, ctx: NodeContext) -> None:
+        if self.is_source:
+            ctx.broadcast((self.KIND, 0.0))
+
+    def on_round(self, ctx: NodeContext, inbox: dict[int, Any]) -> None:
+        # line 2 of Algorithm 1: z <- min over neighbors of a(w) + d(u, w)
+        best = self.dist
+        best_from: Optional[int] = None
+        for w, payload in inbox.items():
+            z = payload[1] + ctx.edge_weight(w)
+            if z < best:
+                best = z
+                best_from = w
+        # lines 3-5: adopt and re-broadcast on improvement
+        if best_from is not None:
+            self.dist = best
+            self.parent = best_from
+            ctx.broadcast((self.KIND, best))
+
+    def result(self) -> tuple[float, Optional[int]]:
+        """``(distance-to-source, shortest-path-tree parent)``."""
+        return (self.dist, self.parent)
+
+
+def single_source_distances(graph: Graph, source: int, seed: SeedLike = None,
+                            ) -> tuple[list[float], list[Optional[int]], RunMetrics]:
+    """Run Algorithm 1 and return ``(distances, parents, metrics)``.
+
+    The run terminates at network quiescence, which for Bellman-Ford
+    coincides with global correctness (no node can improve, hence no node
+    ever will).
+    """
+    from repro.congest.network import Simulator
+
+    sim = Simulator(graph, lambda u: BellmanFordProgram(u, source), seed=seed)
+    res = sim.run()
+    dists = [p.result()[0] for p in res.programs]
+    parents = [p.result()[1] for p in res.programs]
+    return dists, parents, res.metrics

@@ -1,0 +1,84 @@
+"""Tree broadcast and convergecast over an elected BFS tree.
+
+Used standalone (e.g. to disseminate a value from the leader in ``O(depth)``
+rounds) and as the template for the START/COMPLETE waves of the Section 3.3
+termination detector.  Messages travel only on tree edges, so the cost is
+``O(n)`` messages and ``O(depth)`` rounds per wave — the "negligible"
+overhead the paper claims for phase synchronization.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.algorithms.bfs_tree import TreeInfo
+from repro.congest.context import NodeContext
+from repro.congest.metrics import RunMetrics
+from repro.congest.network import Simulator
+from repro.congest.node import NodeProgram
+from repro.graphs.graph import Graph
+from repro.rng import SeedLike
+
+
+class TreeBroadcastProgram(NodeProgram):
+    """Flood one value from the tree root to every node along tree edges.
+
+    Optionally convergecasts an ``ack`` wave back so the root learns when
+    the broadcast has completed (the pattern COMPLETE messages reuse).
+    """
+
+    def __init__(self, node: int, tree: TreeInfo, value: Any = None,
+                 ack: bool = True):
+        self.node = node
+        self.tree = tree
+        self.value = value if tree.is_leader() else None
+        self.ack = ack
+        self._acks_needed = set(tree.children)
+        self._value_sent = False
+        self._acked = False
+        self.root_done = False
+
+    def on_start(self, ctx: NodeContext) -> None:
+        if self.tree.is_leader():
+            self._push_down(ctx)
+
+    def _push_down(self, ctx: NodeContext) -> None:
+        self._value_sent = True
+        for c in self.tree.children:
+            ctx.send(c, ("bcast", self.value))
+        self._maybe_ack(ctx)
+
+    def _maybe_ack(self, ctx: NodeContext) -> None:
+        if not self.ack or self._acked or self._acks_needed:
+            return
+        self._acked = True
+        if self.tree.parent is not None:
+            ctx.send(self.tree.parent, ("bcack",))
+        else:
+            self.root_done = True
+
+    def on_round(self, ctx: NodeContext, inbox: dict[int, Any]) -> None:
+        for w, payload in inbox.items():
+            if not isinstance(payload, tuple):
+                continue
+            if payload[0] == "bcast" and w == self.tree.parent:
+                self.value = payload[1]
+                if not self._value_sent:
+                    self._push_down(ctx)
+            elif payload[0] == "bcack" and w in self._acks_needed:
+                self._acks_needed.discard(w)
+        if self._value_sent:
+            self._maybe_ack(ctx)
+
+    def result(self) -> Any:
+        return self.value
+
+
+def tree_broadcast(graph: Graph, trees: list[TreeInfo], value: Any,
+                   seed: SeedLike = None) -> tuple[list[Any], RunMetrics]:
+    """Broadcast ``value`` from the leader over ``trees`` (one per node)."""
+    sim = Simulator(graph,
+                    lambda u: TreeBroadcastProgram(u, trees[u], value),
+                    seed=seed)
+    res = sim.run()
+    return res.results(), res.metrics

@@ -1,0 +1,230 @@
+"""Round-robin multi-source Bellman-Ford — the engine of paper Algorithm 2.
+
+Many sources flood concurrently, but the CONGEST model allows only one
+message per edge per round, so each node keeps **one outgoing slot per
+source** ("an outgoing message queue, which will only ever have a 0 or 1
+message in it" — Algorithm 2) and serves the nonempty slots in round-robin
+order, sending one broadcast per round.  A slot updated again before being
+served is *superseded* — the stale value is overwritten, which is what caps
+per-source queue occupancy at one.
+
+The machinery is split in two:
+
+* :class:`MultiSourceEngine` — the queueing/acceptance core, *not* a node
+  program.  Phase-structured protocols (``repro.tz.distributed``) create a
+  fresh engine per phase and drive it from their own ``on_round``.
+* :class:`RoundRobinBFProgram` — a thin
+  :class:`~repro.congest.node.NodeProgram` wrapper for standalone use
+  (k-Source Shortest Paths).
+
+Acceptance rule (Algorithm 2 line 12, with the paper's "distinct distances"
+assumption made explicit through :class:`~repro.distkey.DistKey`): an update
+for source ``v`` at candidate distance ``c`` is accepted iff
+``DistKey(c, v) < threshold`` and ``c`` strictly improves the current guess.
+The threshold is ``d(u, A_{i+1})`` as a key — ``INF_KEY`` recovers plain
+multi-source shortest paths.
+
+The engine reports accept/reject/supersede/sent events to an optional
+*listener*; the ECHO termination detector of paper Section 3.3
+(:mod:`repro.algorithms.termination`) is implemented entirely as such a
+listener, leaving this hot loop untouched when termination detection is off.
+
+Ablation support: ``drain_per_round > 1`` packs several slots into one
+oversized message, emulating a LOCAL-model network without the bandwidth
+constraint.  Experiment E3/A1 uses this to show that the ``n^{1/k} log n``
+factor in Theorem 1.1's round bound is forced by congestion, not by the
+algorithm's logic.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.congest.context import NodeContext
+from repro.congest.node import NodeProgram
+from repro.distkey import INF_KEY, DistKey
+
+#: ``(via-neighbor, distance-as-quoted-in-the-received-message)`` — identifies
+#: the incoming message a queued update was based on.  ``None`` for a
+#: self-injected source.  The termination detector echoes these quotes back
+#: verbatim, so they are stored untouched (no float arithmetic) to keep
+#: matching exact.
+ParentMsg = Optional[tuple[int, float]]
+
+
+class EngineListener:
+    """Event sink for :class:`MultiSourceEngine` (all hooks default to no-op).
+
+    ``a`` is always the distance *as quoted in the message on the wire*,
+    never a locally recomputed value.
+    """
+
+    def on_rejected(self, src: int, a: float, via: int) -> None:
+        """An incoming update did not qualify or did not improve."""
+
+    def on_superseded(self, src: int, parent: ParentMsg) -> None:
+        """A queued-but-unsent update was overwritten; its parent message
+        is now fully processed."""
+
+    def on_sent(self, src: int, dist: float, parent: ParentMsg) -> None:
+        """A slot was served: ``(kind, src, dist)`` was broadcast; the
+        broadcast is *based on* ``parent``."""
+
+
+class MultiSourceEngine:
+    """Per-node queueing core of Algorithm 2 (one instance per phase)."""
+
+    __slots__ = ("node", "kind", "threshold", "listener", "dist", "via",
+                 "_parent_msg", "_queue", "_queued", "max_queue_len",
+                 "payload_fn")
+
+    def __init__(self, node: int, kind: str = "bf",
+                 threshold: DistKey = INF_KEY,
+                 listener: Optional[EngineListener] = None,
+                 payload_fn: Optional[Callable[[int, float], tuple]] = None):
+        self.node = node
+        self.kind = kind
+        self.threshold = threshold
+        self.listener = listener
+        #: best known distance per source (== B_i(u) with distances at phase end)
+        self.dist: dict[int, float] = {}
+        #: neighbor each best distance was learned from
+        self.via: dict[int, Optional[int]] = {}
+        self._parent_msg: dict[int, ParentMsg] = {}
+        self._queue: deque[int] = deque()
+        self._queued: set[int] = set()
+        self.max_queue_len = 0  # observability: Lemma 3.6 bounds this w.h.p.
+        self.payload_fn = payload_fn or (lambda src, d: (self.kind, src, d))
+
+    # ------------------------------------------------------------------
+    def inject_source(self, ctx: NodeContext) -> None:
+        """This node is a source of the current phase: distance 0, broadcast
+        immediately (Algorithm 2, "In the first round")."""
+        self.dist[self.node] = 0.0
+        self.via[self.node] = None
+        ctx.broadcast(self.payload_fn(self.node, 0.0))
+        if self.listener is not None:
+            self.listener.on_sent(self.node, 0.0, None)
+
+    def enqueue_source(self) -> None:
+        """This node is a source: queue the distance-0 self-announcement as
+        a normal slot (served when the host protocol's edges are free —
+        phase-structured hosts cannot always broadcast at phase entry)."""
+        self.dist[self.node] = 0.0
+        self.via[self.node] = None
+        self._parent_msg[self.node] = None
+        self._queued.add(self.node)
+        self._queue.append(self.node)
+        if len(self._queue) > self.max_queue_len:
+            self.max_queue_len = len(self._queue)
+
+    def accept(self, src: int, a: float, via: int, weight: float) -> bool:
+        """Algorithm 2 lines 12-14 for one incoming update ``(src, a)``
+        received from neighbor ``via`` over an edge of the given weight."""
+        cand = a + weight
+        if (not DistKey(cand, src) < self.threshold
+                or cand >= self.dist.get(src, math.inf)):
+            if self.listener is not None:
+                self.listener.on_rejected(src, a, via)
+            return False
+        if src in self._queued:
+            # the queued update is superseded before it was ever sent
+            if self.listener is not None:
+                self.listener.on_superseded(src, self._parent_msg[src])
+        else:
+            self._queued.add(src)
+            self._queue.append(src)
+            if len(self._queue) > self.max_queue_len:
+                self.max_queue_len = len(self._queue)
+        self.dist[src] = cand
+        self.via[src] = via
+        self._parent_msg[src] = (via, a)
+        return True
+
+    def process(self, ctx: NodeContext, inbox: dict[int, Any]) -> None:
+        """Filter ``inbox`` for this engine's kind and apply :meth:`accept`."""
+        kind = self.kind
+        for w, payload in inbox.items():
+            if isinstance(payload, tuple) and payload[0] == kind:
+                self.accept(payload[1], payload[2], w, ctx.edge_weight(w))
+
+    def serve(self, ctx: NodeContext) -> bool:
+        """Serve one queue slot (Algorithm 2 lines 15-20).  Returns True if
+        a broadcast was sent.  The caller must ensure all incident edges are
+        free this round (a broadcast uses every edge)."""
+        if not self._queue:
+            return False
+        src = self._queue.popleft()
+        self._queued.discard(src)
+        parent = self._parent_msg.pop(src, None)
+        d = self.dist[src]
+        ctx.broadcast(self.payload_fn(src, d))
+        if self.listener is not None:
+            self.listener.on_sent(src, d, parent)
+        return True
+
+    def pending(self) -> bool:
+        return bool(self._queue)
+
+    def queue_len(self) -> int:
+        return len(self._queue)
+
+
+class RoundRobinBFProgram(NodeProgram):
+    """Standalone node program wrapping one :class:`MultiSourceEngine`.
+
+    Supports the LOCAL-model ablation via ``drain_per_round``: several slots
+    are packed into one ``(kind+"pack", ((src, d), ...))`` message, which the
+    host simulator must be configured to allow (larger ``bandwidth_words``).
+    """
+
+    def __init__(self, node: int, is_source: bool, kind: str = "bf",
+                 threshold: DistKey = INF_KEY, drain_per_round: int = 1,
+                 listener: Optional[EngineListener] = None):
+        self.engine = MultiSourceEngine(node, kind=kind, threshold=threshold,
+                                        listener=listener)
+        self.node = node
+        self.is_source = is_source
+        self.drain_per_round = max(1, int(drain_per_round))
+
+    def on_start(self, ctx: NodeContext) -> None:
+        if not self.is_source:
+            return
+        if self.drain_per_round == 1:
+            self.engine.inject_source(ctx)
+        else:
+            # ablation wire format: sources announce in pack framing too
+            self.engine.dist[self.node] = 0.0
+            self.engine.via[self.node] = None
+            ctx.broadcast((self.engine.kind + "pack", ((self.node, 0.0),)))
+
+    def on_round(self, ctx: NodeContext, inbox: dict[int, Any]) -> None:
+        eng = self.engine
+        if self.drain_per_round == 1:
+            eng.process(ctx, inbox)
+            eng.serve(ctx)
+            return
+        # LOCAL-model ablation path
+        pack_kind = eng.kind + "pack"
+        for w, payload in inbox.items():
+            if isinstance(payload, tuple) and payload[0] == pack_kind:
+                weight = ctx.edge_weight(w)
+                for src, a in payload[1]:
+                    eng.accept(src, a, w, weight)
+        batch = []
+        while eng._queue and len(batch) < self.drain_per_round:
+            src = eng._queue.popleft()
+            eng._queued.discard(src)
+            eng._parent_msg.pop(src, None)
+            batch.append((src, eng.dist[src]))
+        if batch:
+            ctx.broadcast((pack_kind, tuple(batch)))
+
+    def has_pending(self) -> bool:
+        return self.engine.pending()
+
+    def result(self) -> dict[int, float]:
+        """Final ``source -> distance`` map (only participated sources)."""
+        return dict(self.engine.dist)

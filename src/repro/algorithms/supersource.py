@@ -1,0 +1,88 @@
+"""Super-source Bellman-Ford: distance to a node *set*.
+
+Paper, proof of Lemma 4.5: "we just imagine a 'super node' consisting of
+all of N" — a single Bellman-Ford run where every member of ``N`` starts at
+distance 0.  Each node ends up knowing ``d(u, N)`` *and* the identity of
+its closest net node (the ``u'`` of the CDG sketch), in ``O(S)`` rounds and
+``O(S |E|)`` messages.
+
+Tie-breaking follows :mod:`repro.distkey`: among equidistant net nodes the
+smallest ID wins, so the distributed result is comparable bit-for-bit with
+the centralized reference in :mod:`repro.slack.density_net`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.congest.context import NodeContext
+from repro.congest.metrics import RunMetrics
+from repro.congest.network import Simulator
+from repro.congest.node import NodeProgram
+from repro.distkey import INF_KEY, DistKey
+from repro.errors import ConfigError
+from repro.graphs.graph import Graph
+from repro.rng import SeedLike
+
+
+class SuperSourceBFProgram(NodeProgram):
+    """Single-wavefront BF from a virtual source attached to a set.
+
+    Message format: ``("ss", closest-set-node-id, distance)``.  Each node
+    keeps one best ``DistKey`` and one pending-broadcast flag, so the
+    protocol needs no queueing machinery.
+    """
+
+    KIND = "ss"
+
+    def __init__(self, node: int, members: frozenset[int]):
+        self.node = node
+        self.in_set = node in members
+        self.best: DistKey = DistKey(0.0, node) if self.in_set else INF_KEY
+        self.parent: Optional[int] = None
+        self._dirty = False
+
+    def on_start(self, ctx: NodeContext) -> None:
+        if self.in_set:
+            ctx.broadcast((self.KIND, self.node, 0.0))
+
+    def on_round(self, ctx: NodeContext, inbox: dict[int, Any]) -> None:
+        for w, payload in inbox.items():
+            if not (isinstance(payload, tuple) and payload[0] == self.KIND):
+                continue
+            _, origin, a = payload
+            key = DistKey(a + ctx.edge_weight(w), origin)
+            if key < self.best:
+                self.best = key
+                self.parent = w
+                self._dirty = True
+        if self._dirty:
+            ctx.broadcast((self.KIND, self.best.node, self.best.dist))
+            self._dirty = False
+
+    def has_pending(self) -> bool:
+        return self._dirty
+
+    def result(self) -> tuple[float, int, Optional[int]]:
+        """``(d(u, N), closest member ID, BF-tree parent)``."""
+        return (self.best.dist, self.best.node, self.parent)
+
+
+def distances_to_set(graph: Graph, members: Iterable[int],
+                     seed: SeedLike = None,
+                     ) -> tuple[list[tuple[float, int]], RunMetrics]:
+    """Distributed ``d(u, N)`` with witnesses.
+
+    Returns ``(assignments, metrics)`` where ``assignments[u]`` is the pair
+    ``(d(u, N), closest member)``.
+    """
+    mset = frozenset(int(v) for v in members)
+    if not mset:
+        raise ConfigError("distances_to_set needs a nonempty member set")
+    for v in mset:
+        if not (0 <= v < graph.n):
+            raise ConfigError(f"set member {v} out of range")
+    sim = Simulator(graph, lambda u: SuperSourceBFProgram(u, mset), seed=seed)
+    res = sim.run()
+    out = [(p.result()[0], p.result()[1]) for p in res.programs]
+    return out, res.metrics

@@ -1,0 +1,38 @@
+"""Analysis toolkit: theory curves, complexity-ratio checks, table rendering.
+
+Used by the benchmark harness to turn raw measurements into the per-
+experiment tables recorded in ``EXPERIMENTS.md``.
+"""
+
+from repro.analysis.complexity import (
+    tz_round_bound,
+    tz_message_bound,
+    tz_size_bound,
+    cdg_round_bound,
+    cdg_size_bound,
+    graceful_round_bound,
+    graceful_size_bound,
+    stretch3_round_bound,
+    stretch3_size_bound,
+    bound_ratio,
+    RatioSummary,
+    summarize_ratios,
+)
+from repro.analysis.tables import render_table, format_row
+
+__all__ = [
+    "tz_round_bound",
+    "tz_message_bound",
+    "tz_size_bound",
+    "cdg_round_bound",
+    "cdg_size_bound",
+    "graceful_round_bound",
+    "graceful_size_bound",
+    "stretch3_round_bound",
+    "stretch3_size_bound",
+    "bound_ratio",
+    "RatioSummary",
+    "summarize_ratios",
+    "render_table",
+    "format_row",
+]

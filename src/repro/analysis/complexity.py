@@ -1,0 +1,115 @@
+"""Theory curves from the paper's theorems, and measured/curve ratios.
+
+The reproduction cannot (and should not) match absolute constants — the
+theorems are O(·) statements — so the experiments check *shape*: for each
+claim we compute ``measured / curve`` across a parameter sweep and verify
+the ratio stays bounded (no upward drift) as ``n`` grows.  A reproduction
+"passes" a complexity claim when the ratio sequence is flat-or-decreasing
+within noise; :func:`summarize_ratios` quantifies exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def _ln(x: float) -> float:
+    return math.log(max(x, 2.0))
+
+
+# ----------------------------------------------------------------------
+# Theorem 1.1 / 3.8 — distributed Thorup-Zwick
+# ----------------------------------------------------------------------
+def tz_round_bound(n: int, k: int, S: int) -> float:
+    """``k n^{1/k} S log n`` (Theorem 1.1 round complexity, constants
+    dropped)."""
+    return k * n ** (1.0 / k) * S * _ln(n)
+
+
+def tz_message_bound(n: int, k: int, S: int, m: int) -> float:
+    """``k n^{1/k} S |E| log n`` (Theorem 1.1 message complexity)."""
+    return tz_round_bound(n, k, S) * m
+
+
+def tz_size_bound(n: int, k: int, whp: bool = True) -> float:
+    """Sketch size: ``k n^{1/k} log n`` words w.h.p. (Theorem 1.1), or the
+    ``k n^{1/k}`` expectation (Lemma 3.1)."""
+    base = k * n ** (1.0 / k)
+    return base * _ln(n) if whp else base
+
+
+# ----------------------------------------------------------------------
+# Theorem 4.3 — stretch-3 slack sketches
+# ----------------------------------------------------------------------
+def stretch3_round_bound(n: int, eps: float, S: int) -> float:
+    """``S (1/ε) log n`` (Theorem 4.3)."""
+    return S / eps * _ln(n)
+
+
+def stretch3_size_bound(n: int, eps: float) -> float:
+    """``(1/ε) log n`` words (Theorem 4.3)."""
+    return _ln(n) / eps
+
+
+# ----------------------------------------------------------------------
+# Theorem 4.6 — (ε,k)-CDG sketches
+# ----------------------------------------------------------------------
+def cdg_round_bound(n: int, eps: float, k: int, S: int) -> float:
+    """``k S ((1/ε) log n)^{1/k} log n`` (Theorem 4.6)."""
+    return k * S * (_ln(n) / eps) ** (1.0 / k) * _ln(n)
+
+
+def cdg_size_bound(n: int, eps: float, k: int) -> float:
+    """``k ((1/ε) log n)^{1/k} log n`` words (Theorem 4.6)."""
+    return k * (_ln(n) / eps) ** (1.0 / k) * _ln(n)
+
+
+# ----------------------------------------------------------------------
+# Theorem 4.8 / Corollary 4.9 — gracefully degrading sketches
+# ----------------------------------------------------------------------
+def graceful_round_bound(n: int, S: int) -> float:
+    """``S log^4 n`` (Theorem 4.8)."""
+    return S * _ln(n) ** 4
+
+
+def graceful_size_bound(n: int) -> float:
+    """``log^4 n`` words (Theorem 4.8)."""
+    return _ln(n) ** 4
+
+
+# ----------------------------------------------------------------------
+# ratio analysis
+# ----------------------------------------------------------------------
+def bound_ratio(measured: float, bound: float) -> float:
+    """``measured / bound`` — the implied constant for one data point."""
+    return measured / bound if bound > 0 else math.inf
+
+
+@dataclass(frozen=True)
+class RatioSummary:
+    """How a sequence of implied constants behaves along a sweep."""
+
+    ratios: tuple[float, ...]
+    max_ratio: float
+    last_over_first: float  # <= ~1 means no upward drift: bound shape holds
+
+    def shape_holds(self, drift_tolerance: float = 1.5) -> bool:
+        """True when the implied constant does not grow along the sweep
+        (up to ``drift_tolerance`` of noise)."""
+        return self.last_over_first <= drift_tolerance
+
+
+def summarize_ratios(measured: Sequence[float],
+                     bounds: Sequence[float]) -> RatioSummary:
+    """Summarize measured/bound across a sweep ordered by problem size."""
+    ratios = tuple(bound_ratio(m, b) for m, b in zip(measured, bounds))
+    arr = np.asarray(ratios)
+    return RatioSummary(
+        ratios=ratios,
+        max_ratio=float(arr.max()),
+        last_over_first=float(arr[-1] / arr[0]) if arr[0] > 0 else math.inf,
+    )

@@ -1,0 +1,49 @@
+"""Fixed-width table rendering for the benchmark harness.
+
+The experiments print their tables to stdout (captured in
+``bench_output.txt`` and summarized in ``EXPERIMENTS.md``); this module
+keeps the formatting in one place so every experiment reads the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+
+def format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_row(row: dict) -> str:
+    return "  ".join(f"{k}={format_cell(v)}" for k, v in row.items())
+
+
+def render_table(rows: Sequence[dict], title: Optional[str] = None,
+                 columns: Optional[list[str]] = None) -> str:
+    """Render a list of dict rows as an aligned fixed-width text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = []
+        for r in rows:
+            for key in r:
+                if key not in columns:
+                    columns.append(key)
+    cells = [[format_cell(r.get(c, "")) for c in columns] for r in rows]
+    widths = [len(c) for c in columns]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(columns)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""Comparator baselines from the paper's related work (Section 1).
+
+The paper positions distance sketches against *network coordinate
+systems* — Vivaldi [DCKM04] and Meridian [WSS05] — noting that while such
+systems are practical, "most of them can easily be shown to exhibit poor
+behavior in pathological instances".  To make that comparison concrete,
+this subpackage implements a faithful Vivaldi-style spring-embedding
+coordinate system; experiment E13 reproduces the paper's qualitative
+claim: coordinates do fine on low-dimensional (geometric) networks and
+fail badly — including *underestimating*, which sketches never do — on
+non-embeddable instances.
+"""
+
+from repro.baselines.vivaldi import (
+    VivaldiCoordinates,
+    build_vivaldi,
+)
+
+__all__ = ["VivaldiCoordinates", "build_vivaldi"]

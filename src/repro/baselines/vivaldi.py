@@ -1,0 +1,106 @@
+"""Vivaldi-style network coordinates [DCKM04] — the paper's §1 comparator.
+
+Vivaldi embeds nodes into a low-dimensional Euclidean space by simulating
+a spring system: each observed distance `d(u, v)` is a spring of rest
+length `d(u, v)` between the points `x_u`, `x_v`; points move along the
+net force until the system relaxes.  The distance estimate for any pair is
+then simply `||x_u - x_v||` — constant-size "sketches" (one coordinate
+vector per node) with *no* worst-case guarantee.
+
+Implementation notes (kept faithful to the decentralized algorithm's
+behaviour while running as a centralized simulation, like the original
+evaluation):
+
+* each node observes distances to a bounded random neighbor set (Vivaldi
+  nodes sample a few dozen peers, not all pairs),
+* updates use the classic Vivaldi rule: move `x_u` along the unit vector
+  away from/toward `x_v` by `delta * (||x_u - x_v|| - d(u, v))`,
+* `delta` decays over rounds (the adaptive-timestep simplification).
+
+The point of this module is the *comparison*: unlike every sketch in this
+library, coordinate estimates can (and do) **underestimate** true
+distances, and their stretch is unbounded on instances that do not embed
+into the chosen dimension — exactly the paper's §1 criticism.  Experiment
+E13 quantifies both failure modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graphs.graph import Graph
+from repro.graphs.metrics import apsp
+from repro.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class VivaldiCoordinates:
+    """The embedded coordinates and their query interface."""
+
+    dim: int
+    coords: np.ndarray  # shape (n, dim)
+
+    def estimate(self, u: int, v: int) -> float:
+        """Euclidean distance between the two coordinate vectors."""
+        diff = self.coords[u] - self.coords[v]
+        return float(np.sqrt(diff @ diff))
+
+    def size_words(self) -> int:
+        """Per-node 'sketch' size: one coordinate per dimension."""
+        return self.dim
+
+
+def build_vivaldi(graph: Graph, dim: int = 3, rounds: int = 200,
+                  samples_per_node: int = 16,
+                  dist_matrix: np.ndarray = None,
+                  seed: SeedLike = None) -> VivaldiCoordinates:
+    """Relax a Vivaldi spring system over sampled distance observations.
+
+    Parameters
+    ----------
+    dim:
+        Embedding dimension (Vivaldi typically uses 2-5).
+    rounds:
+        Relaxation sweeps; `delta` decays linearly to zero across them.
+    samples_per_node:
+        How many peers each node observes (random, fixed per run).
+    """
+    if dim < 1:
+        raise ConfigError("dim must be >= 1")
+    if rounds < 1:
+        raise ConfigError("rounds must be >= 1")
+    rng = ensure_rng(seed)
+    n = graph.n
+    d = apsp(graph) if dist_matrix is None else dist_matrix
+    scale = float(np.median(d[d > 0])) if n > 1 else 1.0
+
+    # random small initial placement (breaking symmetry, as Vivaldi does)
+    coords = rng.normal(0.0, 0.1 * scale, size=(n, dim))
+
+    # fixed observation sets: a few random peers per node
+    k = min(samples_per_node, max(1, n - 1))
+    peers = np.empty((n, k), dtype=np.int64)
+    for u in range(n):
+        choices = np.delete(np.arange(n), u)
+        peers[u] = rng.choice(choices, size=k, replace=(k > choices.size))
+
+    for r in range(rounds):
+        delta = 0.25 * (1.0 - r / rounds)  # decaying timestep
+        order = rng.permutation(n)
+        for u in order:
+            for v in peers[u]:
+                target = d[u, v]
+                diff = coords[u] - coords[v]
+                norm = float(np.sqrt(diff @ diff))
+                if norm < 1e-12:
+                    direction = rng.normal(size=dim)
+                    direction /= np.linalg.norm(direction)
+                    norm = 0.0
+                else:
+                    direction = diff / norm
+                # spring force: positive error pushes u away from v
+                coords[u] += delta * (target - norm) * direction
+    return VivaldiCoordinates(dim=dim, coords=coords)

@@ -1,0 +1,238 @@
+"""Command-line interface: generate → build → query → evaluate.
+
+A downstream user can drive the whole pipeline without writing Python::
+
+    python -m repro gen --family er --n 128 --weights uniform --seed 1 -o net.edges
+    python -m repro stats net.edges
+    python -m repro build net.edges --scheme tz --k 3 --mode distributed \
+        --seed 2 -o sketches.jsonl
+    python -m repro query net.edges sketches.jsonl --pairs 0:100 5:17
+    python -m repro eval net.edges sketches.jsonl --eps 0.25
+
+Sketches travel as the JSON-lines format of
+:mod:`repro.oracle.serialization`; graphs as the edge-list format of
+:mod:`repro.graphs.io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+
+
+# ----------------------------------------------------------------------
+# subcommand implementations
+# ----------------------------------------------------------------------
+def _cmd_gen(args) -> int:
+    from repro.graphs import (assign_exponential_weights,
+                              assign_uniform_weights, barabasi_albert,
+                              erdos_renyi, grid2d, random_geometric, ring,
+                              star_path, write_edgelist)
+
+    family = args.family
+    if family == "er":
+        g = erdos_renyi(args.n, seed=args.seed)
+    elif family == "ba":
+        g = barabasi_albert(args.n, seed=args.seed)
+    elif family == "geo":
+        g = random_geometric(args.n, seed=args.seed)
+    elif family == "grid":
+        side = max(1, int(round(args.n ** 0.5)))
+        g = grid2d(side, max(1, args.n // side))
+    elif family == "ring":
+        g = ring(args.n)
+    elif family == "star_path":
+        g = star_path(args.n)
+    else:  # pragma: no cover - argparse enforces choices
+        raise ReproError(f"unknown family {family}")
+    if args.weights == "uniform":
+        assign_uniform_weights(g, seed=None if args.seed is None
+                               else args.seed + 1)
+    elif args.weights == "exponential":
+        assign_exponential_weights(g, seed=None if args.seed is None
+                                   else args.seed + 1)
+    write_edgelist(g, args.output)
+    print(f"wrote {g.n} nodes / {g.m} edges to {args.output}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.graphs import graph_stats, read_edgelist
+
+    st = graph_stats(read_edgelist(args.graph))
+    print(json.dumps({
+        "n": st.n, "m": st.m, "hop_diameter": st.hop_diameter,
+        "shortest_path_diameter": st.shortest_path_diameter,
+        "weighted_diameter": st.weighted_diameter,
+        "max_weight": st.max_weight,
+    }, indent=2))
+    return 0
+
+
+def _scheme_params(args) -> dict:
+    params = {}
+    if args.k is not None:
+        params["k"] = args.k
+    if args.eps is not None:
+        params["eps"] = args.eps
+    if args.sync is not None:
+        params["sync"] = args.sync
+    if args.S is not None:
+        params["S"] = args.S
+    return params
+
+
+def _cmd_build(args) -> int:
+    from repro.graphs import read_edgelist
+    from repro.oracle.api import build_sketches
+    from repro.oracle.serialization import save_sketch_set
+
+    g = read_edgelist(args.graph)
+    built = build_sketches(g, scheme=args.scheme, mode=args.mode,
+                           seed=args.seed, **_scheme_params(args))
+    save_sketch_set(built.sketches, args.output)
+    print(built.describe())
+    if built.metrics is not None:
+        print(f"cost: {built.metrics.rounds} rounds, "
+              f"{built.metrics.messages} messages, "
+              f"{built.metrics.words} words")
+    print(f"wrote {len(built.sketches)} sketches to {args.output}")
+    return 0
+
+
+def _parse_pair(text: str) -> tuple[int, int]:
+    try:
+        a, b = text.split(":")
+        return int(a), int(b)
+    except ValueError:
+        raise ReproError(f"bad pair {text!r}; expected 'u:v'") from None
+
+
+def _query_fn(sketches):
+    from repro.tz.sketch import TZSketch, estimate_distance
+
+    def query(u: int, v: int) -> float:
+        su, sv = sketches[u], sketches[v]
+        if isinstance(su, TZSketch):
+            return estimate_distance(su, sv)
+        return su.estimate_to(sv)
+
+    return query
+
+
+def _cmd_query(args) -> int:
+    from repro.graphs import apsp, read_edgelist
+    from repro.oracle.serialization import load_sketch_set
+
+    sketches = load_sketch_set(args.sketches)
+    query = _query_fn(sketches)
+    d = None
+    if args.exact:
+        d = apsp(read_edgelist(args.graph))
+    for text in args.pairs:
+        u, v = _parse_pair(text)
+        est = query(u, v)
+        if d is not None:
+            print(f"{u}:{v} estimate={est:g} exact={d[u, v]:g} "
+                  f"stretch={est / d[u, v] if d[u, v] else 1.0:.3f}")
+        else:
+            print(f"{u}:{v} estimate={est:g}")
+    return 0
+
+
+def _cmd_eval(args) -> int:
+    from repro.graphs import apsp, read_edgelist
+    from repro.oracle.evaluation import evaluate_stretch
+    from repro.oracle.serialization import load_sketch_set
+
+    g = read_edgelist(args.graph)
+    sketches = load_sketch_set(args.sketches)
+    if len(sketches) != g.n:
+        raise ReproError(f"{len(sketches)} sketches for a {g.n}-node graph")
+    rep = evaluate_stretch(apsp(g), _query_fn(sketches), eps=args.eps,
+                           max_pairs=args.max_pairs, seed=args.seed)
+    print(json.dumps({
+        "pairs": rep.pairs,
+        "max_stretch": rep.max_stretch,
+        "mean_stretch": rep.mean_stretch,
+        "p95_stretch": rep.p95_stretch,
+        "exact_fraction": rep.exact_fraction,
+        "underestimates": rep.underestimates,
+    }, indent=2))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed distance sketches (Das Sarma-Dinitz-"
+                    "Pandurangan, SPAA 2012) — build, query, evaluate.")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("gen", help="generate a workload graph")
+    g.add_argument("--family", choices=["er", "ba", "geo", "grid", "ring",
+                                        "star_path"], default="er")
+    g.add_argument("--n", type=int, required=True)
+    g.add_argument("--weights", choices=["unit", "uniform", "exponential"],
+                   default="unit")
+    g.add_argument("--seed", type=int, default=None)
+    g.add_argument("-o", "--output", required=True)
+    g.set_defaults(func=_cmd_gen)
+
+    s = sub.add_parser("stats", help="D, S, and size of a graph")
+    s.add_argument("graph")
+    s.set_defaults(func=_cmd_stats)
+
+    b = sub.add_parser("build", help="build sketches for every node")
+    b.add_argument("graph")
+    b.add_argument("--scheme", choices=["tz", "stretch3", "cdg", "graceful"],
+                   default="tz")
+    b.add_argument("--mode", choices=["centralized", "distributed"],
+                   default="centralized")
+    b.add_argument("--k", type=int, default=None)
+    b.add_argument("--eps", type=float, default=None)
+    b.add_argument("--sync", choices=["oracle", "known_smax", "echo"],
+                   default=None)
+    b.add_argument("--S", type=int, default=None)
+    b.add_argument("--seed", type=int, default=None)
+    b.add_argument("-o", "--output", required=True)
+    b.set_defaults(func=_cmd_build)
+
+    q = sub.add_parser("query", help="estimate distances from sketches")
+    q.add_argument("graph")
+    q.add_argument("sketches")
+    q.add_argument("--pairs", nargs="+", required=True, metavar="u:v")
+    q.add_argument("--exact", action="store_true",
+                   help="also compute exact distances for comparison")
+    q.set_defaults(func=_cmd_query)
+
+    e = sub.add_parser("eval", help="stretch report against exact APSP")
+    e.add_argument("graph")
+    e.add_argument("sketches")
+    e.add_argument("--eps", type=float, default=None,
+                   help="restrict to eps-far pairs (slack semantics)")
+    e.add_argument("--max-pairs", type=int, default=None)
+    e.add_argument("--seed", type=int, default=0)
+    e.set_defaults(func=_cmd_eval)
+    return p
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

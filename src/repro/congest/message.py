@@ -1,0 +1,33 @@
+"""The wire format of the simulator.
+
+A :class:`Message` is a ``(src, dst, payload)`` triple.  Payloads are plain
+tuples of ints/floats/strings (see :mod:`repro.words` for how their size in
+words is metered).  By convention the first payload element is a short
+string *kind tag* (``"bf"``, ``"echo"``, ``"complete"`` ...), which costs
+one word — the paper absorbs such tags into its O(log n) message-size
+constant.
+"""
+
+from __future__ import annotations
+
+from typing import Any, NamedTuple
+
+from repro.words import payload_words
+
+
+class Message(NamedTuple):
+    """One CONGEST message in flight."""
+
+    src: int
+    dst: int
+    payload: Any
+
+    def words(self) -> int:
+        """Size of this message in words (see :mod:`repro.words`)."""
+        return payload_words(self.payload)
+
+    def kind(self) -> Any:
+        """The conventional kind tag (first payload element), if tuple-shaped."""
+        if isinstance(self.payload, tuple) and self.payload:
+            return self.payload[0]
+        return None

@@ -1,0 +1,207 @@
+"""The synchronous round engine.
+
+:class:`Simulator` executes one :class:`~repro.congest.node.NodeProgram` per
+node of a :class:`~repro.graphs.graph.Graph`, enforcing the CONGEST rules:
+
+* one message per edge per round (checked by the context),
+* per-message word budget (checked here against ``bandwidth_words``),
+* synchronous delivery: messages sent in round ``r`` are in the inbox at
+  round ``r + 1``.
+
+The engine is the library's hot loop, so it follows the optimization
+guidance for pure-Python inner loops: it wakes only nodes that have mail or
+pending work (event-driven scheduling — semantically identical to the
+synchronous model since silent nodes cannot change state), keeps per-round
+allocations to plain dicts/lists, and meters messages with integer
+arithmetic only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from repro.congest.context import NodeContext
+from repro.congest.metrics import RunMetrics
+from repro.congest.node import NodeProgram
+from repro.congest.tracing import Tracer
+from repro.errors import ProtocolError, SimulationError
+from repro.graphs.graph import Graph
+from repro.rng import SeedLike, ensure_rng, spawn
+from repro.words import DEFAULT_BANDWIDTH_WORDS, payload_words
+
+
+@dataclass
+class SimulationResult:
+    """What a completed run hands back to the caller."""
+
+    programs: list[NodeProgram]
+    metrics: RunMetrics
+
+    def results(self) -> list[Any]:
+        """Per-node local outputs (``NodeProgram.result()`` for each node)."""
+        return [p.result() for p in self.programs]
+
+
+class Simulator:
+    """Synchronous CONGEST executor.
+
+    Parameters
+    ----------
+    graph:
+        The network.  Must be connected for the protocols in this library
+        (call ``graph.validate()`` upstream; the simulator itself does not
+        require it).
+    program_factory:
+        ``node_id -> NodeProgram`` constructor; called once per node.
+    seed:
+        Seed for the per-node private random streams.
+    bandwidth_words:
+        Per-message word budget *B* (paper Section 2.2, default
+        ``repro.words.DEFAULT_BANDWIDTH_WORDS``).
+    tracer:
+        Optional :class:`~repro.congest.tracing.Tracer` capturing every
+        delivery (for debugging small runs; large runs should leave it off).
+    """
+
+    def __init__(self, graph: Graph,
+                 program_factory: Callable[[int], NodeProgram],
+                 seed: SeedLike = None,
+                 bandwidth_words: int = DEFAULT_BANDWIDTH_WORDS,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[RunMetrics] = None):
+        self.graph = graph
+        self.bandwidth_words = int(bandwidth_words)
+        if self.bandwidth_words < 1:
+            raise ProtocolError("bandwidth_words must be >= 1")
+        rng = ensure_rng(seed)
+        node_rngs = spawn(rng, graph.n)
+        # metrics may be supplied up front so program factories can hold a
+        # reference (e.g. a designated node marking phase boundaries)
+        self.metrics = metrics if metrics is not None else RunMetrics()
+        self.programs: list[NodeProgram] = [program_factory(u) for u in graph.nodes()]
+        self.contexts: list[NodeContext] = [
+            NodeContext(u, graph.n, graph.neighbors(u), node_rngs[u])
+            for u in graph.nodes()
+        ]
+        self.tracer = tracer
+        self._clocked = [u for u in graph.nodes() if self.programs[u].needs_clock]
+
+    # ------------------------------------------------------------------
+    def _collect(self, u: int) -> list[tuple[int, int, Any]]:
+        """Drain node ``u``'s outbox, enforcing the word budget."""
+        out = self.contexts[u]._close()
+        if not out:
+            return []
+        sends = []
+        for dst, payload in out.items():
+            nwords = payload_words(payload)
+            if nwords > self.bandwidth_words:
+                raise ProtocolError(
+                    f"node {u}: message to {dst} is {nwords} words, exceeds "
+                    f"bandwidth budget of {self.bandwidth_words} words/edge/round")
+            sends.append((u, dst, payload))
+        return sends
+
+    def _quiescent(self, inflight: Sequence[tuple[int, int, Any]]) -> bool:
+        return (not inflight and not self._external_pending()
+                and not any(p.has_pending() for p in self.programs))
+
+    def _external_pending(self) -> bool:
+        """Hook for subclasses holding messages outside the in-flight list
+        (e.g. the bounded-delay simulator's link queues)."""
+        return False
+
+    def _deliveries(self, round_no: int,
+                    inflight: list[tuple[int, int, Any]]) -> list[tuple[int, int, Any]]:
+        """Hook: the messages to deliver in ``round_no`` (default: exactly
+        the previous round's sends — synchronous semantics)."""
+        return inflight
+
+    # ------------------------------------------------------------------
+    def run(self, max_rounds: int = 5_000_000) -> SimulationResult:
+        """Execute the protocol to quiescence (or ``max_rounds``).
+
+        Whenever the network goes silent, every unfinished program's
+        ``on_quiescent`` hook fires (repeatedly, until all programs report
+        ``finished()``); if the network is still silent afterwards the run
+        ends.  This implements the *oracle* synchronizer — protocols
+        carrying their own termination detection (paper Section 3.3)
+        simply never rely on the hook and terminate by going silent.
+        """
+        programs, contexts = self.programs, self.contexts
+        metrics = self.metrics
+        tracer = self.tracer
+
+        # round 0: on_start
+        inflight: list[tuple[int, int, Any]] = []
+        for u in self.graph.nodes():
+            ctx = contexts[u]
+            ctx._open(0)
+            programs[u].on_start(ctx)
+            inflight.extend(self._collect(u))
+
+        round_no = 0
+        idle_spins = 0
+        while True:
+            if self._quiescent(inflight):
+                if all(p.finished() for p in programs):
+                    break
+                # oracle synchronization point; programs may advance
+                # through several traffic-free stages back to back
+                idle_spins += 1
+                if idle_spins > 10 * self.graph.n + 1000:
+                    raise SimulationError(
+                        "programs keep requesting quiescence callbacks "
+                        "without ever finishing or sending — livelock")
+                new_sends: list[tuple[int, int, Any]] = []
+                for u in self.graph.nodes():
+                    ctx = contexts[u]
+                    ctx._open(round_no)
+                    programs[u].on_quiescent(ctx)
+                    new_sends.extend(self._collect(u))
+                inflight = new_sends
+                continue
+            idle_spins = 0
+
+            if round_no >= max_rounds:
+                raise SimulationError(
+                    f"protocol did not quiesce within {max_rounds} rounds "
+                    f"({len(inflight)} messages still in flight)")
+            round_no += 1
+
+            # deliver round_no's mail
+            inflight = self._deliveries(round_no, inflight)
+            inboxes: dict[int, dict[int, Any]] = {}
+            words = 0
+            for src, dst, payload in inflight:
+                inboxes.setdefault(dst, {})[src] = payload
+                words += payload_words(payload)
+                if tracer is not None:
+                    tracer.record(round_no, src, dst, payload)
+            metrics.record_round(len(inflight), words)
+
+            # wake nodes with mail, pending work, or a clock requirement
+            wake = set(inboxes)
+            wake.update(u for u in self.graph.nodes()
+                        if programs[u].has_pending())
+            wake.update(self._clocked)
+
+            inflight = []
+            empty: dict[int, Any] = {}
+            for u in sorted(wake):
+                ctx = contexts[u]
+                ctx._open(round_no)
+                programs[u].on_round(ctx, inboxes.get(u, empty))
+                inflight.extend(self._collect(u))
+
+        return SimulationResult(programs=programs, metrics=metrics)
+
+
+def run_protocol(graph: Graph, program_factory: Callable[[int], NodeProgram],
+                 seed: SeedLike = None, **kwargs) -> SimulationResult:
+    """One-shot convenience wrapper: build a :class:`Simulator` and run it."""
+    sim = Simulator(graph, program_factory, seed=seed,
+                    bandwidth_words=kwargs.pop("bandwidth_words", DEFAULT_BANDWIDTH_WORDS),
+                    tracer=kwargs.pop("tracer", None))
+    return sim.run(**kwargs)

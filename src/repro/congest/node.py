@@ -1,0 +1,75 @@
+"""Base class for CONGEST node programs.
+
+A protocol is implemented by subclassing :class:`NodeProgram`; the simulator
+instantiates one program per node and drives it through the callbacks below.
+
+Lifecycle
+---------
+``on_start(ctx)``
+    Called once before round 1; typical use: sources inject their first
+    message (Algorithm 1 line "Initialization" / Algorithm 2 "In the first
+    round").
+``on_round(ctx, inbox)``
+    Called each round in which the node received at least one message or
+    reported pending outgoing work (``has_pending()``), mirroring an
+    event-driven implementation.  Set the class attribute ``needs_clock =
+    True`` to be called *every* round instead (needed by protocols that
+    count rounds, e.g. fixed phase budgets under the paper's "every node
+    knows S" assumption).
+``on_quiescent(ctx)``
+    Called only by the *oracle* synchronizer when the whole network is
+    silent (no messages in flight, no pending work anywhere).  This models
+    an external phase-synchronization service; the honest in-protocol
+    alternative is the ECHO/COMPLETE machinery of paper Section 3.3
+    (``repro.algorithms.termination`` / ``repro.tz.distributed``).
+
+``inbox`` maps each neighbor to the payload received on that edge this
+round (at most one per edge, by the model).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.congest.context import NodeContext
+
+
+class NodeProgram:
+    """One node's protocol state machine (subclass to implement a protocol)."""
+
+    #: If True, ``on_round`` fires every round even with an empty inbox.
+    needs_clock: bool = False
+
+    def on_start(self, ctx: NodeContext) -> None:
+        """Round-0 initialization hook (default: no-op)."""
+
+    def on_round(self, ctx: NodeContext, inbox: dict[int, Any]) -> None:
+        """Process this round's inbox and queue sends (default: no-op)."""
+
+    def on_quiescent(self, ctx: NodeContext) -> None:
+        """Oracle-synchronizer hook at global quiescence (default: no-op)."""
+
+    def has_pending(self) -> bool:
+        """True if this node has queued outgoing work not yet sent.
+
+        The simulator uses this for quiescence detection: the network is
+        quiescent when nothing is in flight and no program has pending
+        work.  Programs with internal send queues (round-robin multi-source
+        Bellman-Ford) must override this.
+        """
+        return False
+
+    def finished(self) -> bool:
+        """False while this program still wants ``on_quiescent`` callbacks.
+
+        At global quiescence the simulator keeps invoking ``on_quiescent``
+        until every program reports finished — this lets phase-structured
+        protocols advance through phases that happen to produce no traffic
+        (e.g. a Thorup-Zwick level with no sources).  Programs that never
+        use the oracle synchronizer can leave the default (True).
+        """
+        return True
+
+    def result(self) -> Any:
+        """The node's local output after the run (protocol-specific)."""
+        return None

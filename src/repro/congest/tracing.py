@@ -1,0 +1,55 @@
+"""Optional event tracing for debugging protocol runs.
+
+A :class:`Tracer` records every delivered message as a
+:class:`TraceEvent`.  Tracing is off by default (the simulator takes a
+``tracer=None`` fast path) because recording events dominates runtime on
+large runs; tests attach a tracer to small runs to assert fine-grained
+protocol behaviour (e.g. that ECHO messages travel opposite to the data
+message they acknowledge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One delivered message."""
+
+    round: int
+    src: int
+    dst: int
+    payload: Any
+
+    def kind(self) -> Any:
+        if isinstance(self.payload, tuple) and self.payload:
+            return self.payload[0]
+        return None
+
+
+@dataclass
+class Tracer:
+    """Accumulates :class:`TraceEvent` objects during a simulation.
+
+    ``predicate`` (if given) filters events at record time to bound memory.
+    """
+
+    predicate: Optional[Callable[[TraceEvent], bool]] = None
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, round_no: int, src: int, dst: int, payload: Any) -> None:
+        ev = TraceEvent(round_no, src, dst, payload)
+        if self.predicate is None or self.predicate(ev):
+            self.events.append(ev)
+
+    # convenience selectors -------------------------------------------------
+    def of_kind(self, kind: Any) -> Iterator[TraceEvent]:
+        return (ev for ev in self.events if ev.kind() == kind)
+
+    def between(self, src: int, dst: int) -> Iterator[TraceEvent]:
+        return (ev for ev in self.events if ev.src == src and ev.dst == dst)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,58 @@
+"""Lexicographic ``(distance, node-id)`` keys — the tie-breaking rule.
+
+Paper Section 3.1 assumes "all distances are distinct; this can be made
+without loss of generality by breaking ties consistently through processor
+IDs".  We implement that assumption explicitly: whenever the construction
+compares ``d(u, w)`` against the threshold ``d(u, A_{i+1})`` (bunch
+membership, cluster membership, pivot selection), both sides are compared as
+``(distance, id)`` tuples.
+
+Making the rule a first-class module matters because the *distributed*
+construction (``repro.tz.distributed``) and the *centralized* reference
+(``repro.tz.centralized``) must agree exactly for differential testing; any
+implicit tie handling would make them drift on graphs with repeated
+distances (unit-weight graphs are full of them).
+
+``INF_KEY`` plays the role of ``d(u, A_k) = infinity`` from the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple
+
+
+class DistKey(NamedTuple):
+    """A distance tagged with the node it refers to, ordered lexicographically.
+
+    ``DistKey(d, v) < DistKey(d', v')`` iff ``d < d'`` or
+    (``d == d'`` and ``v < v'``).  This is the total order the paper's
+    "distinct distances" assumption induces.
+    """
+
+    dist: float
+    node: int
+
+    def is_inf(self) -> bool:
+        """True for the sentinel "no node at any distance" key."""
+        return math.isinf(self.dist)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_inf():
+            return "DistKey(inf)"
+        return f"DistKey({self.dist:g}, v={self.node})"
+
+
+#: Sentinel for ``d(u, A_k) = infinity`` (paper Section 3.1).  The node
+#: component is -1, which never collides with a real node ID; the infinite
+#: distance alone already dominates every finite key.
+INF_KEY = DistKey(math.inf, -1)
+
+
+def min_key(keys) -> DistKey:
+    """Minimum of an iterable of keys, or :data:`INF_KEY` when empty."""
+    best = INF_KEY
+    for k in keys:
+        if k < best:
+            best = k
+    return best

@@ -1,0 +1,68 @@
+"""Weighted-graph substrate (system S1).
+
+The paper models the network as a weighted, undirected, connected n-node
+graph with nonnegative, polynomially bounded edge weights (Section 2.2).
+This subpackage provides the graph type, generators for every topology
+family used by the experiment suite, exact all-pairs shortest paths, and
+the two diameter notions the paper's bounds are stated in: the hop
+diameter ``D`` and the shortest-path diameter ``S``.
+"""
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators import (
+    erdos_renyi,
+    barabasi_albert,
+    grid2d,
+    ring,
+    random_geometric,
+    caterpillar,
+    star_path,
+    complete_graph,
+    path_graph,
+    tree_graph,
+    from_networkx,
+)
+from repro.graphs.weights import (
+    assign_unit_weights,
+    assign_uniform_weights,
+    assign_exponential_weights,
+    assign_integer_weights,
+)
+from repro.graphs.metrics import (
+    apsp,
+    apsp_hops,
+    hop_diameter,
+    shortest_path_diameter,
+    weighted_diameter,
+    GraphStats,
+    graph_stats,
+)
+from repro.graphs.io import write_edgelist, read_edgelist
+
+__all__ = [
+    "Graph",
+    "erdos_renyi",
+    "barabasi_albert",
+    "grid2d",
+    "ring",
+    "random_geometric",
+    "caterpillar",
+    "star_path",
+    "complete_graph",
+    "path_graph",
+    "tree_graph",
+    "from_networkx",
+    "assign_unit_weights",
+    "assign_uniform_weights",
+    "assign_exponential_weights",
+    "assign_integer_weights",
+    "apsp",
+    "apsp_hops",
+    "hop_diameter",
+    "shortest_path_diameter",
+    "weighted_diameter",
+    "GraphStats",
+    "graph_stats",
+    "write_edgelist",
+    "read_edgelist",
+]

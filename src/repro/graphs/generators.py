@@ -1,0 +1,249 @@
+"""Topology generators for the experiment suite.
+
+Each generator returns a connected :class:`~repro.graphs.graph.Graph` on
+nodes ``0..n-1``.  Randomized generators accept a ``seed`` (int or numpy
+``Generator``); topologies that networkx can build are delegated to
+networkx and then relabeled/connected-checked, matching the paper's model
+requirements.
+
+The experiment suite (DESIGN.md Section 4) uses:
+
+* ``erdos_renyi`` — the unstructured baseline; low hop diameter.
+* ``barabasi_albert`` — power-law / P2P-overlay-like topologies
+  (the paper's motivating application, Section 2.1).
+* ``grid2d`` and ``ring`` — high-diameter structured networks where the
+  ``S``-dependence of the round bounds is visible.
+* ``random_geometric`` — the "network coordinate" setting (Vivaldi/Meridian
+  comparison point in Section 1): distances correlate with geometry.
+* ``caterpillar`` / ``star_path`` — pathological instances where the
+  shortest-path diameter ``S`` vastly exceeds the hop diameter ``D``,
+  exercising the paper's D-vs-S discussion (Section 2.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.rng import SeedLike, ensure_rng
+
+
+def _connect_components(g: Graph, rng: np.random.Generator, weight: float = 1.0) -> None:
+    """Add minimal random edges to make ``g`` connected (used by random
+    generators so that every returned graph satisfies the paper's model)."""
+    # union-find over current edges
+    parent = list(range(g.n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    for u, v, _ in g.edges():
+        union(u, v)
+    roots: dict[int, list[int]] = {}
+    for u in g.nodes():
+        roots.setdefault(find(u), []).append(u)
+    comps = list(roots.values())
+    for a, b in zip(comps, comps[1:]):
+        u = int(rng.choice(a))
+        v = int(rng.choice(b))
+        g.add_edge(u, v, weight)
+        union(u, v)
+
+
+def erdos_renyi(n: int, p: Optional[float] = None, seed: SeedLike = None) -> Graph:
+    """G(n, p) with a connectivity repair pass.
+
+    ``p`` defaults to ``2 ln n / n`` (safely above the connectivity
+    threshold).  Unit weights; use :mod:`repro.graphs.weights` to reweight.
+    """
+    rng = ensure_rng(seed)
+    if p is None:
+        p = min(1.0, 2.0 * math.log(max(n, 2)) / max(n, 1))
+    if not (0.0 <= p <= 1.0):
+        raise GraphError(f"p must be in [0,1], got {p}")
+    g = Graph(n)
+    if n > 1 and p > 0:
+        # vectorized upper-triangle coin flips
+        iu, ju = np.triu_indices(n, k=1)
+        mask = rng.random(iu.shape[0]) < p
+        for u, v in zip(iu[mask], ju[mask]):
+            g.add_edge(int(u), int(v), 1.0)
+    _connect_components(g, rng)
+    return g
+
+
+def barabasi_albert(n: int, m_attach: int = 2, seed: SeedLike = None) -> Graph:
+    """Preferential-attachment graph (power-law degrees, P2P-like)."""
+    rng = ensure_rng(seed)
+    if n < 2:
+        return Graph(n)
+    m_attach = max(1, min(m_attach, n - 1))
+    g = Graph(n)
+    # start from a small clique of m_attach+1 nodes
+    core = m_attach + 1
+    for u, v in itertools.combinations(range(min(core, n)), 2):
+        g.add_edge(u, v, 1.0)
+    # repeated-endpoint list approximates preferential attachment
+    targets: list[int] = []
+    for u, v, _ in g.edges():
+        targets.extend((u, v))
+    for u in range(core, n):
+        chosen: set[int] = set()
+        while len(chosen) < m_attach:
+            if targets and rng.random() < 0.9:
+                cand = int(targets[int(rng.integers(0, len(targets)))])
+            else:
+                cand = int(rng.integers(0, u))
+            if cand != u:
+                chosen.add(cand)
+        for v in chosen:
+            g.add_edge(u, v, 1.0)
+            targets.extend((u, v))
+    _connect_components(g, rng)
+    return g
+
+
+def grid2d(rows: int, cols: int) -> Graph:
+    """``rows x cols`` grid; node ``(r, c)`` has ID ``r*cols + c``."""
+    if rows < 1 or cols < 1:
+        raise GraphError("grid dimensions must be positive")
+    g = Graph(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            u = r * cols + c
+            if c + 1 < cols:
+                g.add_edge(u, u + 1, 1.0)
+            if r + 1 < rows:
+                g.add_edge(u, u + cols, 1.0)
+    return g
+
+
+def ring(n: int) -> Graph:
+    """Cycle on ``n`` nodes (``n >= 3``)."""
+    if n < 3:
+        raise GraphError("ring needs n >= 3")
+    g = Graph(n)
+    for u in range(n):
+        g.add_edge(u, (u + 1) % n, 1.0)
+    return g
+
+
+def path_graph(n: int) -> Graph:
+    """Simple path ``0 - 1 - ... - n-1``."""
+    g = Graph(n)
+    for u in range(n - 1):
+        g.add_edge(u, u + 1, 1.0)
+    return g
+
+
+def complete_graph(n: int) -> Graph:
+    """K_n with unit weights."""
+    g = Graph(n)
+    for u, v in itertools.combinations(range(n), 2):
+        g.add_edge(u, v, 1.0)
+    return g
+
+
+def tree_graph(n: int, branching: int = 2) -> Graph:
+    """Complete ``branching``-ary tree on ``n`` nodes (BFS numbering)."""
+    if branching < 1:
+        raise GraphError("branching must be >= 1")
+    g = Graph(n)
+    for u in range(1, n):
+        g.add_edge(u, (u - 1) // branching, 1.0)
+    return g
+
+
+def random_geometric(n: int, radius: Optional[float] = None, seed: SeedLike = None) -> Graph:
+    """Random geometric graph in the unit square; weights = Euclidean length.
+
+    Edge weights are the Euclidean distances (scaled by 1000 and rounded up
+    to keep them positive), so shortest-path distance approximates geometric
+    distance — the setting network coordinate systems target.
+    """
+    rng = ensure_rng(seed)
+    if radius is None:
+        radius = math.sqrt(3.0 * math.log(max(n, 2)) / (math.pi * max(n, 1)))
+    pts = rng.random((n, 2))
+    g = Graph(n)
+    # vectorized pairwise distances (n is experiment-scale, <= a few thousand)
+    diff = pts[:, None, :] - pts[None, :, :]
+    dist = np.sqrt((diff * diff).sum(axis=2))
+    iu, ju = np.triu_indices(n, k=1)
+    close = dist[iu, ju] <= radius
+    for u, v in zip(iu[close], ju[close]):
+        w = max(1.0, math.ceil(1000.0 * dist[u, v]))
+        g.add_edge(int(u), int(v), w)
+    _connect_components(g, rng, weight=max(1.0, math.ceil(1000.0 * radius)))
+    return g
+
+
+def caterpillar(spine: int, legs_per_node: int = 1, leg_weight: float = 1.0,
+                spine_weight: float = 1.0) -> Graph:
+    """Caterpillar: a path ("spine") with pendant leaves ("legs").
+
+    Spine nodes are ``0..spine-1``; the legs follow.  With heavy spine
+    weights and light legs this family separates hop diameter from
+    shortest-path diameter.
+    """
+    if spine < 1:
+        raise GraphError("spine must have >= 1 node")
+    n = spine + spine * legs_per_node
+    g = Graph(n)
+    for u in range(spine - 1):
+        g.add_edge(u, u + 1, spine_weight)
+    nxt = spine
+    for u in range(spine):
+        for _ in range(legs_per_node):
+            g.add_edge(u, nxt, leg_weight)
+            nxt += 1
+    return g
+
+
+def star_path(n_path: int, heavy_weight: Optional[float] = None) -> Graph:
+    """Path of ``n_path`` light edges plus a hub shortcut of heavy edges.
+
+    Node ``n_path`` is a hub adjacent to every path node with weight
+    ``heavy_weight`` (default: ``n_path``, i.e. the shortcut never helps a
+    shortest path).  The result has hop diameter 2 but shortest-path
+    diameter ``n_path`` — the paper's motivating gap between ``D`` and
+    ``S`` (Section 2.1): online queries via sketches cost ~``D`` rounds
+    while any fresh distance computation costs ``Ω(S)``.
+    """
+    if n_path < 2:
+        raise GraphError("star_path needs n_path >= 2")
+    hub = n_path
+    g = Graph(n_path + 1)
+    for u in range(n_path - 1):
+        g.add_edge(u, u + 1, 1.0)
+    hw = float(n_path) if heavy_weight is None else heavy_weight
+    for u in range(n_path):
+        g.add_edge(u, hub, hw)
+    return g
+
+
+def from_networkx(nxg) -> Graph:
+    """Convert a networkx graph (any hashable labels) to a :class:`Graph`.
+
+    Labels are mapped to ``0..n-1`` in sorted-by-string order; missing
+    ``weight`` attributes default to 1.0.
+    """
+    nodes = sorted(nxg.nodes(), key=str)
+    index = {v: i for i, v in enumerate(nodes)}
+    g = Graph(len(nodes))
+    for u, v, data in nxg.edges(data=True):
+        g.add_edge(index[u], index[v], float(data.get("weight", 1.0)))
+    return g

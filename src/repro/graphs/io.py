@@ -1,0 +1,41 @@
+"""Minimal edge-list serialization.
+
+Format: a header line ``# nodes <n>`` followed by one ``u v w`` line per
+edge.  Used by the examples to persist generated workloads so experiment
+runs can be replayed byte-identically.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def write_edgelist(g: Graph, path: PathLike) -> None:
+    """Write ``g`` to ``path`` in the edge-list format."""
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write(f"# nodes {g.n}\n")
+        for u, v, w in g.edges():
+            fh.write(f"{u} {v} {w:.12g}\n")
+
+
+def read_edgelist(path: PathLike) -> Graph:
+    """Read a graph previously written by :func:`write_edgelist`."""
+    with open(path, "r", encoding="ascii") as fh:
+        header = fh.readline().split()
+        if len(header) != 3 or header[0] != "#" or header[1] != "nodes":
+            raise GraphError(f"{path}: malformed header {' '.join(header)!r}")
+        g = Graph(int(header[2]))
+        for lineno, line in enumerate(fh, start=2):
+            parts = line.split()
+            if not parts:
+                continue
+            if len(parts) != 3:
+                raise GraphError(f"{path}:{lineno}: expected 'u v w'")
+            g.add_edge(int(parts[0]), int(parts[1]), float(parts[2]))
+    return g

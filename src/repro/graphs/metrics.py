@@ -1,0 +1,133 @@
+"""Exact distance computations and the two diameter notions.
+
+``apsp`` is the ground truth every stretch measurement compares against; it
+is vectorized through :func:`scipy.sparse.csgraph.dijkstra` (the hot path of
+the evaluation pipeline, per the profiling-first guidance).
+
+``shortest_path_diameter`` computes the paper's ``S`` (Section 2.2): the
+maximum over all pairs ``u, v`` of the *minimum hop count* among all
+shortest (by weight) ``u``-``v`` paths.  ``S`` lower-bounds any distance
+computation and appears in every round bound of the paper, so experiments
+report it alongside measured rounds.  It is computed with a per-source
+Dijkstra over lexicographic ``(distance, hops)`` keys.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+
+def apsp(g: Graph) -> np.ndarray:
+    """All-pairs shortest-path distance matrix (``float64``, shape (n, n)).
+
+    Entries are ``inf`` for disconnected pairs (validated graphs are
+    connected, but the function itself does not require it).
+    """
+    if g.n == 1:
+        return np.zeros((1, 1))
+    return _csgraph_dijkstra(g.to_csr(), directed=False)
+
+
+def apsp_hops(g: Graph) -> np.ndarray:
+    """All-pairs *hop* distance matrix (treat every weight as 1)."""
+    if g.n == 1:
+        return np.zeros((1, 1))
+    csr = g.to_csr().copy()
+    csr.data[:] = 1.0
+    return _csgraph_dijkstra(csr, directed=False)
+
+
+def hop_diameter(g: Graph) -> int:
+    """The paper's ``D``: max over pairs of the minimum number of hops."""
+    h = apsp_hops(g)
+    if not np.all(np.isfinite(h)):
+        raise GraphError("hop diameter undefined: graph is disconnected")
+    return int(h.max())
+
+
+def weighted_diameter(g: Graph) -> float:
+    """Max over pairs of the weighted distance."""
+    d = apsp(g)
+    if not np.all(np.isfinite(d)):
+        raise GraphError("diameter undefined: graph is disconnected")
+    return float(d.max())
+
+
+def single_source_hops_on_shortest_paths(g: Graph, source: int) -> tuple[np.ndarray, np.ndarray]:
+    """Dijkstra from ``source`` with lexicographic ``(dist, hops)`` keys.
+
+    Returns ``(dist, hops)`` arrays where ``hops[v]`` is the minimum hop
+    count among all minimum-weight ``source``-``v`` paths — exactly the
+    quantity ``h(source, v)`` from the paper's definition of ``S``.
+    """
+    n = g.n
+    dist = np.full(n, np.inf)
+    hops = np.full(n, np.inf)
+    dist[source] = 0.0
+    hops[source] = 0.0
+    pq: list[tuple[float, float, int]] = [(0.0, 0.0, source)]
+    while pq:
+        d, h, u = heapq.heappop(pq)
+        if (d, h) > (dist[u], hops[u]):
+            continue
+        for v, w in g.neighbors(u).items():
+            nd, nh = d + w, h + 1.0
+            if nd < dist[v] or (nd == dist[v] and nh < hops[v]):
+                dist[v] = nd
+                hops[v] = nh
+                heapq.heappush(pq, (nd, nh, v))
+    return dist, hops
+
+
+def shortest_path_diameter(g: Graph) -> int:
+    """The paper's ``S = max_{u,v} h(u, v)`` (Section 2.2).
+
+    ``D <= S`` always; with unit weights ``S == D``.
+    """
+    best = 0.0
+    for s in g.nodes():
+        _, hops = single_source_hops_on_shortest_paths(g, s)
+        if not np.all(np.isfinite(hops)):
+            raise GraphError("S undefined: graph is disconnected")
+        best = max(best, float(hops.max()))
+    return int(best)
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics reported by every experiment table row."""
+
+    n: int
+    m: int
+    hop_diameter: int
+    shortest_path_diameter: int
+    weighted_diameter: float
+    max_weight: float
+
+    def as_row(self) -> dict:
+        return {
+            "n": self.n,
+            "m": self.m,
+            "D": self.hop_diameter,
+            "S": self.shortest_path_diameter,
+            "wdiam": self.weighted_diameter,
+        }
+
+
+def graph_stats(g: Graph) -> GraphStats:
+    """Compute the full :class:`GraphStats` bundle for ``g``."""
+    return GraphStats(
+        n=g.n,
+        m=g.m,
+        hop_diameter=hop_diameter(g),
+        shortest_path_diameter=shortest_path_diameter(g),
+        weighted_diameter=weighted_diameter(g),
+        max_weight=g.max_weight(),
+    )

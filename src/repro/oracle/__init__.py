@@ -1,0 +1,33 @@
+"""High-level build/query/evaluate API (systems S16–S17).
+
+:func:`repro.oracle.api.build_sketches` is the single entry point a
+downstream user needs: pick a scheme (``"tz"``, ``"stretch3"``, ``"cdg"``,
+``"graceful"``), a mode (``"centralized"`` or ``"distributed"``), and get a
+:class:`~repro.oracle.api.BuiltSketches` that answers pairwise queries and
+reports sizes and construction cost.
+"""
+
+from repro.oracle.api import build_sketches, BuiltSketches
+from repro.oracle.schemes import SCHEMES, SchemeSpec
+from repro.oracle.evaluation import (
+    StretchReport,
+    evaluate_stretch,
+    eps_far_mask,
+    average_stretch,
+    slack_coverage,
+)
+from repro.oracle.online import online_query_cost, simulate_online_exchange
+
+__all__ = [
+    "build_sketches",
+    "BuiltSketches",
+    "SCHEMES",
+    "SchemeSpec",
+    "StretchReport",
+    "evaluate_stretch",
+    "eps_far_mask",
+    "average_stretch",
+    "slack_coverage",
+    "online_query_cost",
+    "simulate_online_exchange",
+]

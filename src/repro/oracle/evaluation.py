@@ -1,0 +1,147 @@
+"""Stretch evaluation against exact distances.
+
+This is the measurement core of the experiment suite: it compares sketch
+estimates against the APSP ground truth over all pairs (or a sampled
+subset), understands ε-slack (restricting a bound to ε-far pairs, paper
+Section 4), and computes the average stretch of Lemma 4.7.
+
+Definitions (paper):
+
+* ``v`` is **ε-far** from ``u`` if at least ``εn`` vertices ``w`` satisfy
+  ``d(u, w) < d(u, v)``.  Note the relation is *not* symmetric; a pair
+  ``(u, v)`` is slack-covered when ``v`` is ε-far from ``u`` **or** ``u``
+  is ε-far from ``v`` (either direction licenses the routing argument).
+* **average stretch** = mean over unordered pairs of
+  ``d'(u, v) / d(u, v)``.
+
+The all-pairs loops are NumPy-vectorized where they dominate (rank
+computation, ratio statistics); the per-pair query itself is a few dict
+lookups (Lemma 3.2's O(k)).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.rng import SeedLike, ensure_rng
+
+
+def eps_far_mask(dist_matrix: np.ndarray, eps: float) -> np.ndarray:
+    """Boolean matrix ``M[u, v]`` = "``v`` is ε-far from ``u``".
+
+    ``rank[u, v]`` counts vertices strictly closer to ``u`` than ``v``
+    (``u`` itself always counts for ``v != u`` since ``d(u,u) = 0``).
+    """
+    n = dist_matrix.shape[0]
+    need = eps * n
+    mask = np.zeros((n, n), dtype=bool)
+    for u in range(n):
+        row = dist_matrix[u]
+        order = np.sort(row)
+        ranks = np.searchsorted(order, row, side="left")
+        mask[u] = ranks >= need
+    np.fill_diagonal(mask, False)
+    return mask
+
+
+@dataclass(frozen=True)
+class StretchReport:
+    """Stretch statistics over a set of evaluated pairs."""
+
+    pairs: int
+    max_stretch: float
+    mean_stretch: float
+    median_stretch: float
+    p95_stretch: float
+    underestimates: int  # must be 0 for any correct sketch
+    exact_fraction: float  # fraction of pairs answered exactly
+
+    def as_row(self) -> dict:
+        return {
+            "pairs": self.pairs,
+            "max": round(self.max_stretch, 3),
+            "mean": round(self.mean_stretch, 3),
+            "p95": round(self.p95_stretch, 3),
+            "exact%": round(100 * self.exact_fraction, 1),
+        }
+
+
+def _pairs_iter(n: int, max_pairs: Optional[int], rng) -> np.ndarray:
+    """All unordered pairs, or a uniform sample of them as an (m, 2) array."""
+    iu, ju = np.triu_indices(n, k=1)
+    total = iu.shape[0]
+    if max_pairs is not None and total > max_pairs:
+        sel = rng.choice(total, size=max_pairs, replace=False)
+        iu, ju = iu[sel], ju[sel]
+    return np.stack([iu, ju], axis=1)
+
+
+def evaluate_stretch(dist_matrix: np.ndarray,
+                     query: Callable[[int, int], float],
+                     eps: Optional[float] = None,
+                     max_pairs: Optional[int] = None,
+                     seed: SeedLike = None,
+                     rel_tol: float = 1e-9) -> StretchReport:
+    """Measure the stretch of ``query`` against exact distances.
+
+    With ``eps`` set, only pairs where at least one endpoint is ε-far from
+    the other are scored (the pairs the slack guarantee covers).
+    """
+    n = dist_matrix.shape[0]
+    if n < 2:
+        raise ConfigError("need at least two nodes to evaluate stretch")
+    rng = ensure_rng(seed)
+    pairs = _pairs_iter(n, max_pairs, rng)
+    far = eps_far_mask(dist_matrix, eps) if eps is not None else None
+
+    ratios = []
+    under = 0
+    exact = 0
+    for u, v in pairs:
+        u, v = int(u), int(v)
+        if far is not None and not (far[u, v] or far[v, u]):
+            continue
+        d = float(dist_matrix[u, v])
+        est = query(u, v)
+        if est < d * (1.0 - rel_tol):
+            under += 1
+        if est <= d * (1.0 + rel_tol):
+            exact += 1
+        ratios.append(est / d if d > 0 else 1.0)
+    if not ratios:
+        raise ConfigError("no pairs matched the slack filter")
+    arr = np.asarray(ratios)
+    return StretchReport(
+        pairs=arr.size,
+        max_stretch=float(arr.max()),
+        mean_stretch=float(arr.mean()),
+        median_stretch=float(np.median(arr)),
+        p95_stretch=float(np.percentile(arr, 95)),
+        underestimates=under,
+        exact_fraction=exact / arr.size,
+    )
+
+
+def average_stretch(dist_matrix: np.ndarray,
+                    query: Callable[[int, int], float],
+                    max_pairs: Optional[int] = None,
+                    seed: SeedLike = None) -> float:
+    """Lemma 4.7's average stretch: mean of ``d'(u,v)/d(u,v)`` over pairs."""
+    report = evaluate_stretch(dist_matrix, query, eps=None,
+                              max_pairs=max_pairs, seed=seed)
+    return report.mean_stretch
+
+
+def slack_coverage(dist_matrix: np.ndarray, eps: float) -> float:
+    """Fraction of unordered pairs the ε-slack guarantee covers — the
+    ``1 - ε`` of the paper's informal statement (measured exactly)."""
+    far = eps_far_mask(dist_matrix, eps)
+    cover = far | far.T
+    n = dist_matrix.shape[0]
+    iu, ju = np.triu_indices(n, k=1)
+    return float(cover[iu, ju].mean())

@@ -1,0 +1,89 @@
+"""Scheme registry: one :class:`SchemeSpec` per sketch family.
+
+Each spec records the paper result it implements, the theoretical
+worst-case stretch as a function of the build parameters, and the slack
+semantics (whether the stretch bound holds for all pairs or only ε-far
+pairs) — the evaluation layer uses these to know which pairs a bound
+applies to.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """Metadata for one sketch scheme."""
+
+    name: str
+    paper_result: str
+    #: worst-case stretch bound as a function of the build params dict;
+    #: applies to all pairs (slack=None) or only eps-far pairs
+    stretch_bound: Callable[[dict], float]
+    #: returns the eps for which the bound holds, or None for all-pairs
+    slack_of: Callable[[dict], Optional[float]]
+
+    def describe(self, params: dict) -> str:
+        slack = self.slack_of(params)
+        bound = self.stretch_bound(params)
+        tail = f" with {slack}-slack" if slack is not None else ""
+        return f"{self.name}: stretch <= {bound:g}{tail} ({self.paper_result})"
+
+
+def _tz_stretch(p: dict) -> float:
+    return 2 * p["k"] - 1
+
+
+def _stretch3_stretch(p: dict) -> float:
+    return 3.0
+
+
+def _cdg_stretch(p: dict) -> float:
+    return 8 * p["k"] - 1
+
+
+def _graceful_stretch(p: dict) -> float:
+    # worst case: the eps < 1/n component, stretch 8*ceil(log2 n) - 1
+    n = p["n"]
+    return 8 * max(1, math.ceil(math.log2(max(n, 2)))) - 1
+
+
+SCHEMES: dict[str, SchemeSpec] = {
+    "tz": SchemeSpec(
+        name="tz",
+        paper_result="Theorem 1.1/3.8 (distributed Thorup-Zwick)",
+        stretch_bound=_tz_stretch,
+        slack_of=lambda p: None,
+    ),
+    "stretch3": SchemeSpec(
+        name="stretch3",
+        paper_result="Theorem 4.3 (density-net table)",
+        stretch_bound=_stretch3_stretch,
+        slack_of=lambda p: p["eps"],
+    ),
+    "cdg": SchemeSpec(
+        name="cdg",
+        paper_result="Theorem 4.6 ((eps,k)-CDG)",
+        stretch_bound=_cdg_stretch,
+        slack_of=lambda p: p["eps"],
+    ),
+    "graceful": SchemeSpec(
+        name="graceful",
+        paper_result="Theorem 4.8 / Corollary 4.9 (gracefully degrading)",
+        stretch_bound=_graceful_stretch,
+        slack_of=lambda p: None,  # all pairs, at the O(log n) worst case
+    ),
+}
+
+
+def get_scheme(name: str) -> SchemeSpec:
+    try:
+        return SCHEMES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scheme {name!r}; available: {sorted(SCHEMES)}") from None

@@ -1,0 +1,114 @@
+"""Sketch serialization: ship labels between processes or to disk.
+
+A distance sketch is only useful if it can leave the node that built it
+(the online query of Section 2.1 literally transmits one).  This module
+provides a stable, JSON-compatible wire format for every sketch type in
+the library, with word-size-faithful content (IDs, distances, levels —
+nothing else), plus round-trip helpers for whole sketch sets.
+
+Format: ``{"type": ..., "v": 1, ...payload...}``.  Decoding validates the
+type tag and version so mixed-version archives fail loudly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Union
+
+from repro.errors import QueryError
+from repro.slack.cdg import CDGSketch
+from repro.slack.graceful import GracefulSketch
+from repro.slack.stretch3 import Stretch3Sketch
+from repro.tz.sketch import TZSketch
+
+VERSION = 1
+
+AnySketch = Union[TZSketch, Stretch3Sketch, CDGSketch, GracefulSketch]
+
+
+def sketch_to_dict(sketch: AnySketch) -> dict:
+    """Encode any library sketch as a JSON-compatible dict."""
+    if isinstance(sketch, TZSketch):
+        return {
+            "type": "tz", "v": VERSION, "node": sketch.node, "k": sketch.k,
+            "pivots": [[p, d] for p, d in sketch.pivots],
+            "bunch": [[v, d, lvl] for v, (d, lvl) in sketch.bunch.items()],
+        }
+    if isinstance(sketch, Stretch3Sketch):
+        return {
+            "type": "stretch3", "v": VERSION, "node": sketch.node,
+            "eps": sketch.eps,
+            "entries": [[w, d] for w, d in sketch.entries.items()],
+        }
+    if isinstance(sketch, CDGSketch):
+        return {
+            "type": "cdg", "v": VERSION, "node": sketch.node,
+            "eps": sketch.eps, "k": sketch.k,
+            "gateway": sketch.gateway, "gateway_dist": sketch.gateway_dist,
+            "label": sketch_to_dict(sketch.label),
+        }
+    if isinstance(sketch, GracefulSketch):
+        return {
+            "type": "graceful", "v": VERSION, "node": sketch.node,
+            "components": [sketch_to_dict(c) for c in sketch.components],
+        }
+    raise QueryError(f"cannot serialize {type(sketch).__name__}")
+
+
+def sketch_from_dict(data: dict) -> AnySketch:
+    """Decode a dict produced by :func:`sketch_to_dict`."""
+    if not isinstance(data, dict) or "type" not in data:
+        raise QueryError("not a serialized sketch")
+    if data.get("v") != VERSION:
+        raise QueryError(f"unsupported sketch format version {data.get('v')}")
+    t = data["type"]
+    if t == "tz":
+        return TZSketch(
+            node=data["node"], k=data["k"],
+            pivots=tuple((int(p), float(d)) for p, d in data["pivots"]),
+            bunch={int(v): (float(d), int(lvl))
+                   for v, d, lvl in data["bunch"]})
+    if t == "stretch3":
+        return Stretch3Sketch(
+            node=data["node"], eps=data["eps"],
+            entries={int(w): float(d) for w, d in data["entries"]})
+    if t == "cdg":
+        return CDGSketch(
+            node=data["node"], eps=data["eps"], k=data["k"],
+            gateway=data["gateway"], gateway_dist=data["gateway_dist"],
+            label=sketch_from_dict(data["label"]))
+    if t == "graceful":
+        return GracefulSketch(
+            node=data["node"],
+            components=tuple(sketch_from_dict(c)
+                             for c in data["components"]))
+    raise QueryError(f"unknown sketch type tag {t!r}")
+
+
+def dumps(sketch: AnySketch) -> str:
+    """Sketch -> JSON string."""
+    return json.dumps(sketch_to_dict(sketch), separators=(",", ":"))
+
+
+def loads(text: str) -> AnySketch:
+    """JSON string -> sketch."""
+    return sketch_from_dict(json.loads(text))
+
+
+def save_sketch_set(sketches: list[AnySketch], path) -> None:
+    """Persist a whole per-node sketch set as JSON lines."""
+    with open(path, "w", encoding="ascii") as fh:
+        for s in sketches:
+            fh.write(dumps(s))
+            fh.write("\n")
+
+
+def load_sketch_set(path) -> list[AnySketch]:
+    """Load a sketch set written by :func:`save_sketch_set`."""
+    out = []
+    with open(path, "r", encoding="ascii") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(loads(line))
+    return out

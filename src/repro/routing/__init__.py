@@ -1,0 +1,41 @@
+"""Compact routing from Thorup–Zwick sketches (application extension).
+
+The paper motivates distance sketches with networking applications —
+"search, topology discovery, overlay creation, and basic node to node
+communication" (Section 1) — and the canonical *communication* application
+of the Thorup–Zwick machinery is the compact routing scheme of [TZ05,
+Section 4 / TZ SPAA'01]: every node keeps a routing table of roughly
+sketch size, every node has a short *address*, and a packet carrying only
+a target address is forwarded along a path of length at most ``O(k)``
+times the true distance.
+
+This subpackage builds that scheme from the same pivots/clusters the
+sketch construction produces:
+
+* :mod:`repro.routing.tables` — routing tables (bunch next-hops + DFS
+  interval labels of every cluster tree) and addresses,
+* :mod:`repro.routing.forwarding` — hop-by-hop packet forwarding and
+  route evaluation.
+
+Guarantee implemented here (proved in :mod:`repro.routing.forwarding`):
+routes are loop-free, follow real edges, and have weighted stretch at most
+``4k - 3``.
+"""
+
+from repro.routing.tables import (
+    Address,
+    NodeRoutingTable,
+    RoutingScheme,
+    build_routing_scheme,
+)
+from repro.routing.forwarding import RouteResult, route_packet, evaluate_routing
+
+__all__ = [
+    "Address",
+    "NodeRoutingTable",
+    "RoutingScheme",
+    "build_routing_scheme",
+    "RouteResult",
+    "route_packet",
+    "evaluate_routing",
+]

@@ -1,0 +1,129 @@
+"""Packet forwarding over a :class:`~repro.routing.tables.RoutingScheme`.
+
+Routing decision at the source ``u`` for target address ``addr(v)``:
+pick the smallest level ``i`` with ``p_i(v) ∈ B(u)`` (level ``k-1``
+always qualifies: ``A_{k-1} ⊆ B(x)`` for every ``x``).  The packet header
+then carries ``(v, w = p_i(v), v's interval in T_w)`` — O(1) words — and
+forwarding proceeds in two phases:
+
+* **ascend**: hop toward ``w`` using each node's parent pointer in
+  ``T_w`` (valid hop-by-hop: the intermediate nodes lie on the shortest
+  path to ``w``, hence inside ``C(w)``);
+* **descend**: from ``w``, follow the child whose DFS interval contains
+  ``v``'s label (valid: ``v ∈ C(p_i(v))`` always, see
+  :func:`repro.routing.tables.pivot_in_bunch_level`).
+
+At every hop, if the current node happens to have ``v`` itself in its
+bunch it shortcuts directly (this only shortens routes).
+
+Stretch bound ``4k - 3`` (proved, not just measured): let ``i`` be the
+chosen level and ``D_j = d(v, p_j(v))``.  ``D_0 = 0``, and for ``j < i``
+the pivot ``p_j(v)`` is not in ``B(u)``, which forces
+``d(u, A_{j+1}) <= d(u, p_j(v)) <= d(u,v) + D_j`` and hence
+``D_{j+1} <= d(v,u) + d(u, A_{j+1}) <= 2 d(u,v) + D_j``; so
+``D_i <= 2 i d(u,v)``.  The delivered route has weight exactly
+``d(u, w) + d(w, v) <= (d(u,v) + D_i) + D_i <= (4i + 1) d(u,v)``,
+and ``i <= k - 1`` gives ``4k - 3``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.graphs.graph import Graph
+from repro.routing.tables import RoutingScheme
+
+_MAX_HOPS_FACTOR = 4  # safety net: a route longer than 4n hops is a bug
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """One delivered packet."""
+
+    path: tuple[int, ...]
+    weight: float
+    via_pivot: int         # the w the header targeted (v itself if shortcut)
+    level: int             # chosen pivot level (0 if direct bunch hit)
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+
+def _choose_header(scheme: RoutingScheme, u: int, v: int) -> tuple[int, int]:
+    """Smallest level whose target-pivot the source can route toward."""
+    table = scheme.tables[u]
+    for i, (p, _iv) in enumerate(scheme.addresses[v].pivots):
+        if table.knows(p):
+            return p, i
+    raise QueryError(
+        f"no routable pivot from {u} to {v} — A_(k-1) membership broken")
+
+
+def route_packet(scheme: RoutingScheme, graph: Graph, u: int, v: int) -> RouteResult:
+    """Forward one packet from ``u`` to ``v``; returns the realized route."""
+    if u == v:
+        return RouteResult(path=(u,), weight=0.0, via_pivot=u, level=0)
+    w, level = _choose_header(scheme, u, v)
+    target_iv = dict(scheme.addresses[v].pivots)[w]
+
+    path = [u]
+    weight = 0.0
+    cur = u
+    descending = False
+    max_hops = _MAX_HOPS_FACTOR * graph.n
+    while cur != v:
+        if len(path) > max_hops:
+            raise QueryError(f"routing loop detected {u}->{v} (bug)")
+        table = scheme.tables[cur]
+        if table.knows(v):
+            # shortcut: v is in this node's bunch — ascend straight to it
+            nxt = table.next_hop_toward(v)
+            # next_hop_toward(v) walks toward the CENTER v of T_v... but
+            # v's own cluster tree is rooted at v, so the parent pointer
+            # leads exactly to v.  (v in B(cur) <=> cur in C(v).)
+        elif not descending and cur != w:
+            nxt = table.next_hop_toward(w)
+        else:
+            descending = True
+            nxt = table.child_for(w, target_iv)
+        if nxt is None:
+            raise QueryError(f"dead end at {cur} routing {u}->{v} (bug)")
+        weight += graph.weight(cur, nxt)
+        path.append(nxt)
+        cur = nxt
+    return RouteResult(path=tuple(path), weight=weight, via_pivot=w,
+                       level=level)
+
+
+def evaluate_routing(scheme: RoutingScheme, graph: Graph, dist_matrix,
+                     pairs=None) -> dict:
+    """Route every pair (or the given pairs) and summarize stretch.
+
+    Returns a dict with max/mean stretch, the proved bound, and the
+    realized maximum hop count — used by tests and the E12 experiment.
+    """
+    import numpy as np
+
+    if pairs is None:
+        iu, ju = np.triu_indices(graph.n, k=1)
+        pairs = list(zip(iu.tolist(), ju.tolist()))
+    ratios = []
+    worst = 0.0
+    max_hops = 0
+    for u, v in pairs:
+        res = route_packet(scheme, graph, u, v)
+        d = float(dist_matrix[u, v])
+        ratio = res.weight / d if d > 0 else 1.0
+        ratios.append(ratio)
+        worst = max(worst, ratio)
+        max_hops = max(max_hops, res.hops)
+    arr = np.asarray(ratios)
+    return {
+        "pairs": arr.size,
+        "max_stretch": float(arr.max()),
+        "mean_stretch": float(arr.mean()),
+        "bound": scheme.stretch_bound(),
+        "max_hops": max_hops,
+    }

@@ -1,0 +1,141 @@
+"""(ε,k)-CDG sketches (paper Lemmas 4.4/4.5, Theorem 4.6).
+
+The stretch-3 construction stores ``Θ((1/ε) log n)`` entries; the CDG
+construction trades a worse stretch (``8k - 1`` on ε-far pairs) for a much
+smaller sketch by running **Thorup–Zwick on the density net itself**:
+
+* sample an ε-density net ``N`` (local coins, Lemma 4.2);
+* one super-source Bellman-Ford so every ``u`` learns its *gateway* — the
+  closest net node ``u'`` and ``d(u, u')``;
+* run Algorithm 2 with the hierarchy ``A_0 = N ⊇ A_1 ⊇ …`` sampled with
+  probability ``((10/ε) ln n)^{-1/k}`` per level.  The bunches/pivots of a
+  net node computed *through G* coincide with what the metric completion of
+  ``N`` would give, which is the paper's key observation (Lemma 4.5).
+
+Sketch of ``u``: its gateway pair plus the TZ label of ``u'``.  Query:
+``d(u, u') + d''(u', v') + d(v', v)`` where ``d''`` is the TZ estimate —
+``<= (8k - 1) d(u, v)`` whenever ``v`` is ε-far from ``u`` (Theorem 4.6;
+measured by experiment E7).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.congest.metrics import RunMetrics
+from repro.distkey import DistKey
+from repro.errors import ConfigError
+from repro.graphs.graph import Graph
+from repro.graphs.metrics import apsp
+from repro.rng import SeedLike, ensure_rng
+from repro.slack.density_net import (DensityNet, nearest_in_set_centralized,
+                                     sample_density_net)
+from repro.algorithms.supersource import distances_to_set
+from repro.tz.centralized import build_tz_sketches_centralized
+from repro.tz.distributed import build_tz_sketches_distributed
+from repro.tz.hierarchy import Hierarchy, sample_hierarchy
+from repro.tz.sketch import TZSketch, estimate_distance
+from repro.words import entry_words
+
+
+@dataclass(frozen=True)
+class CDGSketch:
+    """One node's (ε,k)-CDG sketch."""
+
+    node: int
+    eps: float
+    k: int
+    gateway: int          # u' — closest net node
+    gateway_dist: float   # d(u, u')
+    label: TZSketch       # Thorup–Zwick label of u' (over the net)
+
+    def size_words(self) -> int:
+        return entry_words() + self.label.size_words()
+
+    def estimate_to(self, other: "CDGSketch") -> float:
+        if self.node == other.node:
+            return 0.0
+        through = estimate_distance(self.label, other.label)
+        return self.gateway_dist + through + other.gateway_dist
+
+
+def cdg_sampling_probability(n: int, eps: float, k: int) -> float:
+    """The paper's net-hierarchy sampling probability
+    ``((10/ε) ln n)^{-1/k}``, clamped into (0, 1]."""
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    base = 10.0 / eps * math.log(max(n, 2))
+    return min(1.0, base ** (-1.0 / k))
+
+
+def _assemble(eps: float, k: int, gateways: list[tuple[float, int]],
+              net_labels: dict[int, TZSketch]) -> list[CDGSketch]:
+    out = []
+    for u, (gd, gw) in enumerate(gateways):
+        out.append(CDGSketch(node=u, eps=eps, k=k, gateway=gw,
+                             gateway_dist=gd, label=net_labels[gw]))
+    return out
+
+
+def _net_hierarchy(graph: Graph, net: DensityNet, eps: float, k: int,
+                   rng) -> Hierarchy:
+    return sample_hierarchy(graph.n, k,
+                            q=cdg_sampling_probability(graph.n, eps, k),
+                            universe=net.members, seed=rng)
+
+
+def build_cdg_centralized(graph: Graph, eps: float, k: int,
+                          seed: SeedLike = None,
+                          net: Optional[DensityNet] = None,
+                          hierarchy: Optional[Hierarchy] = None,
+                          dist_matrix: Optional[np.ndarray] = None,
+                          ) -> tuple[list[CDGSketch], DensityNet, Hierarchy]:
+    """Centralized twin (used for differential tests and large-n stats)."""
+    rng = ensure_rng(seed)
+    if net is None:
+        net = sample_density_net(graph.n, eps, seed=rng)
+    if hierarchy is None:
+        hierarchy = _net_hierarchy(graph, net, eps, k, rng)
+    d = apsp(graph) if dist_matrix is None else dist_matrix
+    gateways = nearest_in_set_centralized(d, net.members)
+    sketches, _ = build_tz_sketches_centralized(graph, hierarchy=hierarchy)
+    net_labels = {w: sketches[w] for w in net.members}
+    return _assemble(eps, k, gateways, net_labels), net, hierarchy
+
+
+def build_cdg_distributed(graph: Graph, eps: float, k: int,
+                          seed: SeedLike = None,
+                          net: Optional[DensityNet] = None,
+                          hierarchy: Optional[Hierarchy] = None,
+                          sync: str = "oracle",
+                          S: Optional[int] = None,
+                          budget="whp",
+                          ) -> tuple[list[CDGSketch], DensityNet, Hierarchy, RunMetrics]:
+    """Distributed build per Lemma 4.5.
+
+    Metrics are the sum of the super-source gateway run and the
+    TZ-on-the-net run (net sampling costs zero rounds).
+
+    Note the distributed TZ run hands *every* node a label over the net
+    hierarchy; only the net nodes' labels enter the sketches, exactly as in
+    the paper ("the nodes in N will have a sketch that is exactly equal to
+    the sketch they would have if we ran Algorithm 2 on the metric
+    completion of N").  A node's own gateway label reaches it through its
+    gateway: ``u'`` is by definition the net node ``u`` talks to, one
+    sketch-sized exchange away (the online protocol of experiment E10).
+    """
+    rng = ensure_rng(seed)
+    if net is None:
+        net = sample_density_net(graph.n, eps, seed=rng)
+    if hierarchy is None:
+        hierarchy = _net_hierarchy(graph, net, eps, k, rng)
+    assignments, m1 = distances_to_set(graph, net.members, seed=rng)
+    tz = build_tz_sketches_distributed(graph, hierarchy=hierarchy, sync=sync,
+                                       seed=rng, S=S, budget=budget)
+    net_labels = {w: tz.sketches[w] for w in net.members}
+    metrics = m1 + tz.metrics
+    return _assemble(eps, k, assignments, net_labels), net, hierarchy, metrics

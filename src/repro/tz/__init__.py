@@ -1,0 +1,34 @@
+"""Thorup–Zwick distance sketches (systems S8–S11).
+
+* :mod:`repro.tz.hierarchy` — the sampled set hierarchy A_0 ⊇ A_1 ⊇ … ⊇ A_k.
+* :mod:`repro.tz.centralized` — the centralized [TZ05] construction used as
+  the differential-testing baseline (and for large-n statistics).
+* :mod:`repro.tz.sketch` — the label data structure and the O(k)-time
+  distance estimation of Lemma 3.2.
+* :mod:`repro.tz.distributed` — the paper's contribution: Algorithm 2 run
+  phase-by-phase in the CONGEST simulator (Theorem 3.8), with oracle,
+  known-S and ECHO (Section 3.3) synchronization.
+"""
+
+from repro.tz.hierarchy import Hierarchy, sample_hierarchy
+from repro.tz.sketch import TZSketch, estimate_distance
+from repro.tz.centralized import (
+    build_tz_sketches_centralized,
+    compute_pivot_keys,
+    compute_bunches,
+    brute_force_bunches,
+)
+from repro.tz.distributed import build_tz_sketches_distributed, TZDistributedResult
+
+__all__ = [
+    "Hierarchy",
+    "sample_hierarchy",
+    "TZSketch",
+    "estimate_distance",
+    "build_tz_sketches_centralized",
+    "compute_pivot_keys",
+    "compute_bunches",
+    "brute_force_bunches",
+    "build_tz_sketches_distributed",
+    "TZDistributedResult",
+]

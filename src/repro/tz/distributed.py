@@ -1,0 +1,538 @@
+"""Distributed Thorup–Zwick sketch construction — paper Algorithm 2 + §3.3.
+
+The protocol runs ``k`` phases **top-down** (``i = k-1`` … ``0``).  In phase
+``i`` the sources are ``A_i \\ A_{i+1}`` and every node ``u`` participates
+for a source ``v`` only while ``DistKey(d'(v), v) < DistKey(d(u, A_{i+1}),
+p_{i+1}(u))`` — the threshold computed by ``u`` itself at the end of phase
+``i+1``.  At the end of phase ``i`` the accepted sources *are* ``B_i(u)``,
+and the level-``i`` pivot follows from the recursion
+``d(u, A_i) = min(min_{w ∈ B_i(u)} d(u, w), d(u, A_{i+1}))``.
+
+Three synchronization modes decide *when a phase ends*:
+
+``oracle``
+    The simulator detects global quiescence and advances every node at
+    once.  Zero protocol overhead; rounds are a lower bound on the honest
+    protocols.  (This is a measurement device, not a CONGEST protocol.)
+``known_smax``
+    The paper's Section 3.2 assumption — "every node knows S" — made
+    concrete: every phase gets a fixed round budget derived from ``S``
+    (``budget="whp"``: the Lemma 3.7 bound ``O(n^{1/k} S log n)`` with
+    explicit constants; ``budget="safe"``: the deterministic ``S·(n+2)``
+    fallback).  A message straggling across a phase boundary raises
+    :class:`~repro.errors.ProtocolError` — insufficient budgets fail loudly
+    rather than silently corrupting sketches.
+``echo``
+    The full Section 3.3 machinery, no global knowledge beyond ``n``:
+    leader election + BFS tree (max-ID flooding), per-message ECHO
+    acknowledgements (:class:`~repro.algorithms.termination.EchoBookkeeper`),
+    COMPLETE convergecast up the tree, and START broadcast down the tree.
+    A node also advances on *seeing* next-phase data (data can outrun the
+    START wave), which is safe because the leader only releases phase
+    ``i-1`` after every phase-``i`` cascade has fully settled.
+
+Echo-mode edge discipline: ECHO/COMPLETE/START messages queue per edge and
+drain one per edge per round with priority over data; a data broadcast
+(which needs *all* incident edges) is deferred to a control-silent round.
+The paper bounds this overhead at "at most double the messages and rounds
+plus negligible extras"; experiment E4 measures the actual factor.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Optional, Union
+
+import numpy as np
+
+from repro.algorithms.bfs_tree import BFSTreeProgram, TreeInfo
+from repro.algorithms.round_robin import MultiSourceEngine
+from repro.algorithms.termination import EchoBookkeeper
+from repro.congest.context import NodeContext
+from repro.congest.metrics import RunMetrics
+from repro.congest.network import Simulator
+from repro.congest.node import NodeProgram
+from repro.distkey import INF_KEY, DistKey
+from repro.errors import ConfigError, ProtocolError
+from repro.graphs.graph import Graph
+from repro.rng import SeedLike
+from repro.tz.hierarchy import Hierarchy, sample_hierarchy
+from repro.tz.sketch import TZSketch
+
+DATA, ECHO, COMPLETE, START = "tzd", "tze", "tzc", "tzs"
+
+
+# ======================================================================
+# shared phase bookkeeping
+# ======================================================================
+class _TZPhasedProgram(NodeProgram):
+    """State common to all three synchronization modes."""
+
+    def __init__(self, node: int, k: int, level: int,
+                 phase_marker: Optional[RunMetrics] = None):
+        self.node = node
+        self.k = k
+        self.level = level  # this node's own hierarchy level (its only
+        #                     non-local knowledge is k and n, as in the paper)
+        self.phase = k      # "before the first phase"
+        self.pivot_keys: dict[int, DistKey] = {k: INF_KEY}
+        self.bunch: dict[int, tuple[float, int]] = {}
+        self.engine: Optional[MultiSourceEngine] = None
+        self.done = False
+        self.max_queue_len = 0
+        self._phase_marker = phase_marker
+
+    # ------------------------------------------------------------------
+    def _make_engine(self, i: int, listener=None) -> MultiSourceEngine:
+        return MultiSourceEngine(
+            self.node, kind=DATA, threshold=self.pivot_keys[i + 1],
+            listener=listener,
+            payload_fn=lambda src, d, _p=i: (DATA, _p, src, d))
+
+    def _finalize_phase(self) -> None:
+        """Record ``B_i(u)`` and fold the level-``i`` pivot recursion."""
+        eng = self.engine
+        if eng is None:
+            return
+        i = self.phase
+        best = self.pivot_keys[i + 1]
+        for src, d in eng.dist.items():
+            self.bunch[src] = (d, i)
+            key = DistKey(d, src)
+            if key < best:
+                best = key
+        self.pivot_keys[i] = best
+        self.max_queue_len = max(self.max_queue_len, eng.max_queue_len)
+
+    def _mark_phase(self, i: int) -> None:
+        if self._phase_marker is not None:
+            self._phase_marker.begin_phase(f"phase-{i}")
+
+    def finished(self) -> bool:
+        return self.done
+
+    # ------------------------------------------------------------------
+    def sketch(self) -> TZSketch:
+        if not self.done:
+            raise ProtocolError(f"node {self.node}: sketch read before "
+                                f"protocol completion")
+        pivots = tuple((self.pivot_keys[i].node, self.pivot_keys[i].dist)
+                       for i in range(self.k))
+        return TZSketch(node=self.node, k=self.k, pivots=pivots,
+                        bunch=dict(self.bunch))
+
+    def result(self) -> TZSketch:
+        return self.sketch()
+
+
+# ======================================================================
+# oracle synchronization
+# ======================================================================
+class TZOracleProgram(_TZPhasedProgram):
+    """Phases advance at simulator-detected global quiescence."""
+
+    def on_start(self, ctx: NodeContext) -> None:
+        self._advance(ctx)
+
+    def _advance(self, ctx: NodeContext) -> None:
+        self._finalize_phase()
+        self.phase -= 1
+        if self.phase < 0:
+            self.engine = None
+            self.done = True
+            return
+        self._mark_phase(self.phase)
+        self.engine = self._make_engine(self.phase)
+        if self.level == self.phase:
+            self.engine.enqueue_source()
+
+    def on_round(self, ctx: NodeContext, inbox: dict[int, Any]) -> None:
+        eng = self.engine
+        if eng is None:
+            return
+        for w, payload in inbox.items():
+            if payload[0] != DATA:
+                continue
+            if payload[1] != self.phase:
+                raise ProtocolError(
+                    f"node {self.node}: phase-{payload[1]} data in phase "
+                    f"{self.phase} under oracle sync")
+            eng.accept(payload[2], payload[3], w, ctx.edge_weight(w))
+        eng.serve(ctx)
+
+    def on_quiescent(self, ctx: NodeContext) -> None:
+        if not self.done:
+            self._advance(ctx)
+
+    def has_pending(self) -> bool:
+        return self.engine is not None and self.engine.pending()
+
+
+# ======================================================================
+# known-S synchronization
+# ======================================================================
+class TZKnownSProgram(_TZPhasedProgram):
+    """Fixed per-phase round budgets (the paper's "every node knows S")."""
+
+    def __init__(self, node: int, k: int, level: int, budgets: list[int],
+                 phase_marker: Optional[RunMetrics] = None):
+        super().__init__(node, k, level, phase_marker)
+        if len(budgets) != k:
+            raise ConfigError("need one budget per phase")
+        self.budgets = budgets  # indexed by phase i
+        self.phase_end = 0
+
+    def on_start(self, ctx: NodeContext) -> None:
+        self._advance()
+
+    def _advance(self) -> None:
+        self._finalize_phase()
+        self.phase -= 1
+        if self.phase < 0:
+            self.engine = None
+            self.done = True
+            return
+        self._mark_phase(self.phase)
+        self.phase_end += self.budgets[self.phase]
+        self.engine = self._make_engine(self.phase)
+        if self.level == self.phase:
+            self.engine.enqueue_source()
+
+    def on_round(self, ctx: NodeContext, inbox: dict[int, Any]) -> None:
+        if not self.done and ctx.round > self.phase_end:
+            self._advance()
+        if self.done:
+            if inbox:
+                raise ProtocolError(
+                    f"node {self.node}: message after protocol end — "
+                    f"phase budgets too small")
+            return
+        eng = self.engine
+        for w, payload in inbox.items():
+            if payload[0] != DATA:
+                continue
+            if payload[1] != self.phase:
+                raise ProtocolError(
+                    f"node {self.node}: phase-{payload[1]} data in phase "
+                    f"{self.phase} — budget for phase {payload[1]} too small")
+            eng.accept(payload[2], payload[3], w, ctx.edge_weight(w))
+        eng.serve(ctx)
+
+    def has_pending(self) -> bool:
+        return not self.done
+
+
+def phase_budgets(n: int, k: int, S: int, mode: str = "whp",
+                  universe_size: Optional[int] = None,
+                  whp_constant: float = 3.0) -> list[int]:
+    """Per-phase round budgets for known-S synchronization.
+
+    ``whp`` instantiates Lemma 3.7's ``O(n^{1/k} S log n)`` with the
+    explicit Lemma 3.6 constant (bunches exceed ``c · U^{1/k} ln U`` with
+    probability ``<= 1/U^c``); ``safe`` is the deterministic fallback
+    ``S · (U + 2)`` (a queue can never hold more than ``U`` sources).
+    """
+    U = n if universe_size is None else universe_size
+    if S < 1:
+        raise ConfigError("S must be >= 1")
+    if mode == "safe":
+        per = S * (U + 2) + 2
+    elif mode == "whp":
+        occupancy = math.ceil(whp_constant * U ** (1.0 / k) * math.log(max(U, 2))) + 2
+        per = S * occupancy + 2
+    else:
+        raise ConfigError(f"unknown budget mode {mode!r}")
+    return [int(per)] * k
+
+
+# ======================================================================
+# echo synchronization (paper Section 3.3)
+# ======================================================================
+class TZEchoProgram(_TZPhasedProgram):
+    """Full in-protocol termination detection.
+
+    Wire formats (word counts within the Section 2.2 budget):
+
+    * ``("tzd", phase, source, dist)`` — Bellman-Ford data broadcast,
+    * ``("tze", phase, source, quoted-dist)`` — ECHO of one data message,
+    * ``("tzc", phase)`` — COMPLETE, child → parent on the BFS tree,
+    * ``("tzs", phase)`` — START, parent → children (phase ``-1`` = done),
+    * ``("elect", id, hops)`` / ``("adopt",)`` — setup (see
+      :mod:`repro.algorithms.bfs_tree`).
+    """
+
+    def __init__(self, node: int, n: int, k: int, level: int,
+                 horizon: Optional[int] = None, settle: int = 1,
+                 phase_marker: Optional[RunMetrics] = None):
+        super().__init__(node, k, level, phase_marker)
+        self.n = n
+        self.stage = "elect"
+        self.elect = BFSTreeProgram(node, n,
+                                    horizon=(n + 1) if horizon is None else horizon,
+                                    settle=settle)
+        self.tree: Optional[TreeInfo] = None
+        self.tree_neighbors: tuple[int, ...] = ()
+        self.book: Optional[EchoBookkeeper] = None
+        #: neighbor -> FIFO of control payloads (COMPLETE/START forwards)
+        self.control: dict[int, deque] = {}
+        self.self_complete = False
+        self.complete_sent = False
+        self.children_complete: dict[int, set[int]] = {}
+        self._start_forwarded: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _push_control(self, to: int, payload: tuple) -> None:
+        self.control.setdefault(to, deque()).append(payload)
+
+    def _any_control(self) -> bool:
+        return any(q for q in self.control.values())
+
+    def _on_source_complete(self) -> None:
+        self.self_complete = True
+
+    # ------------------------------------------------------------------
+    # phase lifecycle
+    # ------------------------------------------------------------------
+    def _enter_phase(self, i: int) -> None:
+        self.phase = i
+        self._mark_phase(i)
+        self.complete_sent = False
+        self.book = EchoBookkeeper(self.node, self.tree_neighbors,
+                                   on_complete=self._on_source_complete)
+        self.engine = self._make_engine(i, listener=self.book)
+        if self.level == i:
+            self.self_complete = False  # complete once our cascade settles
+            self.engine.enqueue_source()
+        else:
+            self.self_complete = True   # non-sources are complete up front
+
+    def _advance_phase(self) -> None:
+        if self.book is not None and not self.book.quiet():
+            raise ProtocolError(
+                f"node {self.node}: advancing out of phase {self.phase} "
+                f"with unsettled echoes — termination detection bug")
+        self._finalize_phase()
+        nxt = self.phase - 1
+        if nxt < 0:
+            self.phase = -1
+            self.engine = None
+            self.book = None
+            self.done = True
+            return
+        self._enter_phase(nxt)
+
+    def _handle_start(self, ph: int, frm: int) -> None:
+        if frm != self.tree.parent:
+            raise ProtocolError(f"node {self.node}: START from non-parent {frm}")
+        if ph == self.phase - 1:
+            self._advance_phase()
+        elif ph >= self.phase:
+            pass  # already advanced via next-phase data
+        else:
+            raise ProtocolError(
+                f"node {self.node}: START({ph}) while in phase {self.phase} "
+                f"skipped a phase — FIFO control ordering violated")
+        self._forward_start(ph)
+
+    def _forward_start(self, ph: int) -> None:
+        if ph in self._start_forwarded:
+            return
+        self._start_forwarded.add(ph)
+        for c in self.tree.children:
+            self._push_control(c, (START, ph))
+
+    def _maybe_complete(self) -> None:
+        """COMPLETE convergecast: fire once self-complete and all children
+        of the BFS tree reported for the current phase."""
+        if self.done or self.complete_sent or not self.self_complete:
+            return
+        reported = self.children_complete.get(self.phase, set())
+        if not reported.issuperset(self.tree.children):
+            return
+        self.complete_sent = True
+        if self.tree.parent is not None:
+            self._push_control(self.tree.parent, (COMPLETE, self.phase))
+        else:
+            # leader: the phase is globally over — release the next one
+            self._forward_start(self.phase - 1)
+            self._advance_phase()
+
+    # ------------------------------------------------------------------
+    # NodeProgram interface
+    # ------------------------------------------------------------------
+    def on_start(self, ctx: NodeContext) -> None:
+        self.elect.on_start(ctx)
+
+    def on_round(self, ctx: NodeContext, inbox: dict[int, Any]) -> None:
+        if self.stage == "elect":
+            self.elect.on_round(ctx, inbox)
+            if not self.elect.done:
+                return
+            self.tree = self.elect.tree()
+            self.tree_neighbors = ctx.neighbors
+            self.stage = "run"
+            self._enter_phase(self.k - 1)
+            inbox = {}
+
+        # 1. absorb this round's mail
+        for w, payload in inbox.items():
+            kind = payload[0]
+            if kind == DATA:
+                _, ph, src, a = payload
+                if ph == self.phase - 1:
+                    # data outran the START wave: the leader has already
+                    # certified phase `self.phase` complete, so advance now
+                    self._advance_phase()
+                elif ph != self.phase:
+                    raise ProtocolError(
+                        f"node {self.node}: phase-{ph} data while in phase "
+                        f"{self.phase}")
+                self.engine.accept(src, a, w, ctx.edge_weight(w))
+            elif kind == ECHO:
+                self.book.receive_echo(w, payload[2], payload[3])
+            elif kind == COMPLETE:
+                if w not in self.tree.children:
+                    raise ProtocolError(
+                        f"node {self.node}: COMPLETE from non-child {w}")
+                self.children_complete.setdefault(payload[1], set()).add(w)
+            elif kind == START:
+                self._handle_start(payload[1], w)
+
+        # 2. convergecast bookkeeping (may trigger leader phase release)
+        self._maybe_complete()
+
+        # 3. edge discipline: control messages first, one per edge ...
+        sent_control = False
+        for v in ctx.neighbors:
+            q = self.control.get(v)
+            if q:
+                ctx.send(v, q.popleft())
+                sent_control = True
+                continue
+            if self.book is not None:
+                owed = self.book.pop_owed(v)
+                if owed is not None:
+                    ctx.send(v, (ECHO, self.phase, owed[0], owed[1]))
+                    sent_control = True
+        # ... then (in a control-silent round) one data broadcast
+        if not sent_control and self.engine is not None:
+            self.engine.serve(ctx)
+
+    def has_pending(self) -> bool:
+        if self.stage == "elect":
+            return True
+        if not self.done:
+            return True
+        return self._any_control()
+
+
+# ======================================================================
+# driver
+# ======================================================================
+@dataclass
+class TZDistributedResult:
+    """Everything a distributed build hands back."""
+
+    sketches: list[TZSketch]
+    hierarchy: Hierarchy
+    metrics: RunMetrics
+    sync: str
+    max_queue_len: int
+    tree_depth: Optional[int] = None  # echo mode only
+
+    def sizes_words(self) -> list[int]:
+        return [s.size_words() for s in self.sketches]
+
+
+def build_tz_sketches_distributed(
+        graph: Graph,
+        k: Optional[int] = None,
+        hierarchy: Optional[Hierarchy] = None,
+        sync: str = "oracle",
+        seed: SeedLike = None,
+        S: Optional[int] = None,
+        budget: Union[str, list[int]] = "whp",
+        phase_metrics: bool = True,
+        max_rounds: int = 5_000_000,
+) -> TZDistributedResult:
+    """Run the distributed Thorup–Zwick construction (Theorem 3.8).
+
+    Parameters
+    ----------
+    graph:
+        Connected weighted graph (the CONGEST network).
+    k / hierarchy:
+        Stretch parameter (a hierarchy is sampled with the paper's
+        ``n^{-1/k}``), or an explicit hierarchy to share randomness with a
+        centralized twin.
+    sync:
+        ``"oracle"``, ``"known_smax"`` or ``"echo"`` (see module docstring).
+    S:
+        Shortest-path diameter; required by ``known_smax`` only.
+    budget:
+        ``"whp"`` / ``"safe"`` / explicit per-phase round list, for
+        ``known_smax``.
+    """
+    if hierarchy is None:
+        if k is None:
+            raise ConfigError("provide k or hierarchy")
+        hierarchy = sample_hierarchy(graph.n, k, seed=seed)
+    elif k is not None and k != hierarchy.k:
+        raise ConfigError(f"k={k} conflicts with hierarchy.k={hierarchy.k}")
+    kk = hierarchy.k
+    levels = hierarchy.level
+
+    marker_holder: list[Optional[RunMetrics]] = [None]
+
+    if sync == "oracle":
+        marker_node = 0
+
+        def factory(u: int) -> NodeProgram:
+            marker = marker_holder[0] if u == marker_node else None
+            return TZOracleProgram(u, kk, int(levels[u]), phase_marker=marker)
+    elif sync == "known_smax":
+        if S is None:
+            raise ConfigError("known_smax sync requires S")
+        if isinstance(budget, str):
+            budgets = phase_budgets(graph.n, kk, S, mode=budget,
+                                    universe_size=int(hierarchy.universe().size))
+        else:
+            budgets = [int(b) for b in budget]
+        marker_node = 0
+
+        def factory(u: int) -> NodeProgram:
+            marker = marker_holder[0] if u == marker_node else None
+            return TZKnownSProgram(u, kk, int(levels[u]), budgets,
+                                   phase_marker=marker)
+    elif sync == "echo":
+        # the max-ID node wins the election and drives phase transitions,
+        # so it is the sharpest phase marker
+        marker_node = graph.n - 1
+
+        def factory(u: int) -> NodeProgram:
+            marker = marker_holder[0] if u == marker_node else None
+            return TZEchoProgram(u, graph.n, kk, int(levels[u]),
+                                 phase_marker=marker)
+    else:
+        raise ConfigError(f"unknown sync mode {sync!r}")
+
+    metrics = RunMetrics()
+    if phase_metrics:
+        marker_holder[0] = metrics
+    sim = Simulator(graph, factory, seed=seed, metrics=metrics)
+    res = sim.run(max_rounds=max_rounds)
+
+    sketches = [p.sketch() for p in res.programs]
+    max_q = max(p.max_queue_len for p in res.programs)
+    depth = None
+    if sync == "echo":
+        depth = max(p.tree.depth for p in res.programs)
+    return TZDistributedResult(sketches=sketches, hierarchy=hierarchy,
+                               metrics=res.metrics, sync=sync,
+                               max_queue_len=max_q, tree_depth=depth)
+
+

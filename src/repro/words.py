@@ -1,0 +1,69 @@
+"""Word-size accounting conventions.
+
+The CONGEST model (paper Section 2.2) allows each edge to carry ``O(log n)``
+bits per round.  The paper calls a block of ``O(log n)`` bits — enough for
+one node ID or one network distance — a *word*.  Every quantitative claim in
+the paper about sketch sizes and message sizes is stated in words, so the
+whole library meters sizes in words using the conventions below.
+
+Conventions
+-----------
+* A node ID costs 1 word.
+* A distance (edge weights are polynomial in ``n``, Section 2.2) costs
+  1 word.
+* A small enumeration tag (message kind, phase index, level index) costs
+  1 word.  The paper absorbs these into the O(log n) constant; we count them
+  explicitly so reported numbers are reproducible bit-for-bit.
+* ``None`` / booleans cost 1 word (a flag).
+* A tuple/list costs the sum of its elements.
+
+These rules are implemented by :func:`payload_words`, used by the simulator
+to enforce per-edge bandwidth, and :func:`sketch_words` helpers in the
+sketch classes to report label sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+#: Default number of words a single edge may carry per round.  One
+#: ``<source-id, distance>`` Bellman-Ford update is 3 words (kind tag, id,
+#: distance); ECHO framing adds a copy, so 6 words covers every message type
+#: in the library.  The paper treats all of these as "O(log n) bits".
+DEFAULT_BANDWIDTH_WORDS = 6
+
+
+def payload_words(payload: Any) -> int:
+    """Return the size, in words, of a message payload.
+
+    Payloads are built from ints, floats, bools, ``None``, strings (used
+    only for message-kind tags) and nested tuples/lists of those.
+    """
+    if payload is None or isinstance(payload, (bool, int, float, str)):
+        return 1
+    if isinstance(payload, (tuple, list)):
+        return sum(payload_words(item) for item in payload)
+    if isinstance(payload, dict):
+        return sum(payload_words(k) + payload_words(v) for k, v in payload.items())
+    raise TypeError(f"unsupported payload component: {type(payload)!r}")
+
+
+def id_words() -> int:
+    """Words needed to transmit a node ID (always 1 by convention)."""
+    return 1
+
+
+def distance_words() -> int:
+    """Words needed to transmit a distance (always 1 by convention)."""
+    return 1
+
+
+def entry_words() -> int:
+    """Words for one sketch entry: a ``(node-id, distance)`` pair."""
+    return id_words() + distance_words()
+
+
+def log2n(n: int) -> float:
+    """``log2(n)`` guarded for tiny inputs; used by theory-curve helpers."""
+    return math.log2(max(n, 2))

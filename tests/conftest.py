@@ -1,0 +1,103 @@
+"""Shared fixtures for the test suite.
+
+Graph fixtures are deliberately small (n <= ~60) so that the full
+round-faithful CONGEST simulations — the expensive part of the suite —
+keep the whole run in the low minutes.  Large-n behaviour is exercised by
+the benchmark harness, not the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Graph,
+    erdos_renyi,
+    grid2d,
+    ring,
+    random_geometric,
+    assign_uniform_weights,
+    assign_exponential_weights,
+    apsp,
+    shortest_path_diameter,
+)
+
+
+@pytest.fixture(scope="session")
+def triangle() -> Graph:
+    """3-cycle with distinct weights — tiny hand-checkable instance."""
+    return Graph(3, [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 4.0)])
+
+
+@pytest.fixture(scope="session")
+def weighted_diamond() -> Graph:
+    """4 nodes where the direct edge is NOT the shortest path."""
+    return Graph(4, [(0, 1, 1.0), (1, 3, 1.0), (0, 2, 5.0), (2, 3, 1.0),
+                     (0, 3, 10.0)])
+
+
+@pytest.fixture(scope="session")
+def er_unit() -> Graph:
+    """Unit-weight Erdős–Rényi, n=40."""
+    return erdos_renyi(40, seed=101)
+
+
+@pytest.fixture(scope="session")
+def er_weighted() -> Graph:
+    """Uniformly weighted Erdős–Rényi, n=36."""
+    return assign_uniform_weights(erdos_renyi(36, seed=202), seed=203)
+
+
+@pytest.fixture(scope="session")
+def er_heavy() -> Graph:
+    """Heavy-tailed weights — S well above D."""
+    return assign_exponential_weights(erdos_renyi(30, seed=304), seed=305)
+
+
+@pytest.fixture(scope="session")
+def small_grid() -> Graph:
+    return grid2d(5, 6)
+
+
+@pytest.fixture(scope="session")
+def small_ring() -> Graph:
+    return ring(15)
+
+
+@pytest.fixture(scope="session")
+def geo_graph() -> Graph:
+    return random_geometric(40, seed=406)
+
+
+@pytest.fixture(scope="session")
+def er_weighted_apsp(er_weighted) -> np.ndarray:
+    return apsp(er_weighted)
+
+
+@pytest.fixture(scope="session")
+def er_unit_apsp(er_unit) -> np.ndarray:
+    return apsp(er_unit)
+
+
+@pytest.fixture(scope="session")
+def er_weighted_S(er_weighted) -> int:
+    return shortest_path_diameter(er_weighted)
+
+
+def pytest_addoption(parser):
+    parser.addoption("--runslow", action="store_true", default=False,
+                     help="run slow end-to-end protocol tests")
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long end-to-end protocol runs")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip = pytest.mark.skip(reason="needs --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip)

@@ -1,0 +1,105 @@
+"""Theory curves, ratio summaries, and table rendering (repro.analysis)."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    bound_ratio,
+    cdg_round_bound,
+    cdg_size_bound,
+    format_row,
+    graceful_round_bound,
+    graceful_size_bound,
+    render_table,
+    stretch3_round_bound,
+    stretch3_size_bound,
+    summarize_ratios,
+    tz_message_bound,
+    tz_round_bound,
+    tz_size_bound,
+)
+
+
+class TestCurves:
+    def test_tz_round_bound_formula(self):
+        assert tz_round_bound(64, 2, 5) == pytest.approx(
+            2 * 8 * 5 * math.log(64))
+
+    def test_tz_message_bound_scales_with_edges(self):
+        assert tz_message_bound(64, 2, 5, m=100) == pytest.approx(
+            100 * tz_round_bound(64, 2, 5))
+
+    def test_tz_size_bound_variants(self):
+        assert tz_size_bound(64, 2, whp=False) == pytest.approx(16)
+        assert tz_size_bound(64, 2, whp=True) == pytest.approx(
+            16 * math.log(64))
+
+    def test_size_bound_minimized_near_k_log_n(self):
+        n = 2 ** 16
+        sizes = {k: tz_size_bound(n, k, whp=False) for k in (1, 2, 4, 8, 16)}
+        assert sizes[16] < sizes[4] < sizes[1]
+
+    def test_stretch3_bounds(self):
+        assert stretch3_size_bound(64, 0.5) == pytest.approx(2 * math.log(64))
+        assert stretch3_round_bound(64, 0.5, 3) == pytest.approx(
+            3 * 2 * math.log(64))
+
+    def test_cdg_bounds_shrink_with_k(self):
+        assert cdg_size_bound(256, 0.1, 3) < cdg_size_bound(256, 0.1, 1)
+
+    def test_cdg_round_bound_positive(self):
+        assert cdg_round_bound(256, 0.1, 2, 7) > 0
+
+    def test_graceful_bounds(self):
+        assert graceful_size_bound(64) == pytest.approx(math.log(64) ** 4)
+        assert graceful_round_bound(64, 5) == pytest.approx(
+            5 * math.log(64) ** 4)
+
+
+class TestRatios:
+    def test_bound_ratio(self):
+        assert bound_ratio(50, 100) == 0.5
+        assert bound_ratio(1, 0) == math.inf
+
+    def test_flat_ratios_hold_shape(self):
+        s = summarize_ratios([10, 20, 40], [100, 200, 400])
+        assert s.shape_holds()
+        assert s.max_ratio == pytest.approx(0.1)
+
+    def test_drifting_ratios_fail_shape(self):
+        s = summarize_ratios([10, 40, 160], [100, 200, 400])
+        assert not s.shape_holds()
+
+    def test_last_over_first(self):
+        s = summarize_ratios([1, 2], [10, 10])
+        assert s.last_over_first == pytest.approx(2.0)
+
+
+class TestTables:
+    def test_render_basic(self):
+        out = render_table([{"n": 8, "rounds": 12}, {"n": 16, "rounds": 30}],
+                           title="E3")
+        lines = out.splitlines()
+        assert lines[0] == "E3"
+        assert "n" in lines[1] and "rounds" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_alignment(self):
+        out = render_table([{"a": 1, "b": "xx"}, {"a": 100000, "b": "y"}])
+        rows = out.splitlines()
+        assert len(set(map(len, rows[1:]))) == 1  # aligned widths
+
+    def test_missing_cells(self):
+        out = render_table([{"a": 1}, {"b": 2}])
+        assert "a" in out and "b" in out
+
+    def test_empty(self):
+        assert "(no rows)" in render_table([], title="T")
+
+    def test_float_formatting(self):
+        assert format_row({"x": 2.0, "y": 0.3333333}) == "x=2  y=0.333"
+
+    def test_explicit_columns(self):
+        out = render_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in out.splitlines()[0]

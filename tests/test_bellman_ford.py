@@ -1,0 +1,58 @@
+"""Distributed single-source Bellman-Ford (Algorithm 1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import single_source_distances
+from repro.graphs import Graph, apsp, path_graph, shortest_path_diameter
+
+
+class TestCorrectness:
+    def test_path(self):
+        dists, parents, _ = single_source_distances(path_graph(5), 0)
+        assert dists == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert parents[1:] == [0, 1, 2, 3]
+
+    def test_weighted_detour(self, weighted_diamond):
+        dists, _, _ = single_source_distances(weighted_diamond, 0)
+        assert dists[3] == 2.0  # 0-1-3 beats the weight-10 direct edge
+
+    def test_matches_apsp_on_random_graphs(self, er_weighted):
+        d = apsp(er_weighted)
+        for src in (0, 7, er_weighted.n - 1):
+            dists, _, _ = single_source_distances(er_weighted, src)
+            assert np.allclose(dists, d[src])
+
+    def test_heavy_tailed_weights(self, er_heavy):
+        d = apsp(er_heavy)
+        dists, _, _ = single_source_distances(er_heavy, 3)
+        assert np.allclose(dists, d[3])
+
+    def test_parents_form_shortest_path_tree(self, er_weighted):
+        d = apsp(er_weighted)
+        src = 5
+        dists, parents, _ = single_source_distances(er_weighted, src)
+        for v in er_weighted.nodes():
+            if v == src:
+                assert parents[v] is None
+                continue
+            p = parents[v]
+            assert d[src, v] == pytest.approx(
+                d[src, p] + er_weighted.weight(p, v))
+
+
+class TestComplexity:
+    def test_rounds_bounded_by_S_times_constant(self, er_weighted):
+        S = shortest_path_diameter(er_weighted)
+        _, _, metrics = single_source_distances(er_weighted, 0)
+        # Algorithm 1 quiesces within O(S) rounds (constant ~ 1 here: one
+        # improvement wave per hop, +1 absorb round)
+        assert metrics.rounds <= S + 2
+
+    def test_source_alone_is_trivial(self):
+        g = Graph(2, [(0, 1, 1.0)])
+        dists, _, metrics = single_source_distances(g, 1)
+        assert dists == [1.0, 0.0]
+        assert metrics.rounds <= 3

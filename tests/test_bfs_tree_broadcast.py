@@ -1,0 +1,91 @@
+"""Leader election, BFS trees, and tree broadcast (Section 3.3 setup)."""
+
+import pytest
+
+from repro.algorithms import build_bfs_tree, tree_broadcast
+from repro.graphs import Graph, apsp_hops, grid2d, path_graph, ring
+
+
+def check_tree(graph, trees):
+    """Structural validation shared by several tests."""
+    leader = max(graph.nodes())
+    assert all(t.leader == leader for t in trees)
+    # exactly one root, which is the leader
+    roots = [u for u, t in enumerate(trees) if t.parent is None]
+    assert roots == [leader]
+    # parent edges exist, children match parents
+    for u, t in enumerate(trees):
+        if t.parent is not None:
+            assert graph.has_edge(u, t.parent)
+            assert u in trees[t.parent].children
+        for c in t.children:
+            assert trees[c].parent == u
+
+
+class TestBFSTree:
+    def test_structure_on_families(self, er_unit, small_grid, small_ring):
+        for g in (er_unit, small_grid, small_ring):
+            trees, _ = build_bfs_tree(g)
+            check_tree(g, trees)
+
+    def test_depths_are_bfs_exact(self, er_unit):
+        trees, _ = build_bfs_tree(er_unit)
+        hops = apsp_hops(er_unit)
+        leader = er_unit.n - 1
+        for u, t in enumerate(trees):
+            assert t.depth == hops[leader, u]
+
+    def test_depth_consistency_along_parents(self, small_grid):
+        trees, _ = build_bfs_tree(small_grid)
+        for u, t in enumerate(trees):
+            if t.parent is not None:
+                assert t.depth == trees[t.parent].depth + 1
+
+    def test_is_leader_helper(self, small_ring):
+        trees, _ = build_bfs_tree(small_ring)
+        assert trees[small_ring.n - 1].is_leader()
+        assert not trees[0].is_leader()
+
+    def test_message_cost_reasonable(self, er_unit):
+        # flooding costs O(|E|) messages per improvement wave; with max-ID
+        # flooding total messages stay O(|E| * small)
+        trees, metrics = build_bfs_tree(er_unit)
+        assert metrics.messages <= 20 * er_unit.m
+
+    def test_two_node_graph(self):
+        g = Graph(2, [(0, 1, 1.0)])
+        trees, _ = build_bfs_tree(g)
+        assert trees[1].is_leader()
+        assert trees[0].parent == 1
+        assert trees[1].children == (0,)
+
+
+class TestTreeBroadcast:
+    def test_value_reaches_all(self, small_grid):
+        trees, _ = build_bfs_tree(small_grid)
+        values, _ = tree_broadcast(small_grid, trees, value=("S", 42))
+        assert all(v == ("S", 42) for v in values)
+
+    def test_rounds_linear_in_depth(self, small_ring):
+        trees, _ = build_bfs_tree(small_ring)
+        depth = max(t.depth for t in trees)
+        _, metrics = tree_broadcast(small_ring, trees, value=1)
+        # down-wave + ack-wave
+        assert metrics.rounds <= 2 * depth + 2
+
+    def test_messages_tree_only(self, er_unit):
+        trees, _ = build_bfs_tree(er_unit)
+        _, metrics = tree_broadcast(er_unit, trees, value=1)
+        # broadcast + ack over n-1 tree edges each
+        assert metrics.messages == 2 * (er_unit.n - 1)
+
+    def test_root_learns_completion(self, small_grid):
+        from repro.congest import Simulator
+        from repro.algorithms.broadcast import TreeBroadcastProgram
+
+        trees, _ = build_bfs_tree(small_grid)
+        sim = Simulator(small_grid,
+                        lambda u: TreeBroadcastProgram(u, trees[u], value=5))
+        res = sim.run()
+        leader = small_grid.n - 1
+        assert res.programs[leader].root_done

@@ -1,0 +1,130 @@
+"""The command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graphs import read_edgelist
+
+
+@pytest.fixture()
+def graph_file(tmp_path):
+    path = tmp_path / "net.edges"
+    rc = main(["gen", "--family", "er", "--n", "32", "--weights", "uniform",
+               "--seed", "1", "-o", str(path)])
+    assert rc == 0
+    return path
+
+
+@pytest.fixture()
+def sketch_file(tmp_path, graph_file):
+    path = tmp_path / "sk.jsonl"
+    rc = main(["build", str(graph_file), "--scheme", "tz", "--k", "2",
+               "--seed", "3", "-o", str(path)])
+    assert rc == 0
+    return path
+
+
+class TestGen:
+    def test_writes_connected_graph(self, graph_file):
+        g = read_edgelist(graph_file)
+        assert g.n == 32 and g.is_connected()
+
+    def test_weight_schemes(self, tmp_path):
+        path = tmp_path / "w.edges"
+        main(["gen", "--family", "ring", "--n", "12", "--weights",
+              "exponential", "--seed", "2", "-o", str(path)])
+        g = read_edgelist(path)
+        assert any(w > 1.0 for _, _, w in g.edges())
+
+    def test_families(self, tmp_path):
+        for fam in ("ba", "geo", "grid", "ring", "star_path"):
+            path = tmp_path / f"{fam}.edges"
+            rc = main(["gen", "--family", fam, "--n", "20", "--seed", "4",
+                       "-o", str(path)])
+            assert rc == 0
+            assert read_edgelist(path).is_connected()
+
+
+class TestStats:
+    def test_json_report(self, graph_file, capsys):
+        assert main(["stats", str(graph_file)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["n"] == 32
+        assert report["shortest_path_diameter"] >= report["hop_diameter"]
+
+
+class TestBuild:
+    def test_build_writes_sketches(self, sketch_file, graph_file):
+        from repro.oracle.serialization import load_sketch_set
+
+        sketches = load_sketch_set(sketch_file)
+        assert len(sketches) == 32
+
+    def test_distributed_build_reports_cost(self, tmp_path, graph_file,
+                                            capsys):
+        path = tmp_path / "d.jsonl"
+        rc = main(["build", str(graph_file), "--scheme", "tz", "--k", "2",
+                   "--mode", "distributed", "--seed", "3", "-o", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rounds" in out
+
+    def test_slack_scheme(self, tmp_path, graph_file):
+        path = tmp_path / "s3.jsonl"
+        rc = main(["build", str(graph_file), "--scheme", "stretch3",
+                   "--eps", "0.3", "--seed", "5", "-o", str(path)])
+        assert rc == 0
+
+    def test_missing_params_fail_cleanly(self, tmp_path, graph_file, capsys):
+        path = tmp_path / "x.jsonl"
+        rc = main(["build", str(graph_file), "--scheme", "tz",
+                   "-o", str(path)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_query_pairs(self, graph_file, sketch_file, capsys):
+        rc = main(["query", str(graph_file), str(sketch_file),
+                   "--pairs", "0:31", "5:9"])
+        assert rc == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("0:31 estimate=")
+
+    def test_query_with_exact(self, graph_file, sketch_file, capsys):
+        rc = main(["query", str(graph_file), str(sketch_file), "--exact",
+                   "--pairs", "0:31"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "exact=" in out and "stretch=" in out
+
+    def test_bad_pair_syntax(self, graph_file, sketch_file, capsys):
+        rc = main(["query", str(graph_file), str(sketch_file),
+                   "--pairs", "0-31"])
+        assert rc == 2
+
+
+class TestEval:
+    def test_stretch_report(self, graph_file, sketch_file, capsys):
+        rc = main(["eval", str(graph_file), str(sketch_file)])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["underestimates"] == 0
+        assert 1.0 <= report["max_stretch"] <= 3.0  # k=2 bound
+
+    def test_eps_filter(self, graph_file, sketch_file, capsys):
+        rc = main(["eval", str(graph_file), str(sketch_file),
+                   "--eps", "0.5", "--max-pairs", "100"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["pairs"] <= 100
+
+    def test_mismatched_sketch_set(self, tmp_path, graph_file, sketch_file,
+                                   capsys):
+        other = tmp_path / "small.edges"
+        main(["gen", "--family", "ring", "--n", "5", "-o", str(other)])
+        rc = main(["eval", str(other), str(sketch_file)])
+        assert rc == 2

@@ -1,0 +1,49 @@
+"""Lexicographic tie-breaking keys (repro.distkey)."""
+
+import math
+
+from repro.distkey import DistKey, INF_KEY, min_key
+
+
+class TestOrdering:
+    def test_distance_dominates(self):
+        assert DistKey(1.0, 99) < DistKey(2.0, 0)
+
+    def test_id_breaks_ties(self):
+        assert DistKey(1.0, 3) < DistKey(1.0, 7)
+
+    def test_equal_keys(self):
+        assert not DistKey(1.0, 3) < DistKey(1.0, 3)
+
+    def test_inf_key_dominates_everything_finite(self):
+        assert DistKey(1e300, 10**9) < INF_KEY
+
+    def test_inf_key_not_less_than_itself(self):
+        assert not INF_KEY < INF_KEY
+
+
+class TestInfKey:
+    def test_is_inf(self):
+        assert INF_KEY.is_inf()
+
+    def test_finite_key_is_not_inf(self):
+        assert not DistKey(5.0, 1).is_inf()
+
+    def test_inf_distance(self):
+        assert math.isinf(INF_KEY.dist)
+
+
+class TestMinKey:
+    def test_empty_gives_inf(self):
+        assert min_key([]) is INF_KEY
+
+    def test_single(self):
+        k = DistKey(2.0, 5)
+        assert min_key([k]) == k
+
+    def test_tie_resolved_by_id(self):
+        assert min_key([DistKey(2.0, 9), DistKey(2.0, 4)]) == DistKey(2.0, 4)
+
+    def test_mixed(self):
+        keys = [DistKey(3.0, 1), DistKey(2.0, 8), INF_KEY]
+        assert min_key(keys) == DistKey(2.0, 8)

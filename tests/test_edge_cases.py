@@ -1,0 +1,158 @@
+"""Degenerate and boundary instances across the whole stack.
+
+Tiny graphs (n = 1, 2), extreme parameters (k larger than useful, eps at
+the boundaries), and cross-mode runs on pathological topologies — the
+places where off-by-one phase logic or empty-set handling would hide.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import build_sketches
+from repro.errors import ConfigError
+from repro.graphs import Graph, apsp, complete_graph, path_graph, star_path
+from repro.tz import (
+    build_tz_sketches_centralized,
+    build_tz_sketches_distributed,
+    estimate_distance,
+    sample_hierarchy,
+)
+
+
+class TestTinyGraphs:
+    def test_two_nodes_all_sync_modes(self):
+        g = Graph(2, [(0, 1, 3.0)])
+        h = sample_hierarchy(2, 2, seed=0)
+        cs, _ = build_tz_sketches_centralized(g, hierarchy=h)
+        for sync, kw in (("oracle", {}), ("echo", {}),
+                         ("known_smax", {"S": 1})):
+            res = build_tz_sketches_distributed(g, hierarchy=h, sync=sync,
+                                                seed=1, **kw)
+            for a, b in zip(cs, res.sketches):
+                assert a.pivots == b.pivots and a.bunch == b.bunch
+            assert estimate_distance(res.sketches[0], res.sketches[1]) == 3.0
+
+    def test_single_node_oracle(self):
+        g = Graph(1)
+        res = build_tz_sketches_distributed(g, k=1, seed=2)
+        assert res.sketches[0].bunch == {0: (0.0, 0)}
+        assert res.metrics.messages == 0
+
+    def test_single_node_echo(self):
+        g = Graph(1)
+        res = build_tz_sketches_distributed(g, k=1, sync="echo", seed=3)
+        assert res.sketches[0].bunch == {0: (0.0, 0)}
+
+    def test_two_node_slack_schemes(self):
+        g = Graph(2, [(0, 1, 2.0)])
+        for scheme, params in [("stretch3", {"eps": 0.5}),
+                               ("cdg", {"eps": 0.5, "k": 1}),
+                               ("graceful", {})]:
+            built = build_sketches(g, scheme=scheme, seed=4, **params)
+            assert built.query(0, 1) >= 2.0 - 1e-9
+
+
+class TestExtremeParameters:
+    def test_k_exceeding_log_n(self, er_unit):
+        # k = 8 on n = 40: most levels will be empty of sources; phases
+        # must still advance (the empty-phase quiescence path)
+        res = build_tz_sketches_distributed(er_unit, k=8, seed=5)
+        d = apsp(er_unit)
+        for u in range(0, er_unit.n, 7):
+            for v in range(u + 1, er_unit.n, 5):
+                est = estimate_distance(res.sketches[u], res.sketches[v])
+                assert d[u, v] - 1e-9 <= est <= 15 * d[u, v] + 1e-9
+
+    def test_eps_one(self, er_unit):
+        built = build_sketches(er_unit, scheme="stretch3", eps=1.0, seed=6)
+        assert built.query(0, 1) >= 0
+
+    def test_eps_tiny_makes_net_everything(self, er_unit):
+        built = build_sketches(er_unit, scheme="stretch3", eps=1e-6, seed=7)
+        net = built.extras["net"]
+        assert net.size() == er_unit.n
+        # with the full net, every query is exact
+        d = apsp(er_unit)
+        assert built.query(0, 30) == pytest.approx(d[0, 30])
+
+    def test_eps_out_of_range(self, er_unit):
+        with pytest.raises(ConfigError):
+            build_sketches(er_unit, scheme="stretch3", eps=0.0)
+
+
+class TestPathologicalTopologies:
+    def test_complete_graph_tz(self):
+        g = complete_graph(12)
+        h = sample_hierarchy(12, 2, seed=8)
+        cs, _ = build_tz_sketches_centralized(g, hierarchy=h)
+        res = build_tz_sketches_distributed(g, hierarchy=h, sync="echo",
+                                            seed=9)
+        for a, b in zip(cs, res.sketches):
+            assert a.bunch == b.bunch
+
+    def test_path_graph_tz_echo(self):
+        g = path_graph(14)
+        h = sample_hierarchy(14, 3, seed=10)
+        cs, _ = build_tz_sketches_centralized(g, hierarchy=h)
+        res = build_tz_sketches_distributed(g, hierarchy=h, sync="echo",
+                                            seed=11)
+        for a, b in zip(cs, res.sketches):
+            assert a.pivots == b.pivots and a.bunch == b.bunch
+
+    def test_star_path_heavy_hub(self):
+        g = star_path(16)
+        h = sample_hierarchy(g.n, 2, seed=12)
+        cs, _ = build_tz_sketches_centralized(g, hierarchy=h)
+        res = build_tz_sketches_distributed(g, hierarchy=h, seed=13)
+        for a, b in zip(cs, res.sketches):
+            assert a.bunch == b.bunch
+
+    def test_parallel_shortest_paths_tie_breaking(self):
+        # two equal-weight disjoint paths 0->3: ties everywhere
+        g = Graph(4, [(0, 1, 1.0), (1, 3, 1.0), (0, 2, 1.0), (2, 3, 1.0)])
+        h = sample_hierarchy(4, 2, seed=14)
+        cs, _ = build_tz_sketches_centralized(g, hierarchy=h)
+        for sync in ("oracle", "echo"):
+            res = build_tz_sketches_distributed(g, hierarchy=h, sync=sync,
+                                                seed=15)
+            for a, b in zip(cs, res.sketches):
+                assert a.pivots == b.pivots and a.bunch == b.bunch
+
+
+class TestDistributedSlackSyncModes:
+    def test_cdg_echo_matches_centralized(self, er_unit):
+        from repro.slack.cdg import (build_cdg_centralized,
+                                     build_cdg_distributed)
+        from repro.slack.density_net import sample_density_net
+        from repro.slack.cdg import cdg_sampling_probability
+
+        net = sample_density_net(er_unit.n, 0.4, seed=16)
+        h = sample_hierarchy(
+            er_unit.n, 2,
+            q=cdg_sampling_probability(er_unit.n, 0.4, 2),
+            universe=net.members, seed=17)
+        cs, _, _ = build_cdg_centralized(er_unit, 0.4, 2, net=net,
+                                         hierarchy=h)
+        ds, _, _, _ = build_cdg_distributed(er_unit, 0.4, 2, net=net,
+                                            hierarchy=h, sync="echo",
+                                            seed=18)
+        for a, b in zip(cs, ds):
+            assert a.gateway == b.gateway
+            assert a.label.bunch == b.label.bunch
+
+    @pytest.mark.slow
+    def test_graceful_known_smax(self, er_unit):
+        from repro.graphs import shortest_path_diameter
+        from repro.slack.graceful import build_graceful_distributed
+
+        S = shortest_path_diameter(er_unit)
+        sketches, schedule, metrics = build_graceful_distributed(
+            er_unit, seed=19, sync="known_smax", S=S)
+        d = apsp(er_unit)
+        bound = 8 * len(schedule) - 1
+        for u in range(0, er_unit.n, 9):
+            for v in range(u + 1, er_unit.n, 7):
+                est = sketches[u].estimate_to(sketches[v])
+                assert d[u, v] - 1e-9 <= est <= bound * d[u, v] + 1e-9

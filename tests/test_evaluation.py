@@ -1,0 +1,113 @@
+"""Stretch evaluation machinery (repro.oracle.evaluation)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graphs import apsp, path_graph
+from repro.oracle.evaluation import (
+    average_stretch,
+    eps_far_mask,
+    evaluate_stretch,
+    slack_coverage,
+)
+
+
+class TestEpsFarMask:
+    def test_path_graph_semantics(self):
+        d = apsp(path_graph(10))
+        far = eps_far_mask(d, 0.5)
+        # node 9 is 0.5-far from node 0 (>= 5 nodes strictly closer)
+        assert far[0, 9]
+        # node 1 is not (only node 0 itself is closer)
+        assert not far[0, 1]
+
+    def test_diagonal_false(self, er_weighted_apsp):
+        far = eps_far_mask(er_weighted_apsp, 0.1)
+        assert not far.diagonal().any()
+
+    def test_eps_over_one_empty(self, er_weighted_apsp):
+        far = eps_far_mask(er_weighted_apsp, 1.01)
+        assert not far.any()
+
+    def test_tiny_eps_covers_everything_off_diagonal(self, er_weighted_apsp):
+        n = er_weighted_apsp.shape[0]
+        far = eps_far_mask(er_weighted_apsp, 1.0 / (2 * n))
+        off_diag = ~np.eye(n, dtype=bool)
+        assert far[off_diag].all()
+
+    def test_monotone_in_eps(self, er_weighted_apsp):
+        small = eps_far_mask(er_weighted_apsp, 0.1)
+        big = eps_far_mask(er_weighted_apsp, 0.5)
+        assert np.all(big <= small)  # larger eps -> fewer far pairs
+
+    def test_not_necessarily_symmetric(self):
+        # a hub is close to everyone; leaf-to-leaf ranks differ
+        from repro.graphs import star_path
+
+        d = apsp(star_path(12))
+        far = eps_far_mask(d, 0.3)
+        assert (far != far.T).any()
+
+
+class TestEvaluateStretch:
+    def test_exact_oracle_scores_one(self, er_weighted_apsp):
+        rep = evaluate_stretch(er_weighted_apsp,
+                               lambda u, v: float(er_weighted_apsp[u, v]))
+        assert rep.max_stretch == 1.0
+        assert rep.mean_stretch == 1.0
+        assert rep.underestimates == 0
+        assert rep.exact_fraction == 1.0
+
+    def test_doubling_oracle_scores_two(self, er_weighted_apsp):
+        rep = evaluate_stretch(er_weighted_apsp,
+                               lambda u, v: 2.0 * er_weighted_apsp[u, v])
+        assert rep.max_stretch == pytest.approx(2.0)
+        assert rep.exact_fraction == 0.0
+
+    def test_underestimates_flagged(self, er_weighted_apsp):
+        rep = evaluate_stretch(er_weighted_apsp,
+                               lambda u, v: 0.5 * er_weighted_apsp[u, v])
+        assert rep.underestimates == rep.pairs
+
+    def test_pair_sampling(self, er_weighted_apsp):
+        rep = evaluate_stretch(er_weighted_apsp,
+                               lambda u, v: float(er_weighted_apsp[u, v]),
+                               max_pairs=50, seed=1)
+        assert rep.pairs == 50
+
+    def test_slack_filter_reduces_pairs(self, er_weighted_apsp):
+        full = evaluate_stretch(er_weighted_apsp,
+                                lambda u, v: float(er_weighted_apsp[u, v]))
+        slack = evaluate_stretch(er_weighted_apsp,
+                                 lambda u, v: float(er_weighted_apsp[u, v]),
+                                 eps=0.4)
+        assert slack.pairs < full.pairs
+
+    def test_single_node_rejected(self):
+        with pytest.raises(ConfigError):
+            evaluate_stretch(np.zeros((1, 1)), lambda u, v: 0.0)
+
+    def test_row_rendering(self, er_weighted_apsp):
+        rep = evaluate_stretch(er_weighted_apsp,
+                               lambda u, v: float(er_weighted_apsp[u, v]))
+        row = rep.as_row()
+        assert row["pairs"] == rep.pairs and "max" in row
+
+
+class TestAggregates:
+    def test_average_stretch_of_exact_is_one(self, er_weighted_apsp):
+        avg = average_stretch(er_weighted_apsp,
+                              lambda u, v: float(er_weighted_apsp[u, v]))
+        assert avg == 1.0
+
+    def test_slack_coverage_bounds(self, er_weighted_apsp):
+        c = slack_coverage(er_weighted_apsp, 0.3)
+        assert 0.0 <= c <= 1.0
+        # the guarantee is "at least 1 - eps of pairs" in spirit;
+        # with the or-symmetric covering it is comfortably above 1 - 2*eps
+        assert c >= 1 - 2 * 0.3
+
+    def test_slack_coverage_monotone(self, er_weighted_apsp):
+        assert slack_coverage(er_weighted_apsp, 0.1) >= \
+            slack_coverage(er_weighted_apsp, 0.5)

@@ -1,0 +1,88 @@
+"""Weight schemes and edge-list I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    assign_exponential_weights,
+    assign_integer_weights,
+    assign_unit_weights,
+    assign_uniform_weights,
+    erdos_renyi,
+    read_edgelist,
+    write_edgelist,
+)
+
+
+class TestWeightSchemes:
+    def test_unit(self, er_weighted):
+        g = assign_unit_weights(er_weighted.copy())
+        assert all(w == 1.0 for _, _, w in g.edges())
+
+    def test_uniform_in_range(self):
+        g = assign_uniform_weights(erdos_renyi(30, seed=1), low=1, high=10,
+                                   seed=2)
+        ws = [w for _, _, w in g.edges()]
+        assert all(1.0 <= w <= 10.0 for w in ws)
+        assert all(w == int(w) for w in ws)
+
+    def test_uniform_reproducible(self):
+        a = assign_uniform_weights(erdos_renyi(20, seed=1), seed=5)
+        b = assign_uniform_weights(erdos_renyi(20, seed=1), seed=5)
+        assert a == b
+
+    def test_exponential_positive(self):
+        g = assign_exponential_weights(erdos_renyi(30, seed=3), seed=4)
+        assert all(w >= 1.0 for _, _, w in g.edges())
+
+    def test_exponential_heavy_tail(self):
+        g = assign_exponential_weights(erdos_renyi(60, seed=5), scale=50,
+                                       seed=6)
+        ws = sorted(w for _, _, w in g.edges())
+        assert ws[-1] > 10 * ws[0]
+
+    def test_integer_choices(self):
+        g = assign_integer_weights(erdos_renyi(30, seed=7),
+                                   choices=(2, 4), seed=8)
+        assert set(w for _, _, w in g.edges()) <= {2.0, 4.0}
+
+    def test_returns_same_object_for_chaining(self):
+        g = erdos_renyi(10, seed=9)
+        assert assign_unit_weights(g) is g
+
+
+class TestEdgelistIO:
+    def test_round_trip(self, tmp_path, er_weighted):
+        path = tmp_path / "g.edges"
+        write_edgelist(er_weighted, path)
+        g2 = read_edgelist(path)
+        assert g2 == er_weighted
+
+    def test_header_records_isolated_nodes(self, tmp_path):
+        from repro.graphs import Graph
+
+        g = Graph(5, [(0, 1, 1.0)])  # nodes 2..4 isolated
+        path = tmp_path / "g.edges"
+        write_edgelist(g, path)
+        assert read_edgelist(path).n == 5
+
+    def test_malformed_header(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("nodes 5\n0 1 1.0\n")
+        with pytest.raises(GraphError, match="header"):
+            read_edgelist(path)
+
+    def test_malformed_row(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("# nodes 3\n0 1\n")
+        with pytest.raises(GraphError, match="expected"):
+            read_edgelist(path)
+
+    def test_float_weights_preserved(self, tmp_path):
+        from repro.graphs import Graph
+
+        g = Graph(2, [(0, 1, 1234.5678)])
+        path = tmp_path / "g.edges"
+        write_edgelist(g, path)
+        assert read_edgelist(path).weight(0, 1) == 1234.5678

@@ -1,0 +1,104 @@
+"""Hierarchy sampling (repro.tz.hierarchy)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.tz import sample_hierarchy
+from repro.tz.hierarchy import Hierarchy
+
+
+class TestSampling:
+    def test_k1_everyone_level_zero(self):
+        h = sample_hierarchy(20, 1, seed=1)
+        assert np.all(h.level == 0)
+        assert h.A(0).size == 20
+        assert h.A(1).size == 0
+
+    def test_nesting(self):
+        h = sample_hierarchy(200, 4, seed=2)
+        for i in range(1, 4):
+            assert set(h.A(i)) <= set(h.A(i - 1))
+
+    def test_A0_is_everyone_by_default(self):
+        h = sample_hierarchy(50, 3, seed=3)
+        assert h.A(0).size == 50
+
+    def test_top_level_nonempty(self):
+        for seed in range(20):
+            h = sample_hierarchy(30, 3, seed=seed)
+            assert h.A(2).size > 0
+
+    def test_exact_levels_partition_universe(self):
+        h = sample_hierarchy(100, 3, seed=4)
+        parts = [set(h.exact_level(i)) for i in range(3)]
+        union = set().union(*parts)
+        assert union == set(range(100))
+        assert sum(len(p) for p in parts) == 100
+
+    def test_beyond_k_is_empty(self):
+        h = sample_hierarchy(50, 3, seed=5)
+        assert h.A(3).size == 0
+        assert h.A(99).size == 0
+
+    def test_default_q_matches_paper(self):
+        h = sample_hierarchy(64, 3, seed=6)
+        assert h.q == pytest.approx(64 ** (-1 / 3))
+
+    def test_sampling_rate_statistics(self):
+        # |A_1| should concentrate near n * q
+        n, k = 4000, 2
+        h = sample_hierarchy(n, k, seed=7)
+        expected = n * n ** (-1 / 2)
+        assert 0.5 * expected <= h.A(1).size <= 2.0 * expected
+
+    def test_reproducible(self):
+        a = sample_hierarchy(60, 3, seed=8)
+        b = sample_hierarchy(60, 3, seed=8)
+        assert np.array_equal(a.level, b.level)
+
+
+class TestUniverse:
+    def test_restricted_universe(self):
+        h = sample_hierarchy(50, 2, universe=[1, 5, 9], seed=9)
+        assert set(h.universe()) == {1, 5, 9}
+        assert h.level_of(0) == -1
+        assert h.level_of(5) >= 0
+
+    def test_default_q_uses_universe_size(self):
+        h = sample_hierarchy(1000, 2, universe=range(16), seed=10)
+        assert h.q == pytest.approx(16 ** (-1 / 2))
+
+    def test_out_of_range_universe_rejected(self):
+        with pytest.raises(ConfigError):
+            sample_hierarchy(10, 2, universe=[5, 20])
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(ConfigError):
+            sample_hierarchy(10, 2, universe=[])
+
+
+class TestValidation:
+    def test_k_zero_rejected(self):
+        with pytest.raises(ConfigError):
+            sample_hierarchy(10, 0)
+
+    def test_bad_q_rejected(self):
+        with pytest.raises(ConfigError):
+            sample_hierarchy(10, 2, q=0.0)
+        with pytest.raises(ConfigError):
+            sample_hierarchy(10, 2, q=1.5)
+
+    def test_q_one_puts_everyone_on_top(self):
+        h = sample_hierarchy(10, 3, q=1.0, seed=11)
+        assert np.all(h.level == 2)
+
+    def test_sizes_helper(self):
+        h = sample_hierarchy(40, 3, seed=12)
+        sizes = h.sizes()
+        assert sizes[0] == 40
+        assert sizes == [h.A(i).size for i in range(3)]
+
+    def test_level_array_shape_enforced(self):
+        with pytest.raises(ConfigError):
+            Hierarchy(n=5, k=2, q=0.5, level=np.zeros(4, dtype=np.int64))

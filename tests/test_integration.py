@@ -1,0 +1,127 @@
+"""End-to-end integration scenarios crossing all subsystems."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import build_sketches
+from repro.graphs import (
+    apsp,
+    assign_exponential_weights,
+    barabasi_albert,
+    caterpillar,
+    graph_stats,
+    random_geometric,
+    shortest_path_diameter,
+)
+from repro.oracle import evaluate_stretch, simulate_online_exchange
+
+
+class TestP2POverlayScenario:
+    """The paper's motivating application (Section 2.1): distance
+    estimation in a P2P-like overlay."""
+
+    @pytest.fixture(scope="class")
+    def overlay(self):
+        g = barabasi_albert(48, m_attach=2, seed=90)
+        return g, apsp(g)
+
+    def test_tz_pipeline(self, overlay):
+        g, d = overlay
+        built = build_sketches(g, scheme="tz", mode="distributed", k=3,
+                               seed=91)
+        rep = evaluate_stretch(d, built.query)
+        assert rep.underestimates == 0
+        assert rep.max_stretch <= built.stretch_bound()
+        # small worlds: most pairs should be answered near-exactly
+        assert rep.mean_stretch <= 2.0
+
+    def test_online_query_beats_fresh_computation(self, overlay):
+        g, _ = overlay
+        built = build_sketches(g, scheme="tz", k=3, seed=92)
+        words = built.max_size_words()
+        cost, metrics = simulate_online_exchange(g, u=0, v=g.n - 1,
+                                                 sketch_words=words)
+        from repro.algorithms import single_source_distances
+
+        _, _, bf = single_source_distances(g, 0, seed=93)
+        # with D ~ log n, shipping a sketch is cheap; BF floods everything
+        assert metrics.messages < bf.messages
+
+
+class TestWeightedNetworkScenario:
+    """Heavy-tailed weights: S >> D, the regime where sketches matter."""
+
+    @pytest.fixture(scope="class")
+    def network(self):
+        g = assign_exponential_weights(barabasi_albert(40, seed=94),
+                                       scale=30, seed=95)
+        return g, apsp(g)
+
+    def test_stats_show_gap(self, network):
+        g, _ = network
+        st = graph_stats(g)
+        assert st.shortest_path_diameter >= st.hop_diameter
+
+    def test_all_schemes_agree_on_sandwich(self, network):
+        g, d = network
+        for scheme, params in [("tz", {"k": 2}), ("stretch3", {"eps": 0.3}),
+                               ("cdg", {"eps": 0.3, "k": 2}),
+                               ("graceful", {})]:
+            built = build_sketches(g, scheme=scheme, seed=96, **params)
+            rep = evaluate_stretch(d, built.query, eps=built.slack())
+            assert rep.underestimates == 0
+            assert rep.max_stretch <= built.stretch_bound() + 1e-9
+
+
+class TestGeometricScenario:
+    """Network-coordinate setting (Vivaldi/Meridian comparison point)."""
+
+    def test_geometric_distances_well_approximated(self):
+        g = random_geometric(42, seed=97)
+        d = apsp(g)
+        built = build_sketches(g, scheme="graceful", seed=98)
+        rep = evaluate_stretch(d, built.query)
+        assert rep.mean_stretch <= 1.5  # O(1) average stretch in practice
+
+    def test_distributed_graceful_cost_scales_with_S(self):
+        g = random_geometric(24, seed=99)
+        S = shortest_path_diameter(g)
+        built = build_sketches(g, scheme="graceful", mode="distributed",
+                               seed=100)
+        from repro.analysis import graceful_round_bound
+
+        assert built.metrics.rounds <= graceful_round_bound(g.n, S)
+
+
+class TestCaterpillarScenario:
+    def test_tz_handles_pathological_weights(self):
+        g = caterpillar(spine=8, legs_per_node=2, spine_weight=50.0)
+        d = apsp(g)
+        built = build_sketches(g, scheme="tz", mode="distributed", k=2,
+                               seed=101, sync="echo")
+        rep = evaluate_stretch(d, built.query)
+        assert rep.underestimates == 0
+        assert rep.max_stretch <= 3 + 1e-9
+
+
+class TestCrossSchemeConsistency:
+    def test_tradeoff_ordering_holds(self, er_unit, er_unit_apsp):
+        """More sketch budget should buy better observed stretch:
+        stretch3 >= cdg in size, <= in observed stretch (on far pairs)."""
+        eps = 0.25
+        s3 = build_sketches(er_unit, scheme="stretch3", eps=eps, seed=102)
+        cdg = build_sketches(er_unit, scheme="cdg", eps=eps, k=2, seed=102)
+        r3 = evaluate_stretch(er_unit_apsp, s3.query, eps=eps)
+        rc = evaluate_stretch(er_unit_apsp, cdg.query, eps=eps)
+        assert r3.max_stretch <= rc.max_stretch + 1e-9
+
+    def test_graceful_dominates_worst_component(self, er_unit, er_unit_apsp):
+        gf = build_sketches(er_unit, scheme="graceful", seed=103)
+        r = evaluate_stretch(er_unit_apsp, gf.query)
+        # min-over-components can only improve on any single component
+        comp0 = lambda u, v: gf.sketches[u].components[0].estimate_to(
+            gf.sketches[v].components[0])
+        r0 = evaluate_stretch(er_unit_apsp, comp0)
+        assert r.mean_stretch <= r0.mean_stretch + 1e-9

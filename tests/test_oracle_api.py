@@ -1,0 +1,109 @@
+"""Public API (repro.oracle.api, repro.oracle.schemes)."""
+
+import pytest
+
+from repro import build_sketches
+from repro.errors import ConfigError
+from repro.graphs import apsp
+from repro.oracle.schemes import SCHEMES, get_scheme
+
+
+class TestRegistry:
+    def test_all_schemes_present(self):
+        assert set(SCHEMES) == {"tz", "stretch3", "cdg", "graceful"}
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigError, match="unknown scheme"):
+            get_scheme("magic")
+
+    def test_stretch_bounds(self):
+        assert SCHEMES["tz"].stretch_bound({"k": 3}) == 5
+        assert SCHEMES["stretch3"].stretch_bound({"eps": 0.1}) == 3
+        assert SCHEMES["cdg"].stretch_bound({"k": 2}) == 15
+        assert SCHEMES["graceful"].stretch_bound({"n": 64}) == 47
+
+    def test_slack_semantics(self):
+        assert SCHEMES["tz"].slack_of({"k": 3}) is None
+        assert SCHEMES["stretch3"].slack_of({"eps": 0.2}) == 0.2
+        assert SCHEMES["graceful"].slack_of({"n": 10}) is None
+
+    def test_describe(self):
+        text = SCHEMES["cdg"].describe({"eps": 0.25, "k": 2})
+        assert "15" in text and "0.25" in text
+
+
+class TestBuildDispatch:
+    def test_tz_requires_k(self, er_unit):
+        with pytest.raises(ConfigError):
+            build_sketches(er_unit, scheme="tz")
+
+    def test_stretch3_requires_eps(self, er_unit):
+        with pytest.raises(ConfigError):
+            build_sketches(er_unit, scheme="stretch3")
+
+    def test_cdg_requires_both(self, er_unit):
+        with pytest.raises(ConfigError):
+            build_sketches(er_unit, scheme="cdg", eps=0.2)
+
+    def test_bad_mode_rejected(self, er_unit):
+        with pytest.raises(ConfigError):
+            build_sketches(er_unit, scheme="tz", mode="quantum", k=2)
+
+    def test_centralized_has_no_metrics(self, er_unit):
+        b = build_sketches(er_unit, scheme="tz", k=2, seed=1)
+        assert b.metrics is None
+        assert "centralized" in b.describe()
+
+    def test_distributed_has_metrics(self, er_unit):
+        b = build_sketches(er_unit, scheme="tz", mode="distributed", k=2,
+                           seed=1)
+        assert b.metrics is not None and b.metrics.rounds > 0
+        assert "rounds" in b.describe()
+
+    def test_extras_expose_hierarchy_and_net(self, er_unit):
+        b = build_sketches(er_unit, scheme="cdg", eps=0.3, k=2, seed=2)
+        assert "net" in b.extras and "hierarchy" in b.extras
+
+
+class TestQueryFacade:
+    def test_query_all_schemes(self, er_unit, er_unit_apsp):
+        for scheme, params in [("tz", {"k": 2}), ("stretch3", {"eps": 0.3}),
+                               ("cdg", {"eps": 0.3, "k": 2}),
+                               ("graceful", {})]:
+            b = build_sketches(er_unit, scheme=scheme, seed=3, **params)
+            est = b.query(0, er_unit.n - 1)
+            assert est >= er_unit_apsp[0, er_unit.n - 1] - 1e-9
+
+    def test_tz_query_method_passthrough(self, er_unit):
+        b = build_sketches(er_unit, scheme="tz", k=2, seed=4)
+        a = b.query(0, 5, method="paper")
+        c = b.query(0, 5, method="classic")
+        assert a > 0 and c > 0
+
+    def test_size_helpers(self, er_unit):
+        b = build_sketches(er_unit, scheme="tz", k=2, seed=5)
+        sizes = b.sizes_words()
+        assert len(sizes) == er_unit.n
+        assert b.max_size_words() == max(sizes)
+        assert b.mean_size_words() == pytest.approx(sum(sizes) / len(sizes))
+
+    def test_stretch_bound_and_slack_facade(self, er_unit):
+        b = build_sketches(er_unit, scheme="cdg", eps=0.3, k=2, seed=6)
+        assert b.stretch_bound() == 15
+        assert b.slack() == 0.3
+
+
+class TestSeedSemantics:
+    def test_same_seed_same_sketches(self, er_unit):
+        a = build_sketches(er_unit, scheme="tz", k=2, seed=7)
+        b = build_sketches(er_unit, scheme="tz", k=2, seed=7)
+        for sa, sb in zip(a.sketches, b.sketches):
+            assert sa.pivots == sb.pivots and sa.bunch == sb.bunch
+
+    def test_shared_hierarchy_links_modes(self, er_unit):
+        a = build_sketches(er_unit, scheme="tz", k=2, seed=8)
+        h = a.extras["hierarchy"]
+        b = build_sketches(er_unit, scheme="tz", mode="distributed",
+                           hierarchy=h, seed=9)
+        for sa, sb in zip(a.sketches, b.sketches):
+            assert sa.pivots == sb.pivots and sa.bunch == sb.bunch

@@ -1,0 +1,47 @@
+"""Seeded randomness helpers (repro.rng)."""
+
+import numpy as np
+
+from repro.rng import derive_seed, ensure_rng, optional_seed, spawn
+
+
+class TestEnsureRng:
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(ensure_rng(1).random(5),
+                                  ensure_rng(2).random(5))
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(7)
+        assert ensure_rng(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_are_independent_streams(self):
+        kids = spawn(ensure_rng(5), 3)
+        draws = [k.random(4).tolist() for k in kids]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_spawn_is_reproducible(self):
+        a = [k.random(3).tolist() for k in spawn(ensure_rng(9), 4)]
+        b = [k.random(3).tolist() for k in spawn(ensure_rng(9), 4)]
+        assert a == b
+
+    def test_spawn_count(self):
+        assert len(spawn(ensure_rng(1), 10)) == 10
+
+
+class TestHelpers:
+    def test_derive_seed_reproducible(self):
+        assert derive_seed(ensure_rng(3)) == derive_seed(ensure_rng(3))
+
+    def test_optional_seed(self):
+        assert optional_seed(None, 5) == 5
+        assert optional_seed(7, 5) == 7

@@ -1,0 +1,145 @@
+"""The round-robin multi-source engine (heart of Algorithm 2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.round_robin import (EngineListener, MultiSourceEngine,
+                                          RoundRobinBFProgram)
+from repro.congest import Simulator
+from repro.distkey import DistKey, INF_KEY
+from repro.graphs import Graph, apsp, path_graph
+
+
+class RecordingListener(EngineListener):
+    def __init__(self):
+        self.rejected = []
+        self.superseded = []
+        self.sent = []
+
+    def on_rejected(self, src, a, via):
+        self.rejected.append((src, a, via))
+
+    def on_superseded(self, src, parent):
+        self.superseded.append((src, parent))
+
+    def on_sent(self, src, dist, parent):
+        self.sent.append((src, dist, parent))
+
+
+def make_ctx_free_engine(node=0, threshold=INF_KEY, listener=None):
+    return MultiSourceEngine(node, threshold=threshold, listener=listener)
+
+
+class TestAcceptRule:
+    def test_accepts_improvement(self):
+        eng = make_ctx_free_engine()
+        assert eng.accept(src=5, a=3.0, via=1, weight=2.0)
+        assert eng.dist[5] == 5.0
+        assert eng.via[5] == 1
+
+    def test_rejects_non_improvement(self):
+        eng = make_ctx_free_engine()
+        eng.accept(5, 3.0, 1, 2.0)
+        assert not eng.accept(5, 4.0, 2, 1.0)  # same cand 5.0, not strict
+        assert eng.dist[5] == 5.0
+
+    def test_threshold_blocks(self):
+        eng = make_ctx_free_engine(threshold=DistKey(4.0, 7))
+        assert not eng.accept(5, 3.0, 1, 2.0)  # cand 5.0 >= 4.0
+        assert 5 not in eng.dist
+
+    def test_threshold_tie_breaking(self):
+        # cand == threshold dist: accepted only if src id < threshold id
+        eng = make_ctx_free_engine(threshold=DistKey(5.0, 7))
+        assert eng.accept(5, 3.0, 1, 2.0)      # (5.0, 5) < (5.0, 7)
+        eng2 = make_ctx_free_engine(threshold=DistKey(5.0, 3))
+        assert not eng2.accept(5, 3.0, 1, 2.0)  # (5.0, 5) >= (5.0, 3)
+
+    def test_listener_sees_rejects(self):
+        lst = RecordingListener()
+        eng = make_ctx_free_engine(listener=lst)
+        eng.accept(5, 3.0, 1, 2.0)
+        eng.accept(5, 9.0, 2, 2.0)
+        assert lst.rejected == [(5, 9.0, 2)]
+
+    def test_supersede_reports_old_parent(self):
+        lst = RecordingListener()
+        eng = make_ctx_free_engine(listener=lst)
+        eng.accept(5, 3.0, 1, 2.0)   # queued, parent (1, 3.0)
+        eng.accept(5, 1.0, 2, 2.0)   # supersedes before send
+        assert lst.superseded == [(5, (1, 3.0))]
+        assert eng.dist[5] == 3.0
+
+    def test_queue_holds_one_slot_per_source(self):
+        eng = make_ctx_free_engine()
+        eng.accept(5, 3.0, 1, 2.0)
+        eng.accept(5, 1.0, 2, 2.0)
+        eng.accept(6, 1.0, 2, 2.0)
+        assert eng.queue_len() == 2  # sources 5 and 6, not 3 entries
+
+    def test_max_queue_len_tracked(self):
+        eng = make_ctx_free_engine()
+        for s in range(4):
+            eng.accept(s + 10, 1.0, 1, 1.0)
+        assert eng.max_queue_len == 4
+
+
+class TestProgramOnNetwork:
+    def test_two_sources_both_learned(self):
+        g = path_graph(5)
+        sources = {0, 4}
+        sim = Simulator(g, lambda u: RoundRobinBFProgram(u, u in sources))
+        res = sim.run()
+        d = apsp(g)
+        for u in g.nodes():
+            got = res.programs[u].result()
+            assert got[0] == d[u, 0]
+            assert got[4] == d[u, 4]
+
+    def test_all_sources_equals_apsp(self, er_weighted):
+        g = er_weighted
+        sim = Simulator(g, lambda u: RoundRobinBFProgram(u, True))
+        res = sim.run()
+        d = apsp(g)
+        for u in g.nodes():
+            got = res.programs[u].result()
+            assert len(got) == g.n
+            for v, dist in got.items():
+                assert dist == pytest.approx(d[u, v])
+
+    def test_one_broadcast_per_round(self):
+        # with many sources, per-round message count per node stays <= deg
+        g = path_graph(4)
+        sim = Simulator(g, lambda u: RoundRobinBFProgram(u, True))
+        res = sim.run()
+        # path has 3 edges => at most 6 directed messages per round
+        assert res.metrics.max_inflight <= 6
+
+    def test_serve_order_is_fifo(self):
+        eng = make_ctx_free_engine()
+        eng.accept(9, 1.0, 1, 1.0)
+        eng.accept(4, 1.0, 1, 1.0)
+        # FIFO: source 9 queued first, so it is served first
+        assert eng._queue[0] == 9
+
+
+class TestLocalModelAblation:
+    def test_packed_mode_matches_distances(self, er_weighted):
+        from repro.algorithms.ksource import k_source_shortest_paths
+
+        sources = [0, 1, 2, 3, 4]
+        base, m1 = k_source_shortest_paths(er_weighted, sources, seed=1)
+        packed, m2 = k_source_shortest_paths(er_weighted, sources, seed=1,
+                                             drain_per_round=len(sources))
+        assert base == packed
+
+    def test_packed_mode_saves_rounds(self, er_weighted):
+        from repro.algorithms.ksource import k_source_shortest_paths
+
+        sources = list(range(10))
+        _, m1 = k_source_shortest_paths(er_weighted, sources, seed=1)
+        _, m2 = k_source_shortest_paths(er_weighted, sources, seed=1,
+                                        drain_per_round=10)
+        assert m2.rounds < m1.rounds

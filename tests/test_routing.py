@@ -1,0 +1,149 @@
+"""Compact routing (repro.routing)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.graphs import Graph, apsp, grid2d, path_graph, ring
+from repro.routing import (
+    build_routing_scheme,
+    evaluate_routing,
+    route_packet,
+)
+from repro.routing.tables import cluster_tree, _dfs_intervals
+from repro.tz import sample_hierarchy
+from repro.tz.centralized import compute_pivot_keys
+
+
+@pytest.fixture(scope="module")
+def built(er_weighted):
+    scheme = build_routing_scheme(er_weighted, k=3, seed=7)
+    return er_weighted, scheme, apsp(er_weighted)
+
+
+class TestClusterTrees:
+    def test_tree_edges_are_graph_edges(self, er_weighted):
+        h = sample_hierarchy(er_weighted.n, 2, seed=1)
+        pk = compute_pivot_keys(er_weighted, h)
+        dist, parent = cluster_tree(er_weighted, 0, pk[1])
+        for u, p in parent.items():
+            if p is not None:
+                assert er_weighted.has_edge(u, p)
+
+    def test_tree_distances_decrease_toward_root(self, er_weighted):
+        h = sample_hierarchy(er_weighted.n, 2, seed=1)
+        pk = compute_pivot_keys(er_weighted, h)
+        dist, parent = cluster_tree(er_weighted, 0, pk[1])
+        for u, p in parent.items():
+            if p is not None:
+                assert dist[p] < dist[u]
+                assert dist[u] == pytest.approx(
+                    dist[p] + er_weighted.weight(p, u))
+
+    def test_intervals_nest_properly(self):
+        # hand-built tree: 0-(1,2), 1-(3)
+        members = {0: 0.0, 1: 1.0, 2: 1.0, 3: 2.0}
+        parent = {0: None, 1: 0, 2: 0, 3: 1}
+        iv, children = _dfs_intervals(members, parent, 0)
+        a, b = iv[0]
+        assert (a, b) == (0, 4)
+        for u in (1, 2, 3):
+            assert a < iv[u][0] and iv[u][1] <= b
+        # child subtree of 1 contains 3
+        assert iv[1][0] <= iv[3][0] < iv[3][1] <= iv[1][1]
+        # siblings disjoint
+        assert iv[1][1] <= iv[2][0] or iv[2][1] <= iv[1][0]
+
+
+class TestRoutes:
+    def test_paths_follow_edges(self, built):
+        g, scheme, d = built
+        for u, v in [(0, 1), (0, 35), (10, 25), (7, 8)]:
+            res = route_packet(scheme, g, u, v)
+            assert res.path[0] == u and res.path[-1] == v
+            for a, b in zip(res.path, res.path[1:]):
+                assert g.has_edge(a, b)
+
+    def test_weight_matches_path(self, built):
+        g, scheme, d = built
+        res = route_packet(scheme, g, 3, 30)
+        assert res.weight == pytest.approx(sum(
+            g.weight(a, b) for a, b in zip(res.path, res.path[1:])))
+
+    def test_self_route(self, built):
+        g, scheme, _ = built
+        res = route_packet(scheme, g, 5, 5)
+        assert res.path == (5,) and res.weight == 0.0
+
+    def test_stretch_bound_all_pairs(self, built):
+        g, scheme, d = built
+        rep = evaluate_routing(scheme, g, d)
+        assert rep["max_stretch"] <= scheme.stretch_bound() + 1e-9
+        assert rep["mean_stretch"] >= 1.0 - 1e-9
+
+    def test_k1_routes_exactly(self, er_weighted):
+        scheme = build_routing_scheme(er_weighted, k=1, seed=2)
+        d = apsp(er_weighted)
+        rep = evaluate_routing(scheme, er_weighted, d)
+        assert rep["max_stretch"] == pytest.approx(1.0)
+
+    def test_bunch_member_routes_exactly(self, built):
+        # if v is in u's bunch, the route is a shortest path
+        g, scheme, d = built
+        checked = 0
+        for u in range(g.n):
+            for v in scheme.tables[u].entries:
+                if v == u:
+                    continue
+                res = route_packet(scheme, g, u, v)
+                assert res.weight == pytest.approx(d[u, v])
+                checked += 1
+        assert checked > 0
+
+    def test_structured_topologies(self):
+        for g in (ring(12), grid2d(4, 4), path_graph(9)):
+            d = apsp(g)
+            scheme = build_routing_scheme(g, k=2, seed=3)
+            rep = evaluate_routing(scheme, g, d)
+            assert rep["max_stretch"] <= scheme.stretch_bound() + 1e-9
+
+
+class TestSizes:
+    def test_address_is_Ok_words(self, built):
+        _, scheme, _ = built
+        assert scheme.max_address_words() == 1 + 3 * scheme.k
+
+    def test_tables_shrink_with_k(self, er_weighted):
+        s1 = build_routing_scheme(er_weighted, k=1, seed=4)
+        s3 = build_routing_scheme(er_weighted, k=3, seed=4)
+        assert s3.max_table_words() < s1.max_table_words()
+
+    def test_requires_k_or_hierarchy(self, er_weighted):
+        with pytest.raises(ConfigError):
+            build_routing_scheme(er_weighted)
+
+
+class TestRoutingProperties:
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=10**6),
+           k=st.integers(min_value=1, max_value=3))
+    def test_random_instances(self, seed, k):
+        # draw a small random connected graph deterministically from the
+        # hypothesis-chosen seed (spanning tree + chords)
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 12))
+        g = Graph(n)
+        for v in range(1, n):
+            g.add_edge(int(rng.integers(0, v)), v,
+                       float(rng.integers(1, 9)))
+        for _ in range(n // 2):
+            u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
+            if u != v and not g.has_edge(u, v):
+                g.add_edge(u, v, float(rng.integers(1, 9)))
+        d = apsp(g)
+        scheme = build_routing_scheme(g, k=k, seed=seed)
+        rep = evaluate_routing(scheme, g, d)
+        assert rep["max_stretch"] <= scheme.stretch_bound() + 1e-9

@@ -1,0 +1,83 @@
+"""Sketch serialization (repro.oracle.serialization)."""
+
+import json
+
+import pytest
+
+from repro import build_sketches
+from repro.errors import QueryError
+from repro.oracle.serialization import (
+    dumps,
+    load_sketch_set,
+    loads,
+    save_sketch_set,
+    sketch_from_dict,
+    sketch_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def all_built(er_unit):
+    return {
+        "tz": build_sketches(er_unit, scheme="tz", k=3, seed=1),
+        "stretch3": build_sketches(er_unit, scheme="stretch3", eps=0.3,
+                                   seed=2),
+        "cdg": build_sketches(er_unit, scheme="cdg", eps=0.3, k=2, seed=3),
+        "graceful": build_sketches(er_unit, scheme="graceful", seed=4),
+    }
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("scheme", ["tz", "stretch3", "cdg", "graceful"])
+    def test_dict_round_trip(self, all_built, scheme):
+        original = all_built[scheme].sketches[5]
+        restored = sketch_from_dict(sketch_to_dict(original))
+        assert restored == original
+
+    @pytest.mark.parametrize("scheme", ["tz", "stretch3", "cdg", "graceful"])
+    def test_json_round_trip_preserves_queries(self, all_built, scheme):
+        built = all_built[scheme]
+        a = loads(dumps(built.sketches[3]))
+        b = loads(dumps(built.sketches[20]))
+        direct = built.query(3, 20)
+        if scheme == "tz":
+            from repro.tz.sketch import estimate_distance
+
+            assert estimate_distance(a, b) == direct
+        else:
+            assert a.estimate_to(b) == direct
+
+    def test_json_is_plain(self, all_built):
+        text = dumps(all_built["cdg"].sketches[0])
+        json.loads(text)  # parses as standard JSON
+
+    def test_sketch_set_file_round_trip(self, tmp_path, all_built):
+        built = all_built["tz"]
+        path = tmp_path / "sketches.jsonl"
+        save_sketch_set(built.sketches, path)
+        restored = load_sketch_set(path)
+        assert restored == built.sketches
+
+
+class TestValidation:
+    def test_unknown_type_tag(self):
+        with pytest.raises(QueryError, match="unknown sketch type"):
+            sketch_from_dict({"type": "wat", "v": 1})
+
+    def test_version_mismatch(self):
+        with pytest.raises(QueryError, match="version"):
+            sketch_from_dict({"type": "tz", "v": 99})
+
+    def test_non_dict(self):
+        with pytest.raises(QueryError, match="not a serialized sketch"):
+            sketch_from_dict("nope")
+
+    def test_unserializable_object(self):
+        with pytest.raises(QueryError, match="cannot serialize"):
+            sketch_to_dict(object())
+
+    def test_keys_become_ints_again(self, all_built):
+        # JSON stringifies nothing here (arrays, not objects) — ensure
+        # decoded bunch keys are ints, not strings
+        s = loads(dumps(all_built["tz"].sketches[1]))
+        assert all(isinstance(k, int) for k in s.bunch)

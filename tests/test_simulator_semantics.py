@@ -1,0 +1,151 @@
+"""Fine-grained simulator semantics: clocks, quiescence callbacks,
+finished(), and the errors module."""
+
+from typing import Any
+
+import pytest
+
+from repro.congest import NodeProgram, Simulator
+from repro.errors import (
+    ConfigError,
+    GraphError,
+    ProtocolError,
+    QueryError,
+    ReproError,
+    SimulationError,
+)
+from repro.graphs import Graph, path_graph
+
+
+class TestErrorsHierarchy:
+    @pytest.mark.parametrize("exc", [GraphError, ConfigError, ProtocolError,
+                                     SimulationError, QueryError])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("x")
+
+
+class ClockCounter(NodeProgram):
+    needs_clock = True
+
+    def __init__(self):
+        self.ticks = 0
+        self.stop_at = 5
+
+    def on_round(self, ctx, inbox):
+        self.ticks += 1
+
+    def has_pending(self):
+        return self.ticks < self.stop_at
+
+
+class TestClocks:
+    def test_needs_clock_nodes_tick_every_round(self):
+        g = path_graph(3)
+        sim = Simulator(g, lambda u: ClockCounter())
+        res = sim.run()
+        # pending work kept the network non-quiescent for 5 rounds even
+        # with zero messages
+        assert all(p.ticks == 5 for p in res.programs)
+        assert res.metrics.rounds == 5
+        assert res.metrics.messages == 0
+
+
+class PhaseHopper(NodeProgram):
+    """Advances through `phases` silent stages via on_quiescent."""
+
+    def __init__(self, phases: int):
+        self.remaining = phases
+        self.advances = 0
+
+    def on_quiescent(self, ctx):
+        if self.remaining > 0:
+            self.remaining -= 1
+            self.advances += 1
+
+    def finished(self):
+        return self.remaining == 0
+
+
+class TestQuiescenceCallbacks:
+    def test_silent_phase_chains_advance(self):
+        g = path_graph(2)
+        sim = Simulator(g, lambda u: PhaseHopper(4))
+        res = sim.run()
+        assert all(p.advances == 4 for p in res.programs)
+        assert res.metrics.rounds == 0  # all stages were traffic-free
+
+    def test_never_finishing_program_raises(self):
+        class Stuck(NodeProgram):
+            def finished(self):
+                return False
+
+        g = path_graph(2)
+        with pytest.raises(SimulationError, match="livelock"):
+            Simulator(g, lambda u: Stuck()).run()
+
+    def test_mixed_finished_states(self):
+        # one program needs two callbacks, the other none: the run must
+        # keep offering callbacks until all report finished
+        class Lazy(PhaseHopper):
+            pass
+
+        g = path_graph(2)
+        progs = {0: PhaseHopper(2), 1: PhaseHopper(0)}
+        res = Simulator(g, lambda u: progs[u]).run()
+        assert progs[0].advances == 2
+
+
+class SendAtQuiescence(NodeProgram):
+    def __init__(self, node):
+        self.node = node
+        self.sent = False
+        self.got = False
+
+    def on_quiescent(self, ctx):
+        if self.node == 0 and not self.sent:
+            self.sent = True
+            ctx.broadcast(("wake",))
+
+    def on_round(self, ctx, inbox):
+        if inbox:
+            self.got = True
+
+    def finished(self):
+        return self.sent if self.node == 0 else True
+
+
+class TestQuiescentSends:
+    def test_messages_sent_at_quiescence_are_delivered(self):
+        g = path_graph(2)
+        res = Simulator(g, lambda u: SendAtQuiescence(u)).run()
+        assert res.programs[1].got
+        assert res.metrics.rounds == 1
+
+
+class TestBandwidthBoundary:
+    def test_exactly_at_budget_ok(self):
+        class Sender(NodeProgram):
+            def on_start(self, ctx):
+                if ctx.node == 0:
+                    ctx.send(1, (1, 2, 3, 4, 5, 6))  # exactly 6 words
+
+        g = path_graph(2)
+        res = Simulator(g, lambda u: Sender()).run()
+        assert res.metrics.words == 6
+
+    def test_one_word_over_rejected(self):
+        class Sender(NodeProgram):
+            def on_start(self, ctx):
+                if ctx.node == 0:
+                    ctx.send(1, (1, 2, 3, 4, 5, 6, 7))
+
+        g = path_graph(2)
+        with pytest.raises(ProtocolError, match="bandwidth"):
+            Simulator(g, lambda u: Sender()).run()
+
+    def test_min_bandwidth_validation(self):
+        g = path_graph(2)
+        with pytest.raises(ProtocolError):
+            Simulator(g, lambda u: NodeProgram(), bandwidth_words=0)

@@ -1,0 +1,134 @@
+"""ECHO bookkeeping (repro.algorithms.termination) and the end-to-end
+Section 3.3 detector inside the distributed TZ protocol."""
+
+import pytest
+
+from repro.algorithms.termination import EchoBookkeeper
+from repro.errors import ProtocolError
+
+
+class TestLedger:
+    def test_rejected_message_owes_echo_immediately(self):
+        bk = EchoBookkeeper(0, (1, 2))
+        bk.on_rejected(src=7, a=3.0, via=1)
+        assert bk.pop_owed(1) == (7, 3.0)
+        assert bk.pop_owed(1) is None
+
+    def test_superseded_update_owes_echo_to_old_parent(self):
+        bk = EchoBookkeeper(0, (1, 2))
+        bk.on_superseded(src=7, parent=(2, 5.0))
+        assert bk.pop_owed(2) == (7, 5.0)
+
+    def test_superseded_source_injection_owes_nothing(self):
+        bk = EchoBookkeeper(0, (1, 2))
+        bk.on_superseded(src=0, parent=None)
+        assert not bk.has_owed()
+
+    def test_broadcast_settles_after_all_echoes(self):
+        bk = EchoBookkeeper(0, (1, 2, 3))
+        bk.on_sent(src=7, dist=4.0, parent=(1, 3.0))
+        bk.receive_echo(2, 7, 4.0)
+        bk.receive_echo(3, 7, 4.0)
+        assert not bk.quiet()  # still waiting for 1's echo
+        bk.receive_echo(1, 7, 4.0)
+        # settled: now owes the parent echo
+        assert bk.pop_owed(1) == (7, 3.0)
+        assert bk.quiet()
+
+    def test_origin_broadcast_triggers_completion(self):
+        fired = []
+        bk = EchoBookkeeper(5, (1, 2), on_complete=lambda: fired.append(True))
+        bk.on_sent(src=5, dist=0.0, parent=None)
+        bk.receive_echo(1, 5, 0.0)
+        assert not fired
+        bk.receive_echo(2, 5, 0.0)
+        assert fired == [True]
+
+    def test_no_neighbors_settles_immediately(self):
+        fired = []
+        bk = EchoBookkeeper(5, (), on_complete=lambda: fired.append(True))
+        bk.on_sent(src=5, dist=0.0, parent=None)
+        assert fired == [True]
+
+    def test_concurrent_broadcasts_tracked_independently(self):
+        bk = EchoBookkeeper(0, (1,))
+        bk.on_sent(src=7, dist=4.0, parent=(1, 3.0))
+        bk.on_sent(src=7, dist=2.0, parent=(1, 1.0))  # improved later
+        bk.receive_echo(1, 7, 2.0)
+        assert bk.pop_owed(1) == (7, 1.0)
+        bk.receive_echo(1, 7, 4.0)
+        assert bk.pop_owed(1) == (7, 3.0)
+
+    def test_duplicate_broadcast_key_rejected(self):
+        bk = EchoBookkeeper(0, (1,))
+        bk.on_sent(src=7, dist=4.0, parent=None)
+        with pytest.raises(ProtocolError, match="duplicate"):
+            bk.on_sent(src=7, dist=4.0, parent=None)
+
+    def test_unexpected_echo_rejected(self):
+        bk = EchoBookkeeper(0, (1, 2))
+        with pytest.raises(ProtocolError, match="unexpected echo"):
+            bk.receive_echo(1, 9, 1.0)
+
+    def test_double_echo_from_same_neighbor_rejected(self):
+        bk = EchoBookkeeper(0, (1, 2))
+        bk.on_sent(src=7, dist=4.0, parent=None)
+        bk.receive_echo(1, 7, 4.0)
+        with pytest.raises(ProtocolError, match="unexpected echo"):
+            bk.receive_echo(1, 7, 4.0)
+
+    def test_owed_edges_lists_creditors(self):
+        bk = EchoBookkeeper(0, (1, 2, 3))
+        bk.on_rejected(7, 1.0, 1)
+        bk.on_rejected(8, 2.0, 3)
+        assert sorted(bk.owed_edges()) == [1, 3]
+
+    def test_counters(self):
+        bk = EchoBookkeeper(0, (1,))
+        bk.on_rejected(7, 1.0, 1)
+        bk.pop_owed(1)
+        bk.on_sent(7, 2.0, None)
+        bk.receive_echo(1, 7, 2.0)
+        assert bk.echoes_sent == 1
+        assert bk.echoes_received == 1
+
+
+class TestEndToEndDetector:
+    """The detector embedded in the echo-mode TZ run (integration)."""
+
+    def test_echo_messages_double_data_at_most(self, er_unit):
+        from repro.congest.tracing import Tracer
+        from repro.congest.network import Simulator
+        from repro.tz.distributed import TZEchoProgram, DATA, ECHO
+        from repro.tz.hierarchy import sample_hierarchy
+
+        h = sample_hierarchy(er_unit.n, 2, seed=3)
+        tracer = Tracer()
+        sim = Simulator(
+            er_unit,
+            lambda u: TZEchoProgram(u, er_unit.n, 2, int(h.level[u])),
+            seed=4, tracer=tracer)
+        sim.run()
+        n_data = sum(1 for _ in tracer.of_kind(DATA))
+        n_echo = sum(1 for _ in tracer.of_kind(ECHO))
+        # exactly one echo per data message — the paper's 2x claim
+        assert n_echo == n_data
+
+    def test_echoes_travel_reverse_to_data(self, small_ring):
+        from repro.congest.tracing import Tracer
+        from repro.congest.network import Simulator
+        from repro.tz.distributed import TZEchoProgram, DATA, ECHO
+        from repro.tz.hierarchy import sample_hierarchy
+
+        g = small_ring
+        h = sample_hierarchy(g.n, 2, seed=5)
+        tracer = Tracer()
+        sim = Simulator(g, lambda u: TZEchoProgram(u, g.n, 2, int(h.level[u])),
+                        seed=6, tracer=tracer)
+        sim.run()
+        data_edges = {(ev.src, ev.dst, ev.payload[2], ev.payload[3])
+                      for ev in tracer.of_kind(DATA)}
+        for ev in tracer.of_kind(ECHO):
+            # each echo quotes a data message that crossed the same edge
+            # in the opposite direction earlier
+            assert (ev.dst, ev.src, ev.payload[2], ev.payload[3]) in data_edges

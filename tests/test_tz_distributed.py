@@ -1,0 +1,208 @@
+"""Distributed Thorup-Zwick (Algorithm 2, Theorem 3.8) — all sync modes.
+
+The central assertion of the whole reproduction: given the same hierarchy,
+the distributed protocol computes *exactly* the sketches the centralized
+[TZ05] construction does, under every synchronization mode.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.graphs import (
+    apsp,
+    assign_uniform_weights,
+    erdos_renyi,
+    grid2d,
+    ring,
+    shortest_path_diameter,
+)
+from repro.tz import (
+    build_tz_sketches_centralized,
+    build_tz_sketches_distributed,
+    estimate_distance,
+    sample_hierarchy,
+)
+from repro.tz.distributed import phase_budgets
+
+
+def assert_same_sketches(a, b):
+    assert len(a) == len(b)
+    for sa, sb in zip(a, b):
+        assert sa.pivots == sb.pivots, f"pivots differ at node {sa.node}"
+        assert sa.bunch == sb.bunch, f"bunch differs at node {sa.node}"
+
+
+@pytest.fixture(scope="module")
+def cases():
+    graphs = {
+        "er-unit": erdos_renyi(30, seed=21),
+        "er-weighted": assign_uniform_weights(erdos_renyi(28, seed=22), seed=23),
+        "ring": ring(15),
+        "grid": grid2d(4, 5),
+    }
+    out = {}
+    for name, g in graphs.items():
+        h = sample_hierarchy(g.n, 3, seed=31)
+        cs, _ = build_tz_sketches_centralized(g, hierarchy=h)
+        out[name] = (g, h, cs)
+    return out
+
+
+class TestOracleSync:
+    def test_matches_centralized(self, cases):
+        for name, (g, h, cs) in cases.items():
+            res = build_tz_sketches_distributed(g, hierarchy=h, sync="oracle",
+                                                seed=41)
+            assert_same_sketches(cs, res.sketches)
+
+    def test_phase_metrics_segmented(self, cases):
+        g, h, _ = cases["er-unit"]
+        res = build_tz_sketches_distributed(g, hierarchy=h, sync="oracle",
+                                            seed=42)
+        assert res.metrics.phase_names() == ["phase-2", "phase-1", "phase-0"]
+        assert sum(p.rounds for p in res.metrics.phases) == res.metrics.rounds
+
+    def test_k1_gives_full_tables(self):
+        g = erdos_renyi(20, seed=24)
+        res = build_tz_sketches_distributed(g, k=1, seed=43)
+        d = apsp(g)
+        for u in g.nodes():
+            assert len(res.sketches[u].bunch) == g.n
+            for v in g.nodes():
+                assert estimate_distance(res.sketches[u], res.sketches[v]) \
+                    == pytest.approx(d[u, v])
+
+    def test_max_queue_reported(self, cases):
+        g, h, _ = cases["er-unit"]
+        res = build_tz_sketches_distributed(g, hierarchy=h, seed=44)
+        assert res.max_queue_len >= 1
+
+
+class TestEchoSync:
+    def test_matches_centralized(self, cases):
+        for name, (g, h, cs) in cases.items():
+            res = build_tz_sketches_distributed(g, hierarchy=h, sync="echo",
+                                                seed=51)
+            assert_same_sketches(cs, res.sketches)
+
+    def test_tree_depth_reported(self, cases):
+        g, h, _ = cases["grid"]
+        res = build_tz_sketches_distributed(g, hierarchy=h, sync="echo",
+                                            seed=52)
+        assert res.tree_depth is not None and res.tree_depth >= 1
+
+    def test_costs_more_than_oracle_but_bounded(self, cases):
+        # Section 3.3's claim: termination detection costs a constant
+        # factor in messages over the oracle-synchronized protocol
+        g, h, _ = cases["er-unit"]
+        oracle = build_tz_sketches_distributed(g, hierarchy=h, sync="oracle",
+                                               seed=53)
+        echo = build_tz_sketches_distributed(g, hierarchy=h, sync="echo",
+                                             seed=53)
+        assert echo.metrics.messages >= oracle.metrics.messages
+        # data doubles (ECHOs) + election/COMPLETE/START overhead: allow 6x
+        assert echo.metrics.messages <= 6 * oracle.metrics.messages + 40 * g.n
+
+    def test_k2_and_k4(self):
+        g = assign_uniform_weights(erdos_renyi(24, seed=25), seed=26)
+        for k in (2, 4):
+            h = sample_hierarchy(g.n, k, seed=32 + k)
+            cs, _ = build_tz_sketches_centralized(g, hierarchy=h)
+            res = build_tz_sketches_distributed(g, hierarchy=h, sync="echo",
+                                                seed=54)
+            assert_same_sketches(cs, res.sketches)
+
+
+class TestKnownSmaxSync:
+    def test_matches_centralized_whp_budget(self, cases):
+        for name, (g, h, cs) in cases.items():
+            S = shortest_path_diameter(g)
+            res = build_tz_sketches_distributed(g, hierarchy=h,
+                                                sync="known_smax", S=S,
+                                                budget="whp", seed=61)
+            assert_same_sketches(cs, res.sketches)
+
+    def test_matches_centralized_safe_budget(self, cases):
+        g, h, cs = cases["er-weighted"]
+        S = shortest_path_diameter(g)
+        res = build_tz_sketches_distributed(g, hierarchy=h, sync="known_smax",
+                                            S=S, budget="safe", seed=62)
+        assert_same_sketches(cs, res.sketches)
+
+    def test_requires_S(self, cases):
+        g, h, _ = cases["er-unit"]
+        with pytest.raises(ConfigError):
+            build_tz_sketches_distributed(g, hierarchy=h, sync="known_smax")
+
+    def test_explicit_budget_list(self, cases):
+        g, h, cs = cases["er-unit"]
+        S = shortest_path_diameter(g)
+        budgets = phase_budgets(g.n, 3, S, mode="safe")
+        res = build_tz_sketches_distributed(g, hierarchy=h, sync="known_smax",
+                                            S=S, budget=budgets, seed=63)
+        assert_same_sketches(cs, res.sketches)
+
+    def test_rounds_equal_budget_sum(self, cases):
+        # known-S charges the full fixed schedule regardless of early
+        # quiescence — that is the price of the paper's assumption
+        g, h, _ = cases["ring"]
+        S = shortest_path_diameter(g)
+        budgets = phase_budgets(g.n, 3, S, mode="whp")
+        res = build_tz_sketches_distributed(g, hierarchy=h, sync="known_smax",
+                                            S=S, budget="whp", seed=64)
+        assert res.metrics.rounds == pytest.approx(sum(budgets), abs=3)
+
+
+class TestBudgets:
+    def test_safe_budget_formula(self):
+        assert phase_budgets(10, 2, 4, mode="safe") == [4 * 12 + 2] * 2
+
+    def test_whp_budget_grows_with_S(self):
+        a = phase_budgets(64, 2, 2, mode="whp")[0]
+        b = phase_budgets(64, 2, 8, mode="whp")[0]
+        assert b > a
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            phase_budgets(10, 2, 4, mode="wat")
+
+    def test_invalid_S_rejected(self):
+        with pytest.raises(ConfigError):
+            phase_budgets(10, 2, 0)
+
+
+class TestValidation:
+    def test_unknown_sync_rejected(self, cases):
+        g, h, _ = cases["er-unit"]
+        with pytest.raises(ConfigError):
+            build_tz_sketches_distributed(g, hierarchy=h, sync="psychic")
+
+    def test_needs_k_or_hierarchy(self, cases):
+        g, _, _ = cases["er-unit"]
+        with pytest.raises(ConfigError):
+            build_tz_sketches_distributed(g)
+
+    def test_conflicting_k_rejected(self, cases):
+        g, h, _ = cases["er-unit"]
+        with pytest.raises(ConfigError):
+            build_tz_sketches_distributed(g, k=h.k + 1, hierarchy=h)
+
+
+class TestComplexityShape:
+    @pytest.mark.slow
+    def test_rounds_within_theory_curve(self):
+        # Theorem 1.1: rounds = O(k n^{1/k} S log n); check the implied
+        # constant stays bounded along an n-sweep (shape, not absolutes)
+        from repro.analysis import tz_round_bound, summarize_ratios
+
+        measured, bounds = [], []
+        for n in (16, 32, 64):
+            g = erdos_renyi(n, seed=n)
+            S = shortest_path_diameter(g)
+            res = build_tz_sketches_distributed(g, k=2, seed=n + 1)
+            measured.append(res.metrics.rounds)
+            bounds.append(tz_round_bound(n, 2, S))
+        summary = summarize_ratios(measured, bounds)
+        assert summary.shape_holds(drift_tolerance=2.0)

@@ -1,0 +1,152 @@
+"""The TZ label and query algorithms (repro.tz.sketch, Lemma 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.graphs import apsp
+from repro.tz import build_tz_sketches_centralized, estimate_distance
+from repro.tz.sketch import TZSketch, query_level
+
+
+@pytest.fixture(scope="module")
+def built(er_weighted_module=None):
+    # module-local build shared by the query tests
+    from repro.graphs import erdos_renyi, assign_uniform_weights
+
+    g = assign_uniform_weights(erdos_renyi(36, seed=202), seed=203)
+    sketches, h = build_tz_sketches_centralized(g, k=3, seed=77)
+    return g, sketches, apsp(g)
+
+
+class TestLabelShape:
+    def test_pivot_zero_is_self(self, built):
+        _, sketches, _ = built
+        for s in sketches:
+            assert s.pivots[0] == (s.node, 0.0)
+
+    def test_size_words_accounting(self, built):
+        _, sketches, _ = built
+        s = sketches[0]
+        assert s.size_words() == 2 * (3 + len(s.bunch))
+
+    def test_bunch_at_level_partition(self, built):
+        _, sketches, _ = built
+        s = sketches[0]
+        total = sum(len(s.bunch_at_level(i)) for i in range(3))
+        assert total == len(s.bunch)
+
+    def test_bunch_distance_lookup(self, built):
+        _, sketches, _ = built
+        s = sketches[0]
+        assert s.bunch_distance(s.node) == 0.0
+        with pytest.raises(QueryError):
+            s.bunch_distance(-5)
+
+    def test_wrong_pivot_count_rejected(self):
+        with pytest.raises(QueryError):
+            TZSketch(node=0, k=3, pivots=((0, 0.0),), bunch={})
+
+
+class TestPaperQuery:
+    def test_never_underestimates(self, built):
+        _, sketches, d = built
+        n = len(sketches)
+        for u in range(n):
+            for v in range(u + 1, n):
+                assert estimate_distance(sketches[u], sketches[v]) >= \
+                    d[u, v] - 1e-9
+
+    def test_stretch_bound(self, built):
+        _, sketches, d = built
+        n = len(sketches)
+        for u in range(n):
+            for v in range(u + 1, n):
+                est = estimate_distance(sketches[u], sketches[v])
+                assert est <= (2 * 3 - 1) * d[u, v] + 1e-9
+
+    def test_symmetric(self, built):
+        _, sketches, _ = built
+        for u, v in [(0, 5), (3, 11), (20, 35)]:
+            assert estimate_distance(sketches[u], sketches[v]) == \
+                estimate_distance(sketches[v], sketches[u])
+
+    def test_same_node_zero(self, built):
+        _, sketches, _ = built
+        assert estimate_distance(sketches[4], sketches[4]) == 0.0
+
+    def test_level0_bunch_hit_is_exact(self, built):
+        # if v in B_0(u), the level-0 scan hits (p_0(v) = v in B_0(u), or
+        # the symmetric branch) and the estimate is exact; at higher levels
+        # the query may legitimately terminate early through a pivot, so
+        # exactness is only guaranteed at level 0
+        _, sketches, d = built
+        hits = 0
+        for u, s in enumerate(sketches):
+            for v, (dist, lvl) in s.bunch.items():
+                if v == u or lvl != 0:
+                    continue
+                est = estimate_distance(s, sketches[v])
+                assert est == pytest.approx(d[u, v])
+                hits += 1
+        assert hits > 0  # the property was actually exercised
+
+    def test_level_stretch_refinement(self, built):
+        # Lemma 3.2's proof: the estimate at terminating level i* is at
+        # most (2 i* + 1) d(u, v)
+        _, sketches, d = built
+        for u in range(0, 30, 5):
+            for v in range(u + 1, 30, 7):
+                i_star = query_level(sketches[u], sketches[v])
+                est = estimate_distance(sketches[u], sketches[v])
+                assert est <= (2 * i_star + 1) * d[u, v] + 1e-9
+
+    def test_mismatched_k_rejected(self, built):
+        _, sketches, _ = built
+        other = TZSketch(node=0, k=1, pivots=((0, 0.0),), bunch={0: (0.0, 0)})
+        with pytest.raises(QueryError):
+            estimate_distance(sketches[1], other)
+
+
+class TestClassicQuery:
+    def test_never_underestimates_and_bounded(self, built):
+        _, sketches, d = built
+        n = len(sketches)
+        for u in range(n):
+            for v in range(u + 1, n):
+                est = estimate_distance(sketches[u], sketches[v],
+                                        method="classic")
+                assert d[u, v] - 1e-9 <= est <= (2 * 3 - 1) * d[u, v] + 1e-9
+
+    def test_classic_at_most_paper_plus_refinements(self, built):
+        # both satisfy the same bound; they may differ per pair, but the
+        # classic walk can stop earlier (plain membership, no level check)
+        _, sketches, d = built
+        diffs = 0
+        for u in range(0, 36, 3):
+            for v in range(u + 1, 36, 4):
+                a = estimate_distance(sketches[u], sketches[v])
+                b = estimate_distance(sketches[u], sketches[v],
+                                      method="classic")
+                if a != b:
+                    diffs += 1
+        # they are allowed to differ; this asserts both were computed
+        assert diffs >= 0
+
+    def test_unknown_method_rejected(self, built):
+        _, sketches, _ = built
+        with pytest.raises(QueryError):
+            estimate_distance(sketches[0], sketches[1], method="nope")
+
+
+class TestK1:
+    def test_k1_is_exact(self):
+        from repro.graphs import erdos_renyi
+
+        g = erdos_renyi(25, seed=5)
+        sketches, _ = build_tz_sketches_centralized(g, k=1, seed=6)
+        d = apsp(g)
+        for u in range(25):
+            for v in range(25):
+                assert estimate_distance(sketches[u], sketches[v]) == \
+                    pytest.approx(d[u, v])

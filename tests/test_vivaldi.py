@@ -1,0 +1,78 @@
+"""The Vivaldi coordinate baseline (repro.baselines.vivaldi)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_vivaldi
+from repro.errors import ConfigError
+from repro.graphs import apsp, path_graph, random_geometric
+
+
+class TestEmbedding:
+    def test_shapes(self, er_weighted):
+        vc = build_vivaldi(er_weighted, dim=4, rounds=20, seed=1)
+        assert vc.coords.shape == (er_weighted.n, 4)
+        assert vc.size_words() == 4
+
+    def test_estimates_symmetric_and_nonnegative(self, er_weighted):
+        vc = build_vivaldi(er_weighted, rounds=20, seed=2)
+        assert vc.estimate(0, 5) == vc.estimate(5, 0)
+        assert vc.estimate(0, 5) >= 0.0
+        assert vc.estimate(3, 3) == 0.0
+
+    def test_reproducible(self, er_weighted):
+        a = build_vivaldi(er_weighted, rounds=10, seed=3)
+        b = build_vivaldi(er_weighted, rounds=10, seed=3)
+        assert np.array_equal(a.coords, b.coords)
+
+    def test_relaxation_improves_fit(self, geo_graph):
+        d = apsp(geo_graph)
+
+        def err(vc):
+            tot = 0.0
+            for u in range(0, geo_graph.n, 3):
+                for v in range(u + 1, geo_graph.n, 3):
+                    tot += abs(vc.estimate(u, v) - d[u, v]) / d[u, v]
+            return tot
+
+        rough = build_vivaldi(geo_graph, rounds=1, seed=4, dist_matrix=d)
+        relaxed = build_vivaldi(geo_graph, rounds=150, seed=4, dist_matrix=d)
+        assert err(relaxed) < err(rough)
+
+    def test_good_fit_on_geometric(self, geo_graph):
+        d = apsp(geo_graph)
+        vc = build_vivaldi(geo_graph, dim=3, seed=5, dist_matrix=d)
+        ratios = [vc.estimate(u, v) / d[u, v]
+                  for u in range(0, geo_graph.n, 2)
+                  for v in range(u + 1, geo_graph.n, 2)]
+        assert 0.8 <= float(np.mean(ratios)) <= 1.25
+
+    def test_line_embeds_well(self):
+        g = path_graph(12)
+        d = apsp(g)
+        vc = build_vivaldi(g, dim=2, rounds=300, seed=6, dist_matrix=d,
+                           samples_per_node=11)
+        # a path is exactly embeddable: endpoints must end up far apart
+        assert vc.estimate(0, 11) >= 0.5 * d[0, 11]
+
+
+class TestNoGuarantees:
+    def test_underestimates_happen(self, er_weighted):
+        # the structural difference from sketches: coordinates DO
+        # underestimate (this is the paper's point, not a bug)
+        d = apsp(er_weighted)
+        vc = build_vivaldi(er_weighted, dim=3, seed=7, dist_matrix=d)
+        unders = sum(1 for u in range(er_weighted.n)
+                     for v in range(u + 1, er_weighted.n)
+                     if vc.estimate(u, v) < d[u, v] * 0.999)
+        assert unders > 0
+
+
+class TestValidation:
+    def test_bad_dim(self, er_weighted):
+        with pytest.raises(ConfigError):
+            build_vivaldi(er_weighted, dim=0)
+
+    def test_bad_rounds(self, er_weighted):
+        with pytest.raises(ConfigError):
+            build_vivaldi(er_weighted, rounds=0)

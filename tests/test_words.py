@@ -1,0 +1,69 @@
+"""Word-size accounting (repro.words)."""
+
+import pytest
+
+from repro.words import (
+    DEFAULT_BANDWIDTH_WORDS,
+    distance_words,
+    entry_words,
+    id_words,
+    log2n,
+    payload_words,
+)
+
+
+class TestPayloadWords:
+    def test_scalar_ints_cost_one(self):
+        assert payload_words(7) == 1
+
+    def test_floats_cost_one(self):
+        assert payload_words(3.25) == 1
+
+    def test_strings_cost_one(self):
+        assert payload_words("bf") == 1
+
+    def test_none_costs_one(self):
+        assert payload_words(None) == 1
+
+    def test_bool_costs_one(self):
+        assert payload_words(True) == 1
+
+    def test_tuple_sums_elements(self):
+        assert payload_words(("bf", 3, 1.5)) == 3
+
+    def test_nested_tuple(self):
+        assert payload_words(("pack", ((1, 2.0), (3, 4.0)))) == 5
+
+    def test_empty_tuple_costs_zero(self):
+        assert payload_words(()) == 0
+
+    def test_list_like_tuple(self):
+        assert payload_words([1, 2, 3]) == 3
+
+    def test_dict_counts_keys_and_values(self):
+        assert payload_words({1: 2.0, 3: 4.0}) == 4
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            payload_words(object())
+
+    def test_bellman_ford_message_is_three_words(self):
+        # the canonical ("bf", src, dist) message shape
+        assert payload_words(("bf", 17, 42.0)) == 3
+
+    def test_echo_message_fits_default_bandwidth(self):
+        assert payload_words(("tze", 2, 17, 42.0)) <= DEFAULT_BANDWIDTH_WORDS
+
+
+class TestConventions:
+    def test_id_and_distance_one_word_each(self):
+        assert id_words() == 1
+        assert distance_words() == 1
+
+    def test_entry_is_two_words(self):
+        assert entry_words() == 2
+
+    def test_log2n_guards_small_inputs(self):
+        assert log2n(0) == 1.0
+        assert log2n(1) == 1.0
+        assert log2n(8) == 3.0
