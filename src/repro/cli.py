@@ -6,8 +6,10 @@ A downstream user can drive the whole pipeline without writing Python::
     python -m repro stats net.edges
     python -m repro build net.edges --scheme tz --k 3 --mode distributed \
         --seed 2 -o sketches.jsonl
+    python -m repro build net.edges --scheme tz --k 3 --jobs 4 -o sketches.jsonl
     python -m repro query net.edges sketches.jsonl --pairs 0:100 5:17
     python -m repro eval net.edges sketches.jsonl --eps 0.25
+    python -m repro serve-bench sketches.jsonl --queries 10000 --batch 1000
 
 Sketches travel as the JSON-lines format of
 :mod:`repro.oracle.serialization`; graphs as the edge-list format of
@@ -93,7 +95,8 @@ def _cmd_build(args) -> int:
 
     g = read_edgelist(args.graph)
     built = build_sketches(g, scheme=args.scheme, mode=args.mode,
-                           seed=args.seed, **_scheme_params(args))
+                           seed=args.seed, jobs=args.jobs,
+                           **_scheme_params(args))
     save_sketch_set(built.sketches, args.output)
     print(built.describe())
     if built.metrics is not None:
@@ -141,6 +144,23 @@ def _cmd_query(args) -> int:
                   f"stretch={est / d[u, v] if d[u, v] else 1.0:.3f}")
         else:
             print(f"{u}:{v} estimate={est:g}")
+    return 0
+
+
+def _cmd_serve_bench(args) -> int:
+    from repro.oracle.serialization import load_sketch_set
+    from repro.service import run_serve_benchmark
+
+    sketches = load_sketch_set(args.sketches)
+    report = run_serve_benchmark(
+        sketches, queries=args.queries, batch=args.batch, seed=args.seed,
+        repeats=args.repeats, cache_size=args.cache_size,
+        num_shards=args.shards)
+    print(json.dumps(report, indent=2))
+    if not report["identical"]:
+        print("error: batched answers diverged from the single-query path",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -202,6 +222,9 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None)
     b.add_argument("--S", type=int, default=None)
     b.add_argument("--seed", type=int, default=None)
+    b.add_argument("--jobs", type=int, default=None,
+                   help="parallel worker processes for the centralized tz "
+                        "construction (output is identical for any count)")
     b.add_argument("-o", "--output", required=True)
     b.set_defaults(func=_cmd_build)
 
@@ -212,6 +235,20 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--exact", action="store_true",
                    help="also compute exact distances for comparison")
     q.set_defaults(func=_cmd_query)
+
+    sb = sub.add_parser("serve-bench",
+                        help="batched vs single-query serving throughput")
+    sb.add_argument("sketches")
+    sb.add_argument("--queries", type=int, default=10_000)
+    sb.add_argument("--batch", type=int, default=None,
+                    help="batch size (default: one batch for all queries)")
+    sb.add_argument("--repeats", type=int, default=3)
+    sb.add_argument("--shards", type=int, default=1,
+                    help="landmark shards in the pre-built index")
+    sb.add_argument("--cache-size", type=int, default=0,
+                    help="LRU result-cache capacity (0 = cold-cache run)")
+    sb.add_argument("--seed", type=int, default=0)
+    sb.set_defaults(func=_cmd_serve_bench)
 
     e = sub.add_parser("eval", help="stretch report against exact APSP")
     e.add_argument("graph")

@@ -203,5 +203,6 @@ def run_protocol(graph: Graph, program_factory: Callable[[int], NodeProgram],
     """One-shot convenience wrapper: build a :class:`Simulator` and run it."""
     sim = Simulator(graph, program_factory, seed=seed,
                     bandwidth_words=kwargs.pop("bandwidth_words", DEFAULT_BANDWIDTH_WORDS),
-                    tracer=kwargs.pop("tracer", None))
+                    tracer=kwargs.pop("tracer", None),
+                    metrics=kwargs.pop("metrics", None))
     return sim.run(**kwargs)

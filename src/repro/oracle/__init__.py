@@ -16,7 +16,11 @@ from repro.oracle.evaluation import (
     average_stretch,
     slack_coverage,
 )
-from repro.oracle.online import online_query_cost, simulate_online_exchange
+from repro.oracle.online import (
+    online_query_cost,
+    online_query_cost_many,
+    simulate_online_exchange,
+)
 
 __all__ = [
     "build_sketches",
@@ -29,5 +33,6 @@ __all__ = [
     "average_stretch",
     "slack_coverage",
     "online_query_cost",
+    "online_query_cost_many",
     "simulate_online_exchange",
 ]

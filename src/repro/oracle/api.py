@@ -47,6 +47,26 @@ class BuiltSketches:
             return estimate_distance(su, sv, **kwargs)
         return su.estimate_to(sv)
 
+    def engine(self, cache_size: int = 65536, num_shards: int = 1):
+        """The batched :class:`~repro.service.engine.QueryEngine` over this
+        sketch set (built on first use, then cached in ``extras``; asking
+        for a different configuration rebuilds it)."""
+        config = (cache_size, num_shards)
+        cached = self.extras.get("_engine")
+        if cached is not None and cached[0] == config:
+            return cached[1]
+        from repro.service.engine import QueryEngine
+        eng = QueryEngine(self.sketches, cache_size=cache_size,
+                          num_shards=num_shards,
+                          use_index=self.scheme.supports_batch)
+        self.extras["_engine"] = (config, eng)
+        return eng
+
+    def query_many(self, pairs):
+        """Batched estimates for an iterable/array of ``(u, v)`` pairs —
+        answers are bit-identical to looping :meth:`query`."""
+        return self.engine().dist_many(pairs)
+
     def sizes_words(self) -> list[int]:
         return [s.size_words() for s in self.sketches]
 
@@ -72,7 +92,8 @@ class BuiltSketches:
 
 
 def build_sketches(graph: Graph, scheme: str = "tz", mode: str = "centralized",
-                   seed: SeedLike = None, **params) -> BuiltSketches:
+                   seed: SeedLike = None, jobs: Optional[int] = None,
+                   **params) -> BuiltSketches:
     """Build distance sketches for every node of ``graph``.
 
     Parameters
@@ -82,12 +103,21 @@ def build_sketches(graph: Graph, scheme: str = "tz", mode: str = "centralized",
     mode:
         ``"centralized"`` (fast reference construction) or
         ``"distributed"`` (full CONGEST protocol with cost accounting).
+    jobs:
+        Worker processes for the construction (centralized tz only; see
+        :mod:`repro.service.parallel`).  The output is byte-identical for
+        every worker count; ``None`` keeps the in-process serial path.
     params:
         Scheme-specific (see module docstring).
     """
     spec = get_scheme(scheme)
     if mode not in ("centralized", "distributed"):
         raise ConfigError(f"unknown mode {mode!r}")
+    if jobs is not None and (scheme != "tz" or mode != "centralized"):
+        raise ConfigError("jobs= is only supported for scheme='tz' with "
+                          "mode='centralized'")
+    if jobs is not None:
+        params["jobs"] = jobs
 
     if scheme == "tz":
         return _build_tz(graph, spec, mode, seed, params)
@@ -106,12 +136,19 @@ def _build_tz(graph, spec, mode, seed, params) -> BuiltSketches:
 
     k = params.get("k")
     hierarchy = params.get("hierarchy")
+    jobs = params.get("jobs")
     if k is None and hierarchy is None:
         raise ConfigError("tz scheme needs k (or an explicit hierarchy)")
     if mode == "centralized":
-        sketches, h = build_tz_sketches_centralized(graph, k=k,
-                                                    hierarchy=hierarchy,
-                                                    seed=seed)
+        if jobs is not None:
+            from repro.service.parallel import build_tz_sketches_parallel
+            sketches, h = build_tz_sketches_parallel(graph, k=k,
+                                                     hierarchy=hierarchy,
+                                                     seed=seed, jobs=jobs)
+        else:
+            sketches, h = build_tz_sketches_centralized(graph, k=k,
+                                                        hierarchy=hierarchy,
+                                                        seed=seed)
         return BuiltSketches(graph, spec, mode,
                              {"k": h.k}, sketches, None, {"hierarchy": h})
     res = build_tz_sketches_distributed(

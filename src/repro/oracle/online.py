@@ -58,11 +58,40 @@ def online_query_cost(hops: int, sketch_words: int,
     """Closed-form cost of shipping one sketch over ``hops`` hops."""
     if hops < 0 or sketch_words < 0:
         raise ConfigError("hops and sketch_words must be nonnegative")
+    if bandwidth_words < 1:
+        raise ConfigError("bandwidth_words must be >= 1")
     chunks = max(1, math.ceil(sketch_words / bandwidth_words))
     return OnlineQueryCost(
         hops=hops, sketch_words=sketch_words, chunks=chunks,
         rounds_pipelined=(0 if hops == 0 else hops + chunks - 1),
         rounds_naive=hops * chunks)
+
+
+def online_query_cost_many(hops, sketch_words,
+                           bandwidth_words: int = DEFAULT_BANDWIDTH_WORDS,
+                           ) -> dict:
+    """Vectorized :func:`online_query_cost` for a whole query batch.
+
+    ``hops`` and ``sketch_words`` broadcast against each other (e.g. one
+    hop count per pair, one shared sketch size).  Returns arrays keyed like
+    :meth:`OnlineQueryCost.as_row`, so the serving layer can budget the
+    total round cost of answering a batch online.
+    """
+    if bandwidth_words < 1:
+        raise ConfigError("bandwidth_words must be >= 1")
+    hops_a = np.atleast_1d(np.asarray(hops, dtype=np.int64))
+    words_a = np.atleast_1d(np.asarray(sketch_words, dtype=np.int64))
+    hops_a, words_a = np.broadcast_arrays(hops_a, words_a)
+    if (hops_a < 0).any() or (words_a < 0).any():
+        raise ConfigError("hops and sketch_words must be nonnegative")
+    chunks = np.maximum(1, -(-words_a // bandwidth_words))
+    return {
+        "hops": hops_a,
+        "words": words_a,
+        "chunks": chunks,
+        "rounds": np.where(hops_a == 0, 0, hops_a + chunks - 1),
+        "rounds_naive": hops_a * chunks,
+    }
 
 
 class SketchRelayProgram(NodeProgram):

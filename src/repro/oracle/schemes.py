@@ -27,6 +27,9 @@ class SchemeSpec:
     stretch_bound: Callable[[dict], float]
     #: returns the eps for which the bound holds, or None for all-pairs
     slack_of: Callable[[dict], Optional[float]]
+    #: whether the serving layer (:mod:`repro.service`) has a vectorized
+    #: batched-query index for this scheme; others fall back to a loop
+    supports_batch: bool = False
 
     def describe(self, params: dict) -> str:
         slack = self.slack_of(params)
@@ -59,6 +62,7 @@ SCHEMES: dict[str, SchemeSpec] = {
         paper_result="Theorem 1.1/3.8 (distributed Thorup-Zwick)",
         stretch_bound=_tz_stretch,
         slack_of=lambda p: None,
+        supports_batch=True,
     ),
     "stretch3": SchemeSpec(
         name="stretch3",

@@ -13,6 +13,7 @@ type tag and version so mixed-version archives fail loudly.
 from __future__ import annotations
 
 import json
+import math
 from typing import Any, Union
 
 from repro.errors import QueryError
@@ -83,6 +84,76 @@ def sketch_from_dict(data: dict) -> AnySketch:
             components=tuple(sketch_from_dict(c)
                              for c in data["components"]))
     raise QueryError(f"unknown sketch type tag {t!r}")
+
+
+def index_to_dict(index) -> dict:
+    """Encode a :class:`~repro.service.index.TZIndex` (the pre-indexed
+    batched-query store).
+
+    The payload is the index's canonical form — per-node pivot tables plus
+    the bunch-entry stream in composite-key order — so the encoding is
+    independent of the shard count and of the dense/sparse storage split,
+    and a load rebuilds a store with identical batched answers.
+
+    An infinite pivot distance (the INF_KEY sentinel on disconnected
+    graphs) is encoded as ``null``: RFC 8259 JSON has no ``Infinity``
+    token, and the file must stay readable by strict parsers.
+    """
+    return {
+        "type": "tz_index", "v": VERSION,
+        "n": index.n, "k": index.k, "num_shards": index.num_shards,
+        "pivots": [[[int(index.pivot_ids[u, i]),
+                     (float(index.pivot_dists[u, i])
+                      if math.isfinite(index.pivot_dists[u, i]) else None)]
+                    for i in range(index.k)] for u in range(index.n)],
+        "entries": [[u, w, d, lvl] for u, w, d, lvl in index.iter_entries()],
+    }
+
+
+def index_from_dict(data: dict):
+    """Decode a dict produced by :func:`index_to_dict`."""
+    from repro.service.index import TZIndex
+    from repro.tz.sketch import TZSketch as TZ
+
+    if not isinstance(data, dict) or data.get("type") != "tz_index":
+        raise QueryError("not a serialized tz_index")
+    if data.get("v") != VERSION:
+        raise QueryError(f"unsupported sketch format version {data.get('v')}")
+    n, k = int(data["n"]), int(data["k"])
+    bunches: list[dict[int, tuple[float, int]]] = [dict() for _ in range(n)]
+    for u, w, d, lvl in data["entries"]:
+        u, w = int(u), int(w)
+        if not (0 <= u < n and 0 <= w < n):
+            raise QueryError(
+                f"tz_index entry ({u}, {w}) out of range [0, {n})")
+        bunches[u][w] = (float(d), int(lvl))
+    inf = float("inf")
+
+    def pivot(p, d) -> tuple[int, float]:
+        p = int(p)
+        if not (-1 <= p < n):  # -1 is the INF_KEY sentinel
+            raise QueryError(f"tz_index pivot id {p} out of range [0, {n})")
+        return p, (inf if d is None else float(d))
+
+    sketches = [TZ(node=u, k=k,
+                   pivots=tuple(pivot(p, d) for p, d in data["pivots"][u]),
+                   bunch=bunches[u])
+                for u in range(n)]
+    return TZIndex(sketches, num_shards=int(data.get("num_shards", 1)))
+
+
+def save_index(index, path) -> None:
+    """Persist a pre-indexed store as one JSON document."""
+    with open(path, "w", encoding="ascii") as fh:
+        json.dump(index_to_dict(index), fh, separators=(",", ":"),
+                  allow_nan=False)
+        fh.write("\n")
+
+
+def load_index(path):
+    """Load a store written by :func:`save_index`."""
+    with open(path, "r", encoding="ascii") as fh:
+        return index_from_dict(json.load(fh))
 
 
 def dumps(sketch: AnySketch) -> str:

@@ -1,0 +1,36 @@
+"""The serving layer: batched queries and parallel sketch construction.
+
+The paper's end product is a distance *oracle*: preprocess once, then
+answer ``dist(u, v)`` queries with stretch ``<= 2k - 1``.  This package
+makes the oracle servable at scale:
+
+* :class:`~repro.service.index.TZIndex` — sketch entries pre-indexed into
+  flat landmark tables (with per-landmark sharding) so a batch of Q
+  queries is one vectorized pass,
+* :class:`~repro.service.engine.QueryEngine` — ``dist`` / ``dist_many``
+  with an LRU result cache, falling back to a generic loop for non-TZ
+  schemes,
+* :func:`~repro.service.parallel.build_tz_sketches_parallel` — the
+  centralized preprocessing fanned across worker processes with a
+  deterministic (byte-identical) merge,
+* :func:`~repro.service.bench.run_serve_benchmark` — the measurement
+  harness behind ``repro serve-bench`` and experiment E14.
+
+Batching and parallelism are performance features only: every answer is
+bit-identical to the one-pair-at-a-time reference path.
+"""
+
+from repro.service.bench import run_serve_benchmark, sample_query_pairs
+from repro.service.engine import CacheStats, QueryEngine
+from repro.service.index import TZIndex
+from repro.service.parallel import build_tz_sketches_parallel, default_jobs
+
+__all__ = [
+    "CacheStats",
+    "QueryEngine",
+    "TZIndex",
+    "build_tz_sketches_parallel",
+    "default_jobs",
+    "run_serve_benchmark",
+    "sample_query_pairs",
+]

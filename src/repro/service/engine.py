@@ -1,0 +1,182 @@
+"""The batched query engine: ``dist_many`` over a built sketch set.
+
+:class:`QueryEngine` is the serving-layer front end.  For Thorup–Zwick
+sketch sets it routes batches through the vectorized
+:class:`~repro.service.index.TZIndex`; for every other scheme in the
+library it falls back to a plain loop over the sketches' ``estimate_to``
+(still benefiting from the result cache).  Either way the answers are
+exactly the ones the one-pair-at-a-time API produces — batching is a
+performance feature, never a semantic one.
+
+The LRU result cache keys on the *ordered* pair ``(u, v)``: the paper's
+level-scan query is not symmetric under swapping the endpoints (both
+directions can hit at the same level with different routes), and the
+engine's contract is bit-identity with the single-query path, so ``(u, v)``
+and ``(v, u)`` are cached separately.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError, QueryError
+from repro.service.index import TZIndex
+from repro.tz.sketch import TZSketch, estimate_distance
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for the engine's result cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class QueryEngine:
+    """Answer distance queries — singly or in batches — from one sketch set.
+
+    Parameters
+    ----------
+    sketches:
+        One sketch per node (any scheme; TZ gets the vectorized path).
+    cache_size:
+        Capacity of the LRU result cache; ``0`` disables caching.
+    num_shards:
+        Landmark shard count for the TZ index (layout knob; answers are
+        shard-independent).
+    use_index:
+        ``None`` (default) auto-detects: a TZ sketch set gets the
+        vectorized index, everything else the generic loop.  ``False``
+        forces the generic loop; ``True`` requires an indexable set (the
+        scheme registry's :attr:`SchemeSpec.supports_batch` is the
+        intended source of this value — see ``BuiltSketches.engine``).
+    """
+
+    def __init__(self, sketches: Sequence[Any], cache_size: int = 65536,
+                 num_shards: int = 1, use_index: Optional[bool] = None):
+        if not sketches:
+            raise ConfigError("cannot serve an empty sketch set")
+        if cache_size < 0:
+            raise ConfigError(f"cache_size must be >= 0, got {cache_size}")
+        self.sketches = list(sketches)
+        self.n = len(self.sketches)
+        self.cache_size = int(cache_size)
+        self.index: Optional[TZIndex] = None
+        indexable = all(isinstance(s, TZSketch) for s in self.sketches)
+        if use_index is True and not indexable:
+            raise ConfigError("use_index=True needs a TZ sketch set")
+        if use_index is not False and indexable:
+            self.index = TZIndex(self.sketches, num_shards=num_shards)
+        self._cache: OrderedDict[tuple[int, int], float] = OrderedDict()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _compute_many(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        if self.index is not None:
+            return self.index.estimate_many(us, vs)
+        if us.size and (min(us.min(), vs.min()) < 0
+                        or max(us.max(), vs.max()) >= self.n):
+            raise QueryError(f"node id out of range [0, {self.n})")
+        out = np.empty(us.shape[0], dtype=np.float64)
+        sketches = self.sketches
+        for j in range(us.shape[0]):
+            su, sv = sketches[int(us[j])], sketches[int(vs[j])]
+            # a TZ set can land here via use_index=False: its pairwise
+            # query is the free function, not an estimate_to method
+            out[j] = (estimate_distance(su, sv) if isinstance(su, TZSketch)
+                      else su.estimate_to(sv))
+        return out
+
+    def _cache_put(self, key: tuple[int, int], value: float) -> None:
+        cache = self._cache
+        if key in cache:
+            cache.move_to_end(key)
+            return
+        cache[key] = value
+        if len(cache) > self.cache_size:
+            cache.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    def dist(self, u: int, v: int) -> float:
+        """One estimate, through the cache and the indexed path."""
+        return float(self.dist_many([(u, v)])[0])
+
+    def dist_many(self, pairs: Iterable[tuple[int, int]] | np.ndarray,
+                  ) -> np.ndarray:
+        """Estimates for a batch of ``(u, v)`` pairs, in input order.
+
+        Accepts any iterable of pairs or a ``(Q, 2)`` integer array; returns
+        a float64 array of length Q.  Cached answers are reused; the misses
+        are computed in one vectorized pass.
+        """
+        if isinstance(pairs, np.ndarray):
+            arr = pairs.astype(np.int64, copy=False)
+        else:
+            arr = np.asarray(list(pairs), dtype=np.int64)
+        if arr.size == 0:
+            return np.empty(0, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise ConfigError(
+                f"dist_many wants a (Q, 2) pair array, got shape {arr.shape}")
+        q = arr.shape[0]
+        if self.cache_size == 0:
+            return self._compute_many(arr[:, 0], arr[:, 1])
+        if not self._cache:
+            # cold cache: skip the per-row lookup scan entirely
+            vals = self._compute_many(arr[:, 0], arr[:, 1])
+            self.stats.misses += q
+            for j in range(q):
+                self._cache_put((int(arr[j, 0]), int(arr[j, 1])),
+                                float(vals[j]))
+            return vals
+
+        out = np.empty(q, dtype=np.float64)
+        cache = self._cache
+        miss_rows: list[int] = []
+        for j in range(q):
+            key = (int(arr[j, 0]), int(arr[j, 1]))
+            hit = cache.get(key)
+            if hit is not None:
+                cache.move_to_end(key)
+                out[j] = hit
+                self.stats.hits += 1
+            else:
+                miss_rows.append(j)
+                self.stats.misses += 1
+        if miss_rows:
+            rows = np.asarray(miss_rows, dtype=np.int64)
+            vals = self._compute_many(arr[rows, 0], arr[rows, 1])
+            out[rows] = vals
+            for j, val in zip(miss_rows, vals):
+                self._cache_put((int(arr[j, 0]), int(arr[j, 1])), float(val))
+        return out
+
+    # ------------------------------------------------------------------
+    def reference_query(self, u: int, v: int) -> float:
+        """The unbatched, uncached reference answer (differential tests and
+        the benchmark's single-query baseline)."""
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise QueryError(f"node id out of range [0, {self.n})")
+        su, sv = self.sketches[u], self.sketches[v]
+        if isinstance(su, TZSketch):
+            return estimate_distance(su, sv)
+        return su.estimate_to(sv)
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+        self.stats = CacheStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "tz-indexed" if self.index is not None else "generic"
+        return (f"QueryEngine(n={self.n}, {kind}, "
+                f"cache={len(self._cache)}/{self.cache_size})")

@@ -1,0 +1,421 @@
+"""The pre-indexed sketch store behind the batched query engine.
+
+:class:`TZIndex` flattens a per-node :class:`~repro.tz.sketch.TZSketch` set
+into NumPy arrays so that a batch of Q queries costs one vectorized pass
+instead of Q dict-intersection loops:
+
+* ``pivot_ids`` / ``pivot_dists`` — dense ``(n, k)`` tables of the pivot
+  entries ``p_i(u), d(u, p_i(u))``.
+* a **dense top-level table** — by Lemma 3.2's backstop, ``B_{k-1}(v)``
+  contains *all* of ``A_{k-1}`` for every ``v`` (the level-``k`` threshold
+  is infinite), so the level-``k-1`` bunch entries form a complete
+  ``n x |A_{k-1}|`` distance matrix; a top-level probe is a plain array
+  gather instead of a search.
+* per-shard **landmark tables** for the sub-top levels — every remaining
+  bunch entry ``w ∈ B_i(u)``, ``i < k-1``, becomes one row
+  ``(owner u, landmark w, distance, level)``.  Rows are keyed by the
+  composite integer ``u * n + w``, stored sorted (the canonical wire
+  order) and mirrored into an open-addressing hash table, so a batch of
+  membership probes costs 1-3 vectorized gathers per probe with no
+  Python-level loop.
+
+Sharding is by landmark (``w % num_shards``): all entries naming landmark
+``w`` live in shard ``w mod S``.  A query batch is routed shard by shard,
+which maps directly onto a multi-process serving topology (each shard can
+be owned by one worker; the landmark is known *before* the lookup, so the
+router needs no sketch data).
+
+The dense split requires that level-``k-1`` entries and sub-top entries
+never share a landmark — true for every honest TZ construction, where an
+entry's level is the landmark's own hierarchy level.  Hand-crafted sketch
+sets violating this are detected at build time and stored fully sharded
+(slower, still exact).
+
+The batched estimator reproduces the paper's Lemma 3.2 level scan *exactly*
+— including the first-hit-wins order (level ``i`` checks ``p_i(u) ∈ B_i(v)``
+before ``p_i(v) ∈ B_i(u)``) and IEEE-754 addition — so batched answers are
+bit-identical to :func:`repro.tz.sketch.estimate_distance`, a property the
+test suite asserts pair by pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError, QueryError
+from repro.tz.sketch import TZSketch
+
+_HASH_MULT = np.uint64(0x9E3779B97F4A7C15)  # Fibonacci hashing constant
+
+
+def _compose_keys(owners: np.ndarray, landmarks: np.ndarray,
+                  n: np.int64) -> np.ndarray:
+    """Composite probe keys ``owner * n + landmark``.
+
+    A negative landmark (the ``INF_KEY`` pivot sentinel -1, possible on
+    disconnected graphs) must never match: mapped to -2, which matches
+    neither a stored key (>= 0) nor the hash table's -1 empty marker, so
+    the probe reports it absent — exactly like ``bunch.get(-1)``.
+    """
+    return np.where(landmarks < 0, -2, owners * n + landmarks)
+
+
+def _build_hash(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray, int, int]:
+    """Open-addressing hash table over composite keys.
+
+    Returns ``(slot_key, slot_idx, mask, shift)``: power-of-two table at
+    load factor <= 0.5, empty slots keyed -1.  Probing costs 1-3 gathers —
+    beats binary search, whose ~log2(nnz) dependent accesses dominate the
+    batched lookup profile.
+    """
+    size = 1
+    while size < max(2, 2 * keys.size):
+        size <<= 1
+    shift = 64 - size.bit_length() + 1
+    slot_key = np.full(size, -1, dtype=np.int64)
+    slot_idx = np.zeros(size, dtype=np.int64)
+    mask = size - 1
+    if keys.size:
+        cur = (((keys.astype(np.uint64) * _HASH_MULT) >> np.uint64(shift))
+               .astype(np.int64) & mask)
+        pend = np.arange(keys.size)
+        while pend.size:
+            slots = cur[pend]
+            empty = slot_key[slots] == -1
+            # first pending entry per empty slot wins this round
+            _, first = np.unique(slots[empty], return_index=True)
+            winners = np.flatnonzero(empty)[first]
+            slot_key[slots[winners]] = keys[pend[winners]]
+            slot_idx[slots[winners]] = pend[winners]
+            placed = np.zeros(pend.size, dtype=bool)
+            placed[winners] = True
+            pend = pend[~placed]
+            cur[pend] = (cur[pend] + 1) & mask
+    return slot_key, slot_idx, mask, shift
+
+
+@dataclass(frozen=True)
+class _Shard:
+    """One landmark shard: composite-key-sorted bunch entries plus a hash
+    table for O(1) batched probes."""
+
+    keys: np.ndarray    # int64, sorted: owner * n + landmark
+    dists: np.ndarray   # float64
+    levels: np.ndarray  # int64
+    slot_key: np.ndarray
+    slot_idx: np.ndarray
+    mask: int
+    shift: int
+
+    def probe(self, keys: np.ndarray) -> np.ndarray:
+        """Entry index for each probe key, -1 where absent."""
+        cur = (((keys.astype(np.uint64) * _HASH_MULT)
+                >> np.uint64(self.shift)).astype(np.int64) & self.mask)
+        # unrolled first round: most probes resolve without a collision
+        at = self.slot_key[cur]
+        hit = at == keys
+        pos = np.where(hit, self.slot_idx[cur], -1)
+        pend = np.flatnonzero(~hit & (at != -1))
+        while pend.size:
+            cur[pend] = (cur[pend] + 1) & self.mask
+            slots = cur[pend]
+            at = self.slot_key[slots]
+            hit = at == keys[pend]
+            pos[pend[hit]] = self.slot_idx[slots[hit]]
+            pend = pend[~hit & (at != -1)]
+        return pos
+
+
+class TZIndex:
+    """Flat-array index over a TZ sketch set, built for batched queries.
+
+    Parameters
+    ----------
+    sketches:
+        One :class:`TZSketch` per node, indexed by node ID.
+    num_shards:
+        Number of landmark shards (``>= 1``).  Answers are independent of
+        the shard count; it only changes the physical layout.
+    """
+
+    def __init__(self, sketches: Sequence[TZSketch], num_shards: int = 1):
+        if not sketches:
+            raise ConfigError("cannot index an empty sketch set")
+        if num_shards < 1:
+            raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
+        n = len(sketches)
+        k = sketches[0].k
+        for s in sketches:
+            if not isinstance(s, TZSketch):
+                raise ConfigError(
+                    f"TZIndex only indexes TZSketch, got {type(s).__name__}")
+            if s.k != k:
+                raise ConfigError(
+                    f"mixed k in sketch set: {s.k} vs {k} (node {s.node})")
+        self.n = n
+        self.k = k
+        self.num_shards = int(num_shards)
+
+        # the dense top block is sound only if no landmark mixes level-(k-1)
+        # entries with sub-top entries (honest TZ output never does; see
+        # module docstring) — otherwise store everything sharded
+        seen_levels: dict[int, set[int]] = {}
+        for s in sketches:
+            for w, (_, lvl) in s.bunch.items():
+                seen_levels.setdefault(w, set()).add(lvl)
+        self.dense_top = all(lvls == {k - 1}
+                             for lvls in seen_levels.values()
+                             if (k - 1) in lvls)
+        top_landmarks = (sorted(w for w, lvls in seen_levels.items()
+                                if lvls == {k - 1})
+                         if self.dense_top else [])
+        self.top_ids = np.asarray(top_landmarks, dtype=np.int64)
+        #: column of each top landmark in the dense table (-1 elsewhere)
+        self.top_col = np.full(n, -1, dtype=np.int64)
+        self.top_col[self.top_ids] = np.arange(self.top_ids.size)
+        #: dense ``d(v, w)`` for top landmarks; +inf marks a (pathological)
+        #: missing entry so the probe correctly reports "not found"
+        self.top_dist = np.full((n, self.top_ids.size), np.inf,
+                                dtype=np.float64)
+
+        self.pivot_ids = np.empty((n, k), dtype=np.int64)
+        self.pivot_dists = np.empty((n, k), dtype=np.float64)
+        per_shard: list[list[tuple[int, float, int]]] = [
+            [] for _ in range(self.num_shards)]
+        # iterating owners in ID order with sorted bunch keys yields
+        # composite keys in strictly increasing order within every shard,
+        # so the shard arrays come out sorted without an explicit sort
+        for u, s in enumerate(sketches):
+            for i, (p, d) in enumerate(s.pivots):
+                self.pivot_ids[u, i] = p
+                self.pivot_dists[u, i] = d
+            for w in sorted(s.bunch):
+                d, lvl = s.bunch[w]
+                if self.top_col[w] >= 0:
+                    self.top_dist[u, self.top_col[w]] = d
+                else:
+                    per_shard[w % self.num_shards].append((u * n + w, d, lvl))
+        #: True when any pivot is the INF_KEY sentinel (-1, inf) — only on
+        #: disconnected graphs; the batch path then masks sentinel probes
+        self.sentinel_pivots = bool((self.pivot_ids < 0).any())
+        self.shards: list[_Shard] = []
+        for entries in per_shard:
+            keys = np.asarray([e[0] for e in entries], dtype=np.int64)
+            slot_key, slot_idx, mask, shift = _build_hash(keys)
+            self.shards.append(_Shard(
+                keys=keys,
+                dists=np.asarray([e[1] for e in entries], dtype=np.float64),
+                levels=np.asarray([e[2] for e in entries], dtype=np.int64),
+                slot_key=slot_key, slot_idx=slot_idx, mask=mask, shift=shift))
+
+    # ------------------------------------------------------------------
+    # size accounting
+    # ------------------------------------------------------------------
+    def nnz(self) -> int:
+        """Total number of bunch entries (dense top block included)."""
+        sub = sum(sh.keys.size for sh in self.shards)
+        return sub + int(np.isfinite(self.top_dist).sum())
+
+    def shard_sizes(self) -> list[int]:
+        """Sharded (sub-top) entry count per landmark shard."""
+        return [sh.keys.size for sh in self.shards]
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def _probe_keys(self, keys: np.ndarray, landmarks: np.ndarray,
+                    ) -> tuple[np.ndarray, np.ndarray]:
+        """Route flat composite keys through the shard hash tables; returns
+        ``(dist, level)`` with level -1 where absent."""
+        if self.num_shards == 1:
+            sh = self.shards[0]
+            if sh.keys.size == 0:
+                return (np.zeros(keys.size, dtype=np.float64),
+                        np.full(keys.size, -1, dtype=np.int64))
+            pos = sh.probe(keys)
+            # gather with pos=-1 wrapping to the last entry is safe: the
+            # level is forced to -1 there, and a -1 level never matches a
+            # scan level, so the garbage distance is never selected
+            return (sh.dists[pos],
+                    np.where(pos >= 0, sh.levels[pos], -1))
+        dist = np.zeros(keys.size, dtype=np.float64)
+        level = np.full(keys.size, -1, dtype=np.int64)
+        shard_of = landmarks % self.num_shards
+        for s in range(self.num_shards):
+            idx = np.flatnonzero(shard_of == s)
+            sh = self.shards[s]
+            if idx.size and sh.keys.size:
+                p = sh.probe(keys[idx])
+                ok = p >= 0
+                dist[idx[ok]] = sh.dists[p[ok]]
+                level[idx[ok]] = sh.levels[p[ok]]
+        return dist, level
+
+    def lookup(self, owners: np.ndarray, landmarks: np.ndarray,
+               ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched bunch probe: for each ``(owner, landmark)`` pair return
+        ``(dist, level, found)`` — ``found[j]`` is False when the landmark
+        is not in the owner's bunch (then dist/level are undefined).
+
+        Owners must be real node ids; a landmark outside ``[0, n)`` (e.g.
+        the INF_KEY pivot sentinel -1) is simply never a member.
+        """
+        owners = np.ascontiguousarray(owners, dtype=np.int64)
+        landmarks = np.ascontiguousarray(landmarks, dtype=np.int64)
+        m = owners.shape[0]
+        if m and (owners.min() < 0 or owners.max() >= self.n):
+            raise QueryError(f"owner id out of range [0, {self.n})")
+        dist = np.zeros(m, dtype=np.float64)
+        level = np.full(m, -1, dtype=np.int64)
+        in_range = (landmarks >= 0) & (landmarks < self.n)
+        col = np.where(in_range, self.top_col[landmarks % self.n], -1)
+        is_top = col >= 0
+        ti = np.flatnonzero(is_top)
+        if ti.size:
+            d = self.top_dist[owners[ti], col[ti]]
+            ok = np.isfinite(d)
+            oi = ti[ok]
+            dist[oi] = d[ok]
+            level[oi] = self.k - 1
+        rest = np.flatnonzero(~is_top & in_range)
+        if rest.size:
+            keys = _compose_keys(owners[rest], landmarks[rest],
+                                 np.int64(self.n))
+            d, lvl = self._probe_keys(keys, landmarks[rest])
+            dist[rest] = d
+            level[rest] = lvl
+        return dist, level, level >= 0
+
+    # ------------------------------------------------------------------
+    # the batched Lemma 3.2 query
+    # ------------------------------------------------------------------
+    def estimate_many(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """Batched distance estimates, bit-identical to the single-pair
+        :func:`~repro.tz.sketch.estimate_distance` with ``method="paper"``.
+        """
+        us = np.ascontiguousarray(us, dtype=np.int64)
+        vs = np.ascontiguousarray(vs, dtype=np.int64)
+        if us.shape != vs.shape or us.ndim != 1:
+            raise QueryError("estimate_many wants two equal-length 1-d arrays")
+        if us.size and (us.min() < 0 or vs.min() < 0
+                        or max(int(us.max()), int(vs.max())) >= self.n):
+            raise QueryError(f"node id out of range [0, {self.n})")
+        q, k, n = us.shape[0], self.k, self.n
+
+        pu = self.pivot_ids[us]      # (q, k)
+        pv = self.pivot_ids[vs]
+        du = self.pivot_dists[us]
+        dv = self.pivot_dists[vs]
+
+        # hit/candidate matrix in Lemma 3.2's exact check order: columns
+        # (level 0 dir 1), (level 0 dir 2), ..., (level k-1 dir 1),
+        # (level k-1 dir 2); argmax then picks the first hit per row
+        hit = np.empty((q, k, 2), dtype=bool)
+        cand = np.empty((q, k, 2), dtype=np.float64)
+
+        # the sentinel masks are pure overhead on connected graphs, where
+        # no pivot is ever -1 — compose keys directly in that case
+        compose = _compose_keys if self.sentinel_pivots else (
+            lambda o, lm, nn: o * nn + lm)
+
+        if self.dense_top:
+            kk = k - 1
+            if kk:  # sub-top levels through the sharded hash tables
+                keys = np.empty((q, kk, 2), dtype=np.int64)
+                keys[:, :, 0] = compose(vs[:, None], pu[:, :kk], n)
+                keys[:, :, 1] = compose(us[:, None], pv[:, :kk], n)
+                flat = keys.reshape(-1)
+                lms = (flat % n if self.num_shards > 1
+                       else flat)  # landmarks only needed for routing
+                d, lvl = self._probe_keys(flat, lms)
+                hit[:, :kk, :] = (
+                    lvl.reshape(q, kk, 2)
+                    == np.arange(kk, dtype=np.int64)[None, :, None])
+                via = np.empty((q, kk, 2), dtype=np.float64)
+                via[:, :, 0] = du[:, :kk]
+                via[:, :, 1] = dv[:, :kk]
+                cand[:, :kk, :] = via + d.reshape(q, kk, 2)
+            if self.top_ids.size:
+                # the landmark >= 0 guard keeps the INF_KEY sentinel pivot
+                # (-1, on disconnected graphs) from wrapping into a column
+                if self.sentinel_pivots:
+                    c0 = np.where(pu[:, kk] >= 0,
+                                  self.top_col[pu[:, kk]], -1)
+                    c1 = np.where(pv[:, kk] >= 0,
+                                  self.top_col[pv[:, kk]], -1)
+                else:
+                    c0 = self.top_col[pu[:, kk]]
+                    c1 = self.top_col[pv[:, kk]]
+                t0 = self.top_dist[vs, np.maximum(c0, 0)]
+                hit[:, kk, 0] = (c0 >= 0) & np.isfinite(t0)
+                cand[:, kk, 0] = du[:, kk] + t0
+                t1 = self.top_dist[us, np.maximum(c1, 0)]
+                hit[:, kk, 1] = (c1 >= 0) & np.isfinite(t1)
+                cand[:, kk, 1] = dv[:, kk] + t1
+            else:  # degenerate: no top-level entries anywhere
+                hit[:, kk, :] = False
+                cand[:, kk, :] = np.inf
+        else:
+            # fully sharded fallback (mixed-level landmark sets)
+            keys = np.empty((q, k, 2), dtype=np.int64)
+            keys[:, :, 0] = compose(vs[:, None], pu, n)
+            keys[:, :, 1] = compose(us[:, None], pv, n)
+            flat = keys.reshape(-1)
+            d, lvl = self._probe_keys(flat, np.maximum(flat, 0) % n)
+            hit[:] = (lvl.reshape(q, k, 2)
+                      == np.arange(k, dtype=np.int64)[None, :, None])
+            via = np.empty((q, k, 2), dtype=np.float64)
+            via[:, :, 0] = du
+            via[:, :, 1] = dv
+            cand[:] = via + d.reshape(q, k, 2)
+
+        hit2 = hit.reshape(q, 2 * k)
+        first = np.argmax(hit2, axis=1)
+        rows = np.arange(q)
+        est = np.where(us == vs, 0.0, cand.reshape(q, 2 * k)[rows, first])
+        unresolved = (us != vs) & ~hit2[rows, first]
+        if unresolved.any():
+            j = int(np.flatnonzero(unresolved)[0])
+            raise QueryError(
+                f"labels of {int(us[j])} and {int(vs[j])} share no level "
+                f"(A_{self.k - 1} membership is inconsistent between them)")
+        return est
+
+    def estimate(self, u: int, v: int) -> float:
+        """Single-pair convenience wrapper over :meth:`estimate_many`."""
+        return float(self.estimate_many(np.asarray([u]), np.asarray([v]))[0])
+
+    # ------------------------------------------------------------------
+    # canonical entry stream (serialization / equality)
+    # ------------------------------------------------------------------
+    def iter_entries(self) -> Iterable[tuple[int, int, float, int]]:
+        """All bunch entries as ``(owner, landmark, dist, level)`` in global
+        composite-key order — a canonical stream independent of the shard
+        count and of the dense/sparse storage split."""
+        merged = [(int(key), float(sh.dists[j]), int(sh.levels[j]))
+                  for sh in self.shards
+                  for j, key in enumerate(sh.keys)]
+        for u in range(self.n):
+            for j in range(self.top_ids.size):
+                d = self.top_dist[u, j]
+                if np.isfinite(d):
+                    merged.append((u * self.n + int(self.top_ids[j]),
+                                   float(d), self.k - 1))
+        merged.sort(key=lambda e: e[0])
+        for key, d, lvl in merged:
+            yield key // self.n, key % self.n, d, lvl
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TZIndex):
+            return NotImplemented
+        return (self.n == other.n and self.k == other.k
+                and np.array_equal(self.pivot_ids, other.pivot_ids)
+                and np.array_equal(self.pivot_dists, other.pivot_dists)
+                and list(self.iter_entries()) == list(other.iter_entries()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"TZIndex(n={self.n}, k={self.k}, nnz={self.nnz()}, "
+                f"shards={self.num_shards})")

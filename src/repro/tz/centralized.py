@@ -106,6 +106,38 @@ def cluster_of(graph: Graph, w: int, level: int,
     return out
 
 
+def cluster_table(graph: Graph, hierarchy: Hierarchy,
+                  pivot_keys: list[list[DistKey]], sources,
+                  ) -> list[tuple[int, int, dict[int, float]]]:
+    """Grow the clusters rooted at ``sources``: ``(w, level(w), C(w))``
+    triples.  The per-root computations are independent, which is exactly
+    the seam the parallel builder (:mod:`repro.service.parallel`) shards
+    across worker processes."""
+    out = []
+    for w in sources:
+        w = int(w)
+        lvl = hierarchy.level_of(w)
+        out.append((w, lvl, cluster_of(graph, w, lvl, pivot_keys[lvl + 1])))
+    return out
+
+
+def merge_cluster_tables(n: int,
+                         tables: list[list[tuple[int, int, dict[int, float]]]],
+                         ) -> list[dict[int, tuple[float, int]]]:
+    """Invert cluster tables into bunches (``u ∈ C(w) ⟺ w ∈ B(u)``,
+    paper Section 3.2), inserting in canonical ``(level, w)`` order so the
+    result — including dict iteration order, hence serialized bytes — is
+    independent of how the roots were sharded across tables."""
+    entries = sorted(((lvl, w, cluster)
+                      for table in tables for w, lvl, cluster in table),
+                     key=lambda e: (e[0], e[1]))
+    bunches: list[dict[int, tuple[float, int]]] = [dict() for _ in range(n)]
+    for lvl, w, cluster in entries:
+        for u, d in cluster.items():
+            bunches[u][w] = (d, lvl)
+    return bunches
+
+
 def compute_bunches(graph: Graph, hierarchy: Hierarchy,
                     pivot_keys: Optional[list[list[DistKey]]] = None,
                     ) -> list[dict[int, tuple[float, int]]]:
@@ -113,14 +145,9 @@ def compute_bunches(graph: Graph, hierarchy: Hierarchy,
     ``u ∈ C(w) ⟺ w ∈ B(u)``, paper Section 3.2)."""
     if pivot_keys is None:
         pivot_keys = compute_pivot_keys(graph, hierarchy)
-    bunches: list[dict[int, tuple[float, int]]] = [dict() for _ in graph.nodes()]
-    for i in range(hierarchy.k):
-        nxt = pivot_keys[i + 1]
-        for w in hierarchy.exact_level(i):
-            w = int(w)
-            for u, d in cluster_of(graph, w, i, nxt).items():
-                bunches[u][w] = (d, i)
-    return bunches
+    table = cluster_table(graph, hierarchy, pivot_keys,
+                          hierarchy.universe())
+    return merge_cluster_tables(graph.n, [table])
 
 
 def brute_force_bunches(graph: Graph, hierarchy: Hierarchy,

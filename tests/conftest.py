@@ -8,8 +8,18 @@ the benchmark harness, not the tests.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings as hypothesis_settings
+
+# The nightly CI job runs the property suites exhaustively:
+#   REPRO_HYPOTHESIS_PROFILE=nightly pytest --runslow -m slow
+hypothesis_settings.register_profile("nightly", max_examples=300,
+                                     deadline=None)
+if os.environ.get("REPRO_HYPOTHESIS_PROFILE"):
+    hypothesis_settings.load_profile(os.environ["REPRO_HYPOTHESIS_PROFILE"])
 
 from repro.graphs import (
     Graph,

@@ -128,3 +128,42 @@ class TestEval:
         main(["gen", "--family", "ring", "--n", "5", "-o", str(other)])
         rc = main(["eval", str(other), str(sketch_file)])
         assert rc == 2
+
+
+class TestBuildJobs:
+    def test_parallel_build_matches_serial(self, tmp_path, graph_file):
+        serial = tmp_path / "serial.jsonl"
+        fanned = tmp_path / "fanned.jsonl"
+        assert main(["build", str(graph_file), "--scheme", "tz", "--k", "2",
+                     "--seed", "3", "-o", str(serial)]) == 0
+        assert main(["build", str(graph_file), "--scheme", "tz", "--k", "2",
+                     "--seed", "3", "--jobs", "2", "-o", str(fanned)]) == 0
+        assert serial.read_bytes() == fanned.read_bytes()
+
+    def test_jobs_rejected_for_slack_scheme(self, tmp_path, graph_file,
+                                            capsys):
+        rc = main(["build", str(graph_file), "--scheme", "stretch3",
+                   "--eps", "0.3", "--jobs", "2",
+                   "-o", str(tmp_path / "x.jsonl")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServeBench:
+    def test_reports_identical_answers(self, sketch_file, capsys):
+        rc = main(["serve-bench", str(sketch_file), "--queries", "500",
+                   "--batch", "100", "--repeats", "1"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["identical"] is True
+        assert report["queries"] == 500 and report["batch"] == 100
+        assert report["batched_qps"] > 0
+
+    def test_shards_and_cache_flags(self, sketch_file, capsys):
+        rc = main(["serve-bench", str(sketch_file), "--queries", "200",
+                   "--repeats", "1", "--shards", "3",
+                   "--cache-size", "64"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["shards"] == 3 and report["cache_size"] == 64
+        assert report["identical"] is True

@@ -217,3 +217,33 @@ class TestMessage:
     def test_kind(self):
         assert Message(0, 1, ("bf", 3, 1.0)).kind() == "bf"
         assert Message(0, 1, 42).kind() is None
+
+
+class TestRunProtocol:
+    """The one-shot convenience wrapper around Simulator."""
+
+    def test_runs_to_quiescence(self):
+        from repro.congest.network import run_protocol
+
+        res = run_protocol(path_graph(4), lambda u: Flooder(u, 0), seed=1)
+        assert all(res.results())
+
+    def test_forwards_metrics_kwarg(self):
+        # regression: metrics= used to fall through **kwargs into
+        # Simulator.run() and crash with an unexpected-keyword TypeError
+        from repro.congest.network import run_protocol
+
+        m = RunMetrics()
+        res = run_protocol(path_graph(4), lambda u: Flooder(u, 0), seed=1,
+                           metrics=m)
+        assert res.metrics is m
+        assert m.rounds >= 1 and m.messages >= 1
+
+    def test_forwards_bandwidth_and_tracer(self):
+        from repro.congest.network import run_protocol
+
+        tr = Tracer()
+        res = run_protocol(path_graph(3), lambda u: Flooder(u, 0), seed=1,
+                           bandwidth_words=2, tracer=tr)
+        assert len(tr) > 0  # the tracer actually reached the simulator
+        assert res.metrics.rounds >= 1

@@ -66,3 +66,16 @@ class TestSimulatedExchange:
     def test_hop_distance_helper(self):
         g = star_path(30)
         assert hop_distance(g, 0, 29) == 2
+
+
+class TestBandwidthValidation:
+    def test_zero_bandwidth_rejected_everywhere(self):
+        import pytest
+
+        from repro.errors import ConfigError
+        from repro.oracle import online_query_cost, online_query_cost_many
+
+        with pytest.raises(ConfigError):
+            online_query_cost(3, 30, bandwidth_words=0)
+        with pytest.raises(ConfigError):
+            online_query_cost_many([3], 30, bandwidth_words=0)

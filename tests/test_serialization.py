@@ -81,3 +81,151 @@ class TestValidation:
         # decoded bunch keys are ints, not strings
         s = loads(dumps(all_built["tz"].sketches[1]))
         assert all(isinstance(k, int) for k in s.bunch)
+
+
+class TestIndexRoundTrip:
+    """Golden round-trips for the pre-indexed batched-query store."""
+
+    def _pairs(self, n):
+        import numpy as np
+
+        us, vs = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        return us.ravel(), vs.ravel()
+
+    def test_save_load_identical_batched_answers(self, tmp_path, all_built):
+        import numpy as np
+
+        from repro.oracle.serialization import load_index, save_index
+        from repro.service import TZIndex
+
+        idx = TZIndex(all_built["tz"].sketches, num_shards=3)
+        path = tmp_path / "index.json"
+        save_index(idx, path)
+        back = load_index(path)
+        assert back == idx
+        us, vs = self._pairs(idx.n)
+        assert np.array_equal(back.estimate_many(us, vs),
+                              idx.estimate_many(us, vs))
+
+    def test_dict_round_trip_is_canonical(self, all_built):
+        from repro.oracle.serialization import index_from_dict, index_to_dict
+        from repro.service import TZIndex
+
+        sketches = all_built["tz"].sketches
+        d1 = index_to_dict(TZIndex(sketches, num_shards=1))
+        d5 = index_to_dict(TZIndex(sketches, num_shards=5))
+        # the entry stream is canonical: only the shard count differs
+        assert d1["entries"] == d5["entries"]
+        assert d1["pivots"] == d5["pivots"]
+        assert index_from_dict(d1) == index_from_dict(d5)
+
+    def test_empty_bunch_sketches(self, tmp_path):
+        import numpy as np
+
+        from repro.oracle.serialization import load_index, save_index
+        from repro.service import TZIndex
+        from repro.tz.sketch import TZSketch
+
+        # k=1-shaped labels with empty bunches: every query must fail the
+        # level scan identically before and after a round trip
+        sketches = [TZSketch(node=u, k=1, pivots=((u, 0.0),), bunch={})
+                    for u in range(3)]
+        idx = TZIndex(sketches)
+        path = tmp_path / "empty.json"
+        save_index(idx, path)
+        back = load_index(path)
+        assert back == idx and back.nnz() == 0
+        # self-queries short-circuit to 0.0 without touching the tables
+        assert np.array_equal(back.estimate_many(np.array([0, 1]),
+                                                 np.array([0, 1])),
+                              np.zeros(2))
+        with pytest.raises(QueryError):
+            back.estimate_many(np.array([0]), np.array([1]))
+
+    def test_single_node_graph(self, tmp_path):
+        import numpy as np
+
+        from repro.graphs import Graph
+        from repro.oracle.serialization import load_index, save_index
+        from repro.service import TZIndex
+        from repro.tz import build_tz_sketches_centralized
+
+        sketches, _ = build_tz_sketches_centralized(Graph(1), k=1, seed=0)
+        idx = TZIndex(sketches)
+        path = tmp_path / "one.json"
+        save_index(idx, path)
+        back = load_index(path)
+        assert back == idx
+        assert back.estimate_many(np.array([0]), np.array([0])).tolist() == [0.0]
+
+    def test_index_from_dict_rejects_wrong_type(self, all_built):
+        from repro.oracle.serialization import index_from_dict, sketch_to_dict
+
+        with pytest.raises(QueryError):
+            index_from_dict(sketch_to_dict(all_built["tz"].sketches[0]))
+        with pytest.raises(QueryError):
+            index_from_dict({"type": "tz_index", "v": 999})
+
+    def test_file_is_plain_json(self, tmp_path, all_built):
+        from repro.oracle.serialization import save_index
+        from repro.service import TZIndex
+
+        path = tmp_path / "plain.json"
+        save_index(TZIndex(all_built["tz"].sketches), path)
+        data = json.loads(path.read_text(encoding="ascii"))
+        assert data["type"] == "tz_index"
+        assert all(isinstance(e, list) and len(e) == 4
+                   for e in data["entries"])
+
+
+class TestIndexDisconnected:
+    def test_inf_pivots_round_trip_as_strict_json(self, tmp_path):
+        import numpy as np
+
+        from repro.graphs import Graph
+        from repro.oracle.serialization import load_index, save_index
+        from repro.service import TZIndex
+        from repro.tz import build_tz_sketches_centralized
+
+        # disconnected graph -> INF_KEY sentinel pivots (inf distances);
+        # the file must still be RFC 8259 JSON (no Infinity token).
+        # seed 1 is pinned because it actually samples all of A_1 inside
+        # one component, forcing inf pivot distances in the other
+        g = Graph(5, [(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0), (2, 4, 2.0)])
+        sketches, _ = build_tz_sketches_centralized(g, k=2, seed=1)
+        idx = TZIndex(sketches)
+        assert np.isinf(idx.pivot_dists).any()
+        path = tmp_path / "disc.json"
+        save_index(idx, path)
+        text = path.read_text(encoding="ascii")
+        assert "Infinity" not in text
+        json.loads(text)  # strict parse succeeds
+        back = load_index(path)
+        assert back == idx
+        assert np.array_equal(back.pivot_dists, idx.pivot_dists)
+        assert np.isinf(back.pivot_dists).any()
+
+
+class TestIndexCorruption:
+    def test_out_of_range_entries_fail_loudly(self, all_built):
+        from repro.oracle.serialization import index_from_dict, index_to_dict
+        from repro.service import TZIndex
+
+        base = index_to_dict(TZIndex(all_built["tz"].sketches))
+        for bad_entry in ([base["n"], 0, 1.0, 0], [-1, 0, 1.0, 0],
+                          [0, base["n"], 1.0, 0]):
+            corrupt = dict(base, entries=base["entries"] + [bad_entry])
+            with pytest.raises(QueryError):
+                index_from_dict(corrupt)
+
+    def test_out_of_range_pivot_fails_loudly(self, all_built):
+        import copy
+
+        from repro.oracle.serialization import index_from_dict, index_to_dict
+        from repro.service import TZIndex
+
+        base = index_to_dict(TZIndex(all_built["tz"].sketches))
+        corrupt = copy.deepcopy(base)
+        corrupt["pivots"][0][0][0] = base["n"] + 5
+        with pytest.raises(QueryError):
+            index_from_dict(corrupt)

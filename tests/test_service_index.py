@@ -1,0 +1,299 @@
+"""Unit tests for the serving layer (repro.service): index, engine, bench."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import build_sketches
+from repro.errors import ConfigError, QueryError
+from repro.graphs import ring
+from repro.oracle.schemes import get_scheme
+from repro.service import QueryEngine, TZIndex, run_serve_benchmark
+from repro.tz import build_tz_sketches_centralized, estimate_distance
+from repro.tz.sketch import TZSketch
+
+
+@pytest.fixture(scope="module")
+def tz_sketches(er_weighted):
+    sketches, _ = build_tz_sketches_centralized(er_weighted, k=3, seed=11)
+    return sketches
+
+
+@pytest.fixture(scope="module")
+def indexed(tz_sketches):
+    return TZIndex(tz_sketches)
+
+
+class TestTZIndex:
+    def test_nnz_counts_all_bunch_entries(self, tz_sketches, indexed):
+        assert indexed.nnz() == sum(len(s.bunch) for s in tz_sketches)
+
+    def test_shard_sizes_partition_subtop_entries(self, tz_sketches):
+        idx = TZIndex(tz_sketches, num_shards=4)
+        top = int(np.isfinite(idx.top_dist).sum())
+        assert sum(idx.shard_sizes()) + top == idx.nnz()
+
+    def test_lookup_matches_bunch_dicts(self, tz_sketches, indexed):
+        rng = np.random.default_rng(5)
+        owners = rng.integers(0, indexed.n, size=200)
+        landmarks = rng.integers(0, indexed.n, size=200)
+        dist, level, found = indexed.lookup(owners, landmarks)
+        for j, (u, w) in enumerate(zip(owners, landmarks)):
+            entry = tz_sketches[int(u)].bunch.get(int(w))
+            if entry is None:
+                assert not found[j]
+            else:
+                assert found[j]
+                assert dist[j] == entry[0] and level[j] == entry[1]
+
+    def test_estimate_matches_reference(self, tz_sketches, indexed):
+        for u, v in [(0, 1), (3, 30), (17, 17), (35, 2)]:
+            assert indexed.estimate(u, v) == estimate_distance(
+                tz_sketches[u], tz_sketches[v])
+
+    def test_iter_entries_is_sorted_and_complete(self, tz_sketches):
+        idx = TZIndex(tz_sketches, num_shards=3)
+        entries = list(idx.iter_entries())
+        keys = [u * idx.n + w for u, w, _, _ in entries]
+        assert keys == sorted(keys)
+        assert len(entries) == idx.nnz()
+
+    def test_rejects_empty_and_mixed_k(self, tz_sketches):
+        with pytest.raises(ConfigError):
+            TZIndex([])
+        other, _ = build_tz_sketches_centralized(ring(36), k=2, seed=1)
+        with pytest.raises(ConfigError):
+            TZIndex([tz_sketches[0], other[1]])
+        with pytest.raises(ConfigError):
+            TZIndex(tz_sketches, num_shards=0)
+
+    def test_rejects_out_of_range_nodes(self, indexed):
+        with pytest.raises(QueryError):
+            indexed.estimate_many(np.array([0]), np.array([indexed.n]))
+        with pytest.raises(QueryError):
+            indexed.estimate_many(np.array([-1]), np.array([0]))
+
+    def test_empty_batch(self, indexed):
+        out = indexed.estimate_many(np.empty(0, dtype=np.int64),
+                                    np.empty(0, dtype=np.int64))
+        assert out.size == 0
+
+    def test_mixed_level_landmarks_fall_back_to_sharded(self):
+        # hand-crafted pathological set: landmark 1 appears at level 1 in
+        # one bunch and level 0 in another — the dense top split would be
+        # unsound, so the index must store everything sharded and still
+        # answer exactly like the reference scan
+        sketches = [
+            TZSketch(node=0, k=2, pivots=((0, 0.0), (1, 2.0)),
+                     bunch={1: (2.0, 1)}),
+            TZSketch(node=1, k=2, pivots=((1, 0.0), (1, 0.0)),
+                     bunch={1: (0.0, 1), 0: (2.0, 0)}),
+            TZSketch(node=2, k=2, pivots=((2, 0.0), (1, 5.0)),
+                     bunch={1: (5.0, 0)}),
+        ]
+        idx = TZIndex(sketches)
+        assert not idx.dense_top
+        for u in range(3):
+            for v in range(3):
+                try:
+                    want = estimate_distance(sketches[u], sketches[v])
+                except QueryError:
+                    with pytest.raises(QueryError):
+                        idx.estimate_many(np.array([u]), np.array([v]))
+                    continue
+                assert idx.estimate(u, v) == want
+
+
+class TestQueryEngine:
+    def test_dist_and_dist_many_agree(self, tz_sketches):
+        engine = QueryEngine(tz_sketches)
+        pairs = [(0, 4), (4, 0), (7, 7), (1, 30)]
+        batch = engine.dist_many(pairs)
+        assert [engine.dist(u, v) for u, v in pairs] == batch.tolist()
+
+    def test_cache_hits_and_evictions(self, tz_sketches):
+        engine = QueryEngine(tz_sketches, cache_size=2)
+        engine.dist(0, 1)
+        engine.dist(0, 1)
+        assert engine.stats.hits == 1 and engine.stats.misses == 1
+        engine.dist(0, 2)
+        engine.dist(0, 3)  # evicts (0, 1)
+        assert engine.stats.evictions == 1
+        engine.dist(0, 1)
+        assert engine.stats.misses == 4
+
+    def test_cache_disabled(self, tz_sketches):
+        engine = QueryEngine(tz_sketches, cache_size=0)
+        engine.dist(0, 1)
+        engine.dist(0, 1)
+        assert engine.stats.hits == 0 and engine.stats.misses == 0
+
+    def test_ordered_pair_caching(self, tz_sketches):
+        # (u, v) and (v, u) are distinct cache keys: the level scan is not
+        # symmetric, and the contract is bit-identity with the single path
+        engine = QueryEngine(tz_sketches, cache_size=64)
+        a = engine.dist(3, 30)
+        b = engine.dist(30, 3)
+        assert a == engine.reference_query(3, 30)
+        assert b == engine.reference_query(30, 3)
+
+    def test_generic_fallback_for_slack_schemes(self, er_unit):
+        built = build_sketches(er_unit, scheme="stretch3", eps=0.3, seed=2)
+        engine = QueryEngine(built.sketches, cache_size=8)
+        assert engine.index is None
+        pairs = [(0, 5), (5, 0), (2, 2)]
+        assert engine.dist_many(pairs).tolist() == [
+            built.query(u, v) for u, v in pairs]
+
+    def test_rejects_bad_pairs_shape(self, tz_sketches):
+        engine = QueryEngine(tz_sketches)
+        with pytest.raises(ConfigError):
+            engine.dist_many(np.arange(6))
+
+    def test_clear_cache(self, tz_sketches):
+        engine = QueryEngine(tz_sketches, cache_size=8)
+        engine.dist(0, 1)
+        engine.clear_cache()
+        assert engine.stats.misses == 0
+        engine.dist(0, 1)
+        assert engine.stats.misses == 1
+
+
+class TestBuiltSketchesIntegration:
+    def test_query_many_matches_query(self, er_weighted):
+        built = build_sketches(er_weighted, scheme="tz", k=2, seed=5)
+        pairs = [(0, 9), (9, 0), (4, 4), (1, 35)]
+        assert built.query_many(pairs).tolist() == [
+            built.query(u, v) for u, v in pairs]
+
+    def test_engine_is_cached(self, er_weighted):
+        built = build_sketches(er_weighted, scheme="tz", k=2, seed=5)
+        assert built.engine() is built.engine()
+
+    def test_scheme_flags(self):
+        assert get_scheme("tz").supports_batch
+        assert not get_scheme("stretch3").supports_batch
+
+
+class TestServeBenchmark:
+    def test_report_is_consistent(self, tz_sketches):
+        rep = run_serve_benchmark(tz_sketches, queries=200, batch=50,
+                                  repeats=1, seed=3)
+        assert rep["identical"]
+        assert rep["queries"] == 200 and rep["batch"] == 50
+        assert rep["single_qps"] > 0 and rep["batched_qps"] > 0
+
+    def test_rejects_bad_params(self, tz_sketches):
+        with pytest.raises(ConfigError):
+            run_serve_benchmark(tz_sketches, queries=0)
+        with pytest.raises(ConfigError):
+            run_serve_benchmark(tz_sketches, queries=10, batch=0)
+
+
+class TestOnlineCostMany:
+    def test_matches_scalar_closed_form(self):
+        from repro.oracle import online_query_cost, online_query_cost_many
+
+        hops = [0, 1, 3, 7]
+        out = online_query_cost_many(hops, 30, bandwidth_words=6)
+        for j, h in enumerate(hops):
+            ref = online_query_cost(h, 30, bandwidth_words=6)
+            assert out["chunks"][j] == ref.chunks
+            assert out["rounds"][j] == ref.rounds_pipelined
+            assert out["rounds_naive"][j] == ref.rounds_naive
+
+    def test_broadcasts_and_validates(self):
+        from repro.errors import ConfigError as CE
+        from repro.oracle import online_query_cost_many
+
+        out = online_query_cost_many([2, 4], [12, 24], bandwidth_words=6)
+        assert out["rounds"].tolist() == [3, 7]
+        with pytest.raises(CE):
+            online_query_cost_many([-1], 3)
+
+
+class TestDisconnectedGraphs:
+    """The INF_KEY pivot sentinel (-1, inf) on disconnected graphs must not
+    alias into the landmark tables (regression for a false top-level hit)."""
+
+    def _disconnected(self):
+        from repro.graphs import Graph
+
+        # components {0, 1} and {2, 3, 4}; node 4 can be a top landmark
+        return Graph(5, [(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0),
+                         (2, 4, 2.0)])
+
+    def test_cross_component_raises_like_reference(self):
+        g = self._disconnected()
+        for seed in range(8):
+            sketches, _ = build_tz_sketches_centralized(g, k=2, seed=seed)
+            idx = TZIndex(sketches)
+            for u in range(g.n):
+                for v in range(g.n):
+                    try:
+                        want = estimate_distance(sketches[u], sketches[v])
+                    except QueryError:
+                        with pytest.raises(QueryError):
+                            idx.estimate_many(np.array([u]), np.array([v]))
+                        continue
+                    assert idx.estimate(u, v) == want
+
+    def test_lookup_rejects_sentinel_landmark(self):
+        sketches, _ = build_tz_sketches_centralized(self._disconnected(),
+                                                    k=2, seed=1)
+        idx = TZIndex(sketches)
+        _, _, found = idx.lookup(np.array([0, 2]), np.array([-1, -1]))
+        assert not found.any()
+
+
+class TestEngineConfig:
+    def test_built_sketches_engine_rebuilds_on_new_config(self, er_unit):
+        built = build_sketches(er_unit, scheme="tz", k=2, seed=5)
+        default = built.engine()
+        assert built.engine() is default
+        cold = built.engine(cache_size=0, num_shards=4)
+        assert cold is not default
+        assert cold.cache_size == 0 and cold.index.num_shards == 4
+        assert built.engine(cache_size=0, num_shards=4) is cold
+
+    def test_use_index_flag(self, er_unit):
+        tz = build_sketches(er_unit, scheme="tz", k=2, seed=5).sketches
+        s3 = build_sketches(er_unit, scheme="stretch3", eps=0.3,
+                            seed=2).sketches
+        assert QueryEngine(tz, use_index=False).index is None
+        assert QueryEngine(tz, use_index=True).index is not None
+        with pytest.raises(ConfigError):
+            QueryEngine(s3, use_index=True)
+
+
+class TestLookupValidation:
+    def test_lookup_rejects_out_of_range_owner(self, indexed):
+        with pytest.raises(QueryError):
+            indexed.lookup(np.array([-1]), np.array([0]))
+        with pytest.raises(QueryError):
+            indexed.lookup(np.array([indexed.n]), np.array([0]))
+
+    def test_lookup_treats_out_of_range_landmark_as_absent(self, indexed):
+        _, _, found = indexed.lookup(np.array([0, 0]),
+                                     np.array([-1, indexed.n]))
+        assert not found.any()
+
+
+class TestGenericPathParity:
+    """Regressions for the generic (non-indexed) query path."""
+
+    def test_use_index_false_works_on_tz_sets(self, tz_sketches):
+        forced = QueryEngine(tz_sketches, use_index=False, cache_size=0)
+        auto = QueryEngine(tz_sketches, cache_size=0)
+        pairs = [(0, 4), (4, 0), (7, 7), (1, 30)]
+        assert forced.dist_many(pairs).tolist() == \
+            auto.dist_many(pairs).tolist()
+
+    def test_generic_path_rejects_out_of_range_ids(self, er_unit):
+        built = build_sketches(er_unit, scheme="stretch3", eps=0.3, seed=2)
+        engine = QueryEngine(built.sketches, cache_size=0)
+        with pytest.raises(QueryError):
+            engine.dist(-1, 5)
+        with pytest.raises(QueryError):
+            engine.dist(0, engine.n)

@@ -1,0 +1,82 @@
+"""Parallel sketch construction (repro.service.parallel): determinism.
+
+The contract under test: for a fixed seed, the worker count is invisible —
+``jobs=1`` and ``jobs=4`` produce *byte-identical* serialized oracles, and
+both equal the serial reference construction sketch-for-sketch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_sketches
+from repro.errors import ConfigError
+from repro.oracle.serialization import save_sketch_set
+from repro.service import build_tz_sketches_parallel
+from repro.tz import build_tz_sketches_centralized
+
+
+class TestDeterminism:
+    def test_jobs_1_vs_4_byte_identical(self, tmp_path, er_weighted):
+        p1 = tmp_path / "jobs1.jsonl"
+        p4 = tmp_path / "jobs4.jsonl"
+        sk1, h1 = build_tz_sketches_parallel(er_weighted, k=3, seed=42,
+                                             jobs=1)
+        sk4, h4 = build_tz_sketches_parallel(er_weighted, k=3, seed=42,
+                                             jobs=4)
+        save_sketch_set(sk1, p1)
+        save_sketch_set(sk4, p4)
+        assert p1.read_bytes() == p4.read_bytes()
+        assert (h1.level == h4.level).all()
+
+    def test_matches_serial_reference(self, er_weighted):
+        ref, href = build_tz_sketches_centralized(er_weighted, k=3, seed=42)
+        par, hpar = build_tz_sketches_parallel(er_weighted, k=3, seed=42,
+                                               jobs=3)
+        assert par == ref
+        assert (href.level == hpar.level).all()
+
+    def test_shared_hierarchy_shares_output(self, er_unit):
+        _, h = build_tz_sketches_centralized(er_unit, k=2, seed=9)
+        a, _ = build_tz_sketches_parallel(er_unit, hierarchy=h, jobs=2)
+        b, _ = build_tz_sketches_centralized(er_unit, hierarchy=h)
+        assert a == b
+
+    def test_through_build_sketches_api(self, tmp_path, er_unit):
+        serial = build_sketches(er_unit, scheme="tz", k=2, seed=7)
+        fanned = build_sketches(er_unit, scheme="tz", k=2, seed=7, jobs=2)
+        ps, pf = tmp_path / "s.jsonl", tmp_path / "f.jsonl"
+        save_sketch_set(serial.sketches, ps)
+        save_sketch_set(fanned.sketches, pf)
+        assert ps.read_bytes() == pf.read_bytes()
+
+    def test_jobs_clamped_to_sources(self, small_ring):
+        # more workers than cluster roots must not crash or change output
+        a, _ = build_tz_sketches_parallel(small_ring, k=2, seed=1, jobs=64)
+        b, _ = build_tz_sketches_centralized(small_ring, k=2, seed=1)
+        assert a == b
+
+
+class TestValidation:
+    def test_needs_k_or_hierarchy(self, er_unit):
+        with pytest.raises(ConfigError):
+            build_tz_sketches_parallel(er_unit)
+
+    def test_conflicting_k(self, er_unit):
+        from repro.tz import sample_hierarchy
+
+        h = sample_hierarchy(er_unit.n, 2, seed=1)
+        with pytest.raises(ConfigError):
+            build_tz_sketches_parallel(er_unit, k=3, hierarchy=h)
+
+    def test_rejects_bad_jobs(self, er_unit):
+        with pytest.raises(ConfigError):
+            build_tz_sketches_parallel(er_unit, k=2, seed=1, jobs=0)
+
+    def test_jobs_param_rejected_for_other_schemes(self, er_unit):
+        with pytest.raises(ConfigError):
+            build_sketches(er_unit, scheme="stretch3", eps=0.3, seed=1,
+                           jobs=2)
+        with pytest.raises(ConfigError):
+            build_sketches(er_unit, scheme="tz", k=2, mode="distributed",
+                           seed=1, jobs=2)

@@ -1,0 +1,148 @@
+"""Property-based tests for the serving layer (repro.service).
+
+Two invariants, checked on every generated instance:
+
+* **batch/single bit-identity** — for random connected weighted graphs and
+  all k ∈ {2, 3, 4}, every batched answer equals the single-query answer
+  *exactly* (``==`` on floats, not approx), across shard counts and cache
+  configurations;
+* **sandwich bound** — every estimate satisfies
+  ``d(u, v) <= est <= (2k-1) d(u, v)`` against the Dijkstra (APSP) ground
+  truth.
+
+The default profile keeps examples small so the tier-1 run stays fast; the
+``slow``-marked exhaustive variants (bigger graphs, every pair, more
+examples — further scaled by the ``nightly`` hypothesis profile, see
+``conftest.py``) are for the nightly job:
+``pytest --runslow -m slow tests/test_service_properties.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph, apsp
+from repro.service import QueryEngine, TZIndex, build_tz_sketches_parallel
+from repro.tz import build_tz_sketches_centralized, estimate_distance
+
+COMMON = dict(deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+
+KS = (2, 3, 4)
+
+
+@st.composite
+def connected_graphs(draw, max_n=14):
+    """Random connected weighted graph: spanning tree + extra edges."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    weights = st.integers(min_value=1, max_value=12)
+    g = Graph(n)
+    for v in range(1, n):
+        u = draw(st.integers(min_value=0, max_value=v - 1))
+        g.add_edge(u, v, float(draw(weights)))
+    extra = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(extra):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v, float(draw(weights)))
+    return g
+
+
+def _all_ordered_pairs(n: int) -> tuple[np.ndarray, np.ndarray]:
+    us, vs = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    return us.ravel(), vs.ravel()
+
+
+class TestBatchedEqualsSingle:
+    @settings(max_examples=20, **COMMON)
+    @given(g=connected_graphs(), seed=st.integers(min_value=0, max_value=10**6))
+    def test_every_batched_answer_equals_single(self, g, seed):
+        for k in KS:
+            sketches, _ = build_tz_sketches_centralized(g, k=k, seed=seed)
+            us, vs = _all_ordered_pairs(g.n)
+            single = [estimate_distance(sketches[u], sketches[v])
+                      for u, v in zip(us, vs)]
+            batched = TZIndex(sketches).estimate_many(us, vs)
+            assert batched.tolist() == single  # exact, not approx
+
+    @settings(max_examples=10, **COMMON)
+    @given(g=connected_graphs(max_n=10),
+           seed=st.integers(min_value=0, max_value=10**6),
+           shards=st.integers(min_value=1, max_value=5))
+    def test_shard_count_never_changes_answers(self, g, seed, shards):
+        for k in KS:
+            sketches, _ = build_tz_sketches_centralized(g, k=k, seed=seed)
+            us, vs = _all_ordered_pairs(g.n)
+            base = TZIndex(sketches, num_shards=1).estimate_many(us, vs)
+            sharded = TZIndex(sketches, num_shards=shards).estimate_many(us, vs)
+            assert np.array_equal(base, sharded)
+
+    @settings(max_examples=10, **COMMON)
+    @given(g=connected_graphs(max_n=10),
+           seed=st.integers(min_value=0, max_value=10**6),
+           cache=st.integers(min_value=0, max_value=64))
+    def test_cache_never_changes_answers(self, g, seed, cache):
+        sketches, _ = build_tz_sketches_centralized(g, k=2, seed=seed)
+        engine = QueryEngine(sketches, cache_size=cache)
+        us, vs = _all_ordered_pairs(g.n)
+        pairs = np.stack([us, vs], axis=1)
+        first = engine.dist_many(pairs)
+        again = engine.dist_many(pairs)  # now (partly) served from cache
+        single = [engine.reference_query(int(u), int(v))
+                  for u, v in zip(us, vs)]
+        assert first.tolist() == single
+        assert again.tolist() == single
+
+
+class TestSandwichBound:
+    @settings(max_examples=20, **COMMON)
+    @given(g=connected_graphs(), seed=st.integers(min_value=0, max_value=10**6))
+    def test_estimates_within_2k_minus_1(self, g, seed):
+        d = apsp(g)
+        for k in KS:
+            sketches, _ = build_tz_sketches_centralized(g, k=k, seed=seed)
+            us, vs = _all_ordered_pairs(g.n)
+            est = TZIndex(sketches).estimate_many(us, vs)
+            lo = d[us, vs]
+            hi = (2 * k - 1) * d[us, vs]
+            assert (est >= lo - 1e-9).all()
+            assert (est <= hi + 1e-9).all()
+
+    @settings(max_examples=10, **COMMON)
+    @given(g=connected_graphs(max_n=10),
+           seed=st.integers(min_value=0, max_value=10**6),
+           jobs=st.integers(min_value=1, max_value=4))
+    def test_parallel_build_keeps_the_bound(self, g, seed, jobs):
+        d = apsp(g)
+        sketches, _ = build_tz_sketches_parallel(g, k=3, seed=seed, jobs=jobs)
+        us, vs = _all_ordered_pairs(g.n)
+        est = TZIndex(sketches).estimate_many(us, vs)
+        assert (est >= d[us, vs] - 1e-9).all()
+        assert (est <= 5 * d[us, vs] + 1e-9).all()
+
+
+@pytest.mark.slow
+class TestExhaustive:
+    """Nightly-scale variants: larger graphs, every ordered pair.  No
+    explicit ``max_examples`` — the active hypothesis profile governs, so
+    the nightly job's ``REPRO_HYPOTHESIS_PROFILE=nightly`` scales it up."""
+
+    @settings(**COMMON)
+    @given(g=connected_graphs(max_n=40),
+           seed=st.integers(min_value=0, max_value=10**6),
+           shards=st.integers(min_value=1, max_value=8))
+    def test_identity_and_sandwich_large(self, g, seed, shards):
+        d = apsp(g)
+        for k in KS:
+            sketches, _ = build_tz_sketches_centralized(g, k=k, seed=seed)
+            us, vs = _all_ordered_pairs(g.n)
+            single = [estimate_distance(sketches[u], sketches[v])
+                      for u, v in zip(us, vs)]
+            est = TZIndex(sketches, num_shards=shards).estimate_many(us, vs)
+            assert est.tolist() == single
+            assert (est >= d[us, vs] - 1e-9).all()
+            assert (est <= (2 * k - 1) * d[us, vs] + 1e-9).all()
