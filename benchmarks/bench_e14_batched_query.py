@@ -94,6 +94,47 @@ def test_e14_cache_serves_repeats(e14_sketches):
     assert eng.stats.hits >= QUERIES  # second pass is all cache hits
 
 
+SLACK_BUILDS = {
+    "stretch3": dict(scheme="stretch3", eps=0.3),
+    "cdg": dict(scheme="cdg", eps=0.3, k=2),
+    "graceful": dict(scheme="graceful"),
+}
+
+
+@pytest.fixture(scope="module")
+def e14_slack_table(experiment_report):
+    """Every scheme through the batched path (smaller n: the slack builds
+    run full APSP, and the claim here is identity + speedup shape, not
+    absolute throughput)."""
+    from repro import build_sketches
+
+    g = workload("er", 400, weighted=True)
+    rows = []
+    for scheme, params in SLACK_BUILDS.items():
+        built = build_sketches(g, seed=SEED, **params)
+        rep = run_serve_benchmark(built.sketches, queries=500, batch=500,
+                                  seed=7, repeats=2, num_shards=2)
+        assert rep["identical"], f"{scheme}: batched answers diverged"
+        rows.append({
+            "scheme": rep["scheme"], "n": rep["n"], "Q": rep["queries"],
+            "single-qps": int(rep["single_qps"]),
+            "batched-qps": int(rep["batched_qps"]),
+            "speedup": round(rep["speedup"], 2),
+        })
+    experiment_report("E14b-slack-batched", render_table(
+        rows, title="E14b: batched serving across the slack schemes "
+                    "(ER n=400, uniform weights, batch=500)"))
+    return rows
+
+
+def test_e14_slack_schemes_batched_identical(e14_slack_table):
+    """Universal batching: every slack scheme's batched path is exact and
+    at least as fast as the single-query loop."""
+    assert {r["scheme"] for r in e14_slack_table} == set(SLACK_BUILDS)
+    for row in e14_slack_table:
+        assert row["speedup"] >= 1.0, row
+
+
 def test_e14_benchmark_batched_pass(benchmark, e14_sketches, e14_table):
     """Timing kernel: one cold-cache batched pass over 1000 pairs."""
     eng = QueryEngine(e14_sketches, cache_size=0)

@@ -1,0 +1,112 @@
+"""E15 — multi-process shard serving: worker scaling over the landmark shards.
+
+The per-landmark shard decomposition (``plan`` → ``shard_answer`` × S →
+``finish``) puts real processes behind the shards.  This experiment
+measures how batched throughput moves as workers are added, and — the
+part that is a hard claim rather than a hardware-dependent number —
+asserts that **answers are bit-identical for every worker count**, for
+the TZ scheme and for a slack scheme.
+
+Two honest caveats the table makes visible:
+
+* per-batch IPC (pickling requests/responses) is a fixed tax, so small
+  batches can be *slower* with workers than in-process — the table
+  reports both a small and a large batch;
+* with ``jobs=1`` the identical decomposition runs in-process, so the
+  jobs=1 row is the fair baseline for the scaling ratio.
+
+There is no default throughput gate (shared CI runners make worker
+scaling unpredictable); set ``REPRO_E15_MIN_EFFICIENCY`` to enforce a
+``jobs=4`` vs ``jobs=1`` ratio on quiet hardware.
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_e15_shard_workers.py -q``
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from benchmarks._workloads import workload
+from repro.analysis import render_table
+from repro.service import (QueryEngine, build_index, build_tz_sketches_parallel,
+                           run_serve_benchmark, sample_query_pairs)
+
+N = 2000
+QUERIES = 4000
+SEED = 71
+JOBS = (1, 2, 4)
+SHARDS = 4
+MIN_EFFICIENCY = os.environ.get("REPRO_E15_MIN_EFFICIENCY")
+
+
+@pytest.fixture(scope="module")
+def e15_sketches():
+    g = workload("er", N, weighted=True)
+    sketches, _ = build_tz_sketches_parallel(g, k=2, seed=SEED, jobs=2)
+    return sketches
+
+
+@pytest.fixture(scope="module")
+def e15_table(experiment_report, e15_sketches):
+    rows = []
+    for jobs in JOBS:
+        rep = run_serve_benchmark(e15_sketches, queries=QUERIES,
+                                  batch=QUERIES, seed=7, repeats=3,
+                                  num_shards=SHARDS, jobs=jobs)
+        assert rep["identical"], f"jobs={jobs}: batched answers diverged"
+        rows.append({
+            "jobs": jobs, "shards": SHARDS, "Q": rep["queries"],
+            "batched-qps": int(rep["batched_qps"]),
+            "vs-jobs1": (round(rep["batched_qps"] / rows[0]["batched-qps"], 2)
+                         if rows else 1.0),
+        })
+    experiment_report("E15-shard-workers", render_table(
+        rows, title=f"E15: shard-worker scaling (TZ k=2, ER n={N}, "
+                    f"{SHARDS} landmark shards, batch={QUERIES})"))
+    return rows
+
+
+def test_e15_answers_identical_across_worker_counts(e15_table, e15_sketches):
+    """The hard claim: jobs=1 and jobs=4 produce the same bytes."""
+    pairs = sample_query_pairs(N, 1000, seed=3)
+    with QueryEngine(e15_sketches, cache_size=0, num_shards=SHARDS,
+                     jobs=1) as solo:
+        base = solo.dist_many(pairs)
+    with QueryEngine(e15_sketches, cache_size=0, num_shards=SHARDS,
+                     jobs=4) as fleet:
+        assert np.array_equal(fleet.dist_many(pairs), base)
+
+
+def test_e15_slack_scheme_through_workers():
+    """A slack scheme end to end: stretch3 batched through 4 workers is
+    exact against the single-query loop."""
+    from repro import build_sketches
+
+    g = workload("er", 600, weighted=True)
+    built = build_sketches(g, scheme="stretch3", eps=0.25, seed=SEED)
+    rep = run_serve_benchmark(built.sketches, queries=1000, seed=5,
+                              repeats=1, num_shards=4, jobs=4)
+    assert rep["identical"] and rep["scheme"] == "stretch3"
+
+
+def test_e15_table_complete(e15_table):
+    assert [r["jobs"] for r in e15_table] == list(JOBS)
+    if MIN_EFFICIENCY is not None:
+        assert e15_table[-1]["vs-jobs1"] >= float(MIN_EFFICIENCY)
+
+
+def test_e15_benchmark_pooled_pass(benchmark, e15_sketches, e15_table):
+    """Timing kernel: one cold-cache batched pass through the 4-worker
+    pool (pool start-up excluded — it is a one-time cost)."""
+    with QueryEngine(e15_sketches, cache_size=0, num_shards=SHARDS,
+                     jobs=4) as eng:
+        pairs = sample_query_pairs(N, QUERIES, seed=7)
+        eng.dist_many(pairs)  # warm the pool
+
+        def run():
+            return eng.dist_many(pairs)
+
+        benchmark(run)

@@ -9,7 +9,9 @@ A downstream user can drive the whole pipeline without writing Python::
     python -m repro build net.edges --scheme tz --k 3 --jobs 4 -o sketches.jsonl
     python -m repro query net.edges sketches.jsonl --pairs 0:100 5:17
     python -m repro eval net.edges sketches.jsonl --eps 0.25
-    python -m repro serve-bench sketches.jsonl --queries 10000 --batch 1000
+    python -m repro serve-bench sketches.jsonl --queries 10000 --batch 1000 \
+        --shards 4 --jobs 4
+    python -m repro schemes --markdown
 
 Sketches travel as the JSON-lines format of
 :mod:`repro.oracle.serialization`; graphs as the edge-list format of
@@ -149,18 +151,34 @@ def _cmd_query(args) -> int:
 
 def _cmd_serve_bench(args) -> int:
     from repro.oracle.serialization import load_sketch_set
-    from repro.service import run_serve_benchmark
+    from repro.service import run_serve_benchmark, scheme_name_of
 
     sketches = load_sketch_set(args.sketches)
+    if args.scheme is not None:
+        found = scheme_name_of(sketches)
+        if found != args.scheme:
+            raise ReproError(
+                f"sketch set is {found or 'unrecognized'}, "
+                f"not {args.scheme}")
     report = run_serve_benchmark(
         sketches, queries=args.queries, batch=args.batch, seed=args.seed,
         repeats=args.repeats, cache_size=args.cache_size,
-        num_shards=args.shards)
+        num_shards=args.shards, jobs=args.jobs)
     print(json.dumps(report, indent=2))
     if not report["identical"]:
         print("error: batched answers diverged from the single-query path",
               file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_schemes(args) -> int:
+    from repro.oracle.schemes import scheme_support_matrix, schemes_markdown
+
+    if args.markdown:
+        print(schemes_markdown())
+    else:
+        print(json.dumps(scheme_support_matrix(), indent=2))
     return 0
 
 
@@ -247,8 +265,24 @@ def build_parser() -> argparse.ArgumentParser:
                     help="landmark shards in the pre-built index")
     sb.add_argument("--cache-size", type=int, default=0,
                     help="LRU result-cache capacity (0 = cold-cache run)")
+    sb.add_argument("--jobs", type=int, default=1,
+                    help="worker processes behind the landmark shards "
+                         "(1 = in-process; clamped to --shards; answers "
+                         "are identical either way)")
+    sb.add_argument("--scheme",
+                    choices=["tz", "stretch3", "cdg", "graceful"],
+                    default=None,
+                    help="assert the loaded sketch set is this scheme")
     sb.add_argument("--seed", type=int, default=0)
     sb.set_defaults(func=_cmd_serve_bench)
+
+    sc = sub.add_parser("schemes",
+                        help="the scheme capability matrix (from the "
+                             "SCHEMES registry)")
+    sc.add_argument("--markdown", action="store_true",
+                    help="print a GitHub-flavored markdown table instead "
+                         "of JSON")
+    sc.set_defaults(func=_cmd_schemes)
 
     e = sub.add_parser("eval", help="stretch report against exact APSP")
     e.add_argument("graph")

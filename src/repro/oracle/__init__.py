@@ -8,7 +8,8 @@ reports sizes and construction cost.
 """
 
 from repro.oracle.api import build_sketches, BuiltSketches
-from repro.oracle.schemes import SCHEMES, SchemeSpec
+from repro.oracle.schemes import (SCHEMES, SchemeSpec, get_scheme,
+                                  scheme_support_matrix, schemes_markdown)
 from repro.oracle.evaluation import (
     StretchReport,
     evaluate_stretch,
@@ -27,6 +28,9 @@ __all__ = [
     "BuiltSketches",
     "SCHEMES",
     "SchemeSpec",
+    "get_scheme",
+    "scheme_support_matrix",
+    "schemes_markdown",
     "StretchReport",
     "evaluate_stretch",
     "eps_far_mask",

@@ -47,17 +47,27 @@ class BuiltSketches:
             return estimate_distance(su, sv, **kwargs)
         return su.estimate_to(sv)
 
-    def engine(self, cache_size: int = 65536, num_shards: int = 1):
+    def engine(self, cache_size: int = 65536, num_shards: int = 1,
+               jobs: int = 1):
         """The batched :class:`~repro.service.engine.QueryEngine` over this
         sketch set (built on first use, then cached in ``extras``; asking
-        for a different configuration rebuilds it)."""
-        config = (cache_size, num_shards)
+        for a different configuration rebuilds it — closing the previous
+        engine's worker pool, if it had one).
+
+        :param cache_size: LRU result-cache capacity.
+        :param num_shards: landmark shard count for the index.
+        :param jobs: worker processes behind the shards (``1`` =
+            in-process); see :class:`~repro.service.workers.ShardServer`.
+        """
+        config = (cache_size, num_shards, jobs)
         cached = self.extras.get("_engine")
-        if cached is not None and cached[0] == config:
-            return cached[1]
+        if cached is not None:
+            if cached[0] == config:
+                return cached[1]
+            cached[1].close()
         from repro.service.engine import QueryEngine
         eng = QueryEngine(self.sketches, cache_size=cache_size,
-                          num_shards=num_shards,
+                          num_shards=num_shards, jobs=jobs,
                           use_index=self.scheme.supports_batch)
         self.extras["_engine"] = (config, eng)
         return eng

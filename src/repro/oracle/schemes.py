@@ -5,6 +5,11 @@ worst-case stretch as a function of the build parameters, and the slack
 semantics (whether the stretch bound holds for all pairs or only ε-far
 pairs) — the evaluation layer uses these to know which pairs a bound
 applies to.
+
+The registry is also the source of the capability matrix rendered by
+``python -m repro schemes --markdown`` (and pasted into the README):
+which build modes exist, whether the serving layer has a vectorized
+batched index, and whether the wire format round-trips the sketches.
 """
 
 from __future__ import annotations
@@ -18,20 +23,37 @@ from repro.errors import ConfigError
 
 @dataclass(frozen=True)
 class SchemeSpec:
-    """Metadata for one sketch scheme."""
+    """Metadata for one sketch scheme.
+
+    :param name: registry key (``"tz"``, ``"stretch3"``, ``"cdg"``,
+        ``"graceful"``).
+    :param paper_result: the theorem/lemma this scheme implements.
+    :param stretch_bound: worst-case stretch bound as a function of the
+        build params dict; applies to all pairs (``slack_of`` returns
+        ``None``) or only eps-far pairs.
+    :param slack_of: returns the eps for which the bound holds, or
+        ``None`` for all-pairs.
+    :param supports_batch: whether the serving layer
+        (:mod:`repro.service`) has a vectorized batched-query index for
+        this scheme.  Every built-in scheme does (see
+        :mod:`repro.service.index`); the flag exists so external schemes
+        registered without an index fall back to the generic loop.
+    :param build_modes: construction modes :func:`~repro.oracle.api.build_sketches`
+        accepts for this scheme.
+    :param supports_serialize: whether :mod:`repro.oracle.serialization`
+        round-trips this scheme's sketches (and its pre-built index).
+    """
 
     name: str
     paper_result: str
-    #: worst-case stretch bound as a function of the build params dict;
-    #: applies to all pairs (slack=None) or only eps-far pairs
     stretch_bound: Callable[[dict], float]
-    #: returns the eps for which the bound holds, or None for all-pairs
     slack_of: Callable[[dict], Optional[float]]
-    #: whether the serving layer (:mod:`repro.service`) has a vectorized
-    #: batched-query index for this scheme; others fall back to a loop
     supports_batch: bool = False
+    build_modes: tuple[str, ...] = ("centralized", "distributed")
+    supports_serialize: bool = True
 
     def describe(self, params: dict) -> str:
+        """One-line human summary of the guarantee under ``params``."""
         slack = self.slack_of(params)
         bound = self.stretch_bound(params)
         tail = f" with {slack}-slack" if slack is not None else ""
@@ -69,25 +91,65 @@ SCHEMES: dict[str, SchemeSpec] = {
         paper_result="Theorem 4.3 (density-net table)",
         stretch_bound=_stretch3_stretch,
         slack_of=lambda p: p["eps"],
+        supports_batch=True,
     ),
     "cdg": SchemeSpec(
         name="cdg",
         paper_result="Theorem 4.6 ((eps,k)-CDG)",
         stretch_bound=_cdg_stretch,
         slack_of=lambda p: p["eps"],
+        supports_batch=True,
     ),
     "graceful": SchemeSpec(
         name="graceful",
         paper_result="Theorem 4.8 / Corollary 4.9 (gracefully degrading)",
         stretch_bound=_graceful_stretch,
         slack_of=lambda p: None,  # all pairs, at the O(log n) worst case
+        supports_batch=True,
     ),
 }
 
 
 def get_scheme(name: str) -> SchemeSpec:
+    """Look a scheme up by registry name.
+
+    :raises ConfigError: for an unknown name.
+    """
     try:
         return SCHEMES[name]
     except KeyError:
         raise ConfigError(
             f"unknown scheme {name!r}; available: {sorted(SCHEMES)}") from None
+
+
+# ----------------------------------------------------------------------
+# the capability matrix (``python -m repro schemes``)
+# ----------------------------------------------------------------------
+def scheme_support_matrix() -> list[dict]:
+    """One JSON-ready row per registered scheme, derived entirely from the
+    :data:`SCHEMES` registry (so the docs can never drift from the code)."""
+    return [{
+        "scheme": name,
+        "paper_result": spec.paper_result,
+        "build": list(spec.build_modes),
+        "query": True,  # every registered scheme answers single queries
+        "batch": spec.supports_batch,
+        "serialize": spec.supports_serialize,
+    } for name, spec in sorted(SCHEMES.items())]
+
+
+def schemes_markdown() -> str:
+    """The support matrix as a GitHub-flavored markdown table — the exact
+    text ``python -m repro schemes --markdown`` prints and the README
+    embeds."""
+    yn = {True: "yes", False: "no"}
+    lines = [
+        "| scheme | build | single query | batched query | serialized |",
+        "|--------|-------|--------------|---------------|------------|",
+    ]
+    for row in scheme_support_matrix():
+        lines.append(
+            f"| `{row['scheme']}` | {', '.join(row['build'])} "
+            f"| {yn[row['query']]} | {yn[row['batch']]} "
+            f"| {yn[row['serialize']]} |")
+    return "\n".join(lines)

@@ -4,17 +4,22 @@ A distance sketch is only useful if it can leave the node that built it
 (the online query of Section 2.1 literally transmits one).  This module
 provides a stable, JSON-compatible wire format for every sketch type in
 the library, with word-size-faithful content (IDs, distances, levels —
-nothing else), plus round-trip helpers for whole sketch sets.
+nothing else), plus round-trip helpers for whole sketch sets and for the
+pre-built serving indexes of :mod:`repro.service.index` (one encoder per
+:class:`~repro.service.index.IndexStore` implementation).
 
 Format: ``{"type": ..., "v": 1, ...payload...}``.  Decoding validates the
-type tag and version so mixed-version archives fail loudly.
+type tag and version so mixed-version archives fail loudly.  Infinite
+distances (possible on disconnected graphs) are encoded as ``null`` —
+RFC 8259 JSON has no ``Infinity`` token, and the files must stay readable
+by strict parsers; the decoder accepts both spellings.
 """
 
 from __future__ import annotations
 
 import json
 import math
-from typing import Any, Union
+from typing import Any, Optional, Union
 
 from repro.errors import QueryError
 from repro.slack.cdg import CDGSketch
@@ -26,26 +31,40 @@ VERSION = 1
 
 AnySketch = Union[TZSketch, Stretch3Sketch, CDGSketch, GracefulSketch]
 
+_INDEX_TAGS = {"tz_index", "stretch3_index", "cdg_index", "graceful_index"}
+
+
+def _enc_dist(d: float) -> Optional[float]:
+    """Finite distance -> float, infinite -> ``null`` (strict JSON)."""
+    return float(d) if math.isfinite(d) else None
+
+
+def _dec_dist(d) -> float:
+    """Inverse of :func:`_enc_dist`; tolerates legacy raw ``Infinity``."""
+    return math.inf if d is None else float(d)
+
 
 def sketch_to_dict(sketch: AnySketch) -> dict:
     """Encode any library sketch as a JSON-compatible dict."""
     if isinstance(sketch, TZSketch):
         return {
             "type": "tz", "v": VERSION, "node": sketch.node, "k": sketch.k,
-            "pivots": [[p, d] for p, d in sketch.pivots],
+            "pivots": [[p, _enc_dist(d)] for p, d in sketch.pivots],
             "bunch": [[v, d, lvl] for v, (d, lvl) in sketch.bunch.items()],
         }
     if isinstance(sketch, Stretch3Sketch):
         return {
             "type": "stretch3", "v": VERSION, "node": sketch.node,
             "eps": sketch.eps,
-            "entries": [[w, d] for w, d in sketch.entries.items()],
+            "entries": [[w, _enc_dist(d)]
+                        for w, d in sketch.entries.items()],
         }
     if isinstance(sketch, CDGSketch):
         return {
             "type": "cdg", "v": VERSION, "node": sketch.node,
             "eps": sketch.eps, "k": sketch.k,
-            "gateway": sketch.gateway, "gateway_dist": sketch.gateway_dist,
+            "gateway": sketch.gateway,
+            "gateway_dist": _enc_dist(sketch.gateway_dist),
             "label": sketch_to_dict(sketch.label),
         }
     if isinstance(sketch, GracefulSketch):
@@ -66,17 +85,18 @@ def sketch_from_dict(data: dict) -> AnySketch:
     if t == "tz":
         return TZSketch(
             node=data["node"], k=data["k"],
-            pivots=tuple((int(p), float(d)) for p, d in data["pivots"]),
+            pivots=tuple((int(p), _dec_dist(d)) for p, d in data["pivots"]),
             bunch={int(v): (float(d), int(lvl))
                    for v, d, lvl in data["bunch"]})
     if t == "stretch3":
         return Stretch3Sketch(
             node=data["node"], eps=data["eps"],
-            entries={int(w): float(d) for w, d in data["entries"]})
+            entries={int(w): _dec_dist(d) for w, d in data["entries"]})
     if t == "cdg":
         return CDGSketch(
             node=data["node"], eps=data["eps"], k=data["k"],
-            gateway=data["gateway"], gateway_dist=data["gateway_dist"],
+            gateway=data["gateway"],
+            gateway_dist=_dec_dist(data["gateway_dist"]),
             label=sketch_from_dict(data["label"]))
     if t == "graceful":
         return GracefulSketch(
@@ -86,64 +106,169 @@ def sketch_from_dict(data: dict) -> AnySketch:
     raise QueryError(f"unknown sketch type tag {t!r}")
 
 
+# ----------------------------------------------------------------------
+# pre-built serving indexes
+# ----------------------------------------------------------------------
 def index_to_dict(index) -> dict:
-    """Encode a :class:`~repro.service.index.TZIndex` (the pre-indexed
-    batched-query store).
+    """Encode any :class:`~repro.service.index.IndexStore` implementation.
 
-    The payload is the index's canonical form — per-node pivot tables plus
-    the bunch-entry stream in composite-key order — so the encoding is
-    independent of the shard count and of the dense/sparse storage split,
-    and a load rebuilds a store with identical batched answers.
+    Each payload is the index's canonical form — shard-count independent
+    and independent of any dense/sparse storage split — so a load
+    rebuilds a store with identical batched answers:
 
-    An infinite pivot distance (the INF_KEY sentinel on disconnected
-    graphs) is encoded as ``null``: RFC 8259 JSON has no ``Infinity``
-    token, and the file must stay readable by strict parsers.
+    * ``tz_index`` — per-node pivot tables plus the bunch-entry stream in
+      composite-key order;
+    * ``stretch3_index`` — the finite ``(owner, net node, dist)`` stream;
+    * ``cdg_index`` — per-node gateway pairs plus the net labels;
+    * ``graceful_index`` — one ``cdg_index`` payload per ε-component.
     """
-    return {
-        "type": "tz_index", "v": VERSION,
-        "n": index.n, "k": index.k, "num_shards": index.num_shards,
-        "pivots": [[[int(index.pivot_ids[u, i]),
-                     (float(index.pivot_dists[u, i])
-                      if math.isfinite(index.pivot_dists[u, i]) else None)]
-                    for i in range(index.k)] for u in range(index.n)],
-        "entries": [[u, w, d, lvl] for u, w, d, lvl in index.iter_entries()],
-    }
+    from repro.service.index import (CDGIndex, GracefulIndex, Stretch3Index,
+                                     TZIndex)
+
+    if isinstance(index, TZIndex):
+        return {
+            "type": "tz_index", "v": VERSION,
+            "n": index.n, "k": index.k, "num_shards": index.num_shards,
+            "pivots": [[[int(index.pivot_ids[u, i]),
+                         _enc_dist(index.pivot_dists[u, i])]
+                        for i in range(index.k)] for u in range(index.n)],
+            "entries": [[u, w, d, lvl]
+                        for u, w, d, lvl in index.iter_entries()],
+        }
+    if isinstance(index, Stretch3Index):
+        return {
+            "type": "stretch3_index", "v": VERSION,
+            "n": index.n, "eps": index.eps,
+            "num_shards": index.num_shards,
+            "entries": [[u, w, d] for u, w, d in index.iter_entries()],
+        }
+    if isinstance(index, CDGIndex):
+        return {
+            "type": "cdg_index", "v": VERSION,
+            "n": index.n, "eps": index.eps, "k": index.k,
+            "num_shards": index.num_shards,
+            "gateways": [[int(index.gateway_ids[u]),
+                          _enc_dist(index.gateway_dists[u])]
+                         for u in range(index.n)],
+            "labels": [sketch_to_dict(index.labels[w])
+                       for w in sorted(index.labels)],
+        }
+    if isinstance(index, GracefulIndex):
+        # the top-level shard count governs every component on load, so
+        # the nested cdg payloads drop theirs (keeps the form canonical)
+        components = []
+        for c in index.components:
+            payload = index_to_dict(c)
+            payload.pop("num_shards")
+            components.append(payload)
+        return {
+            "type": "graceful_index", "v": VERSION,
+            "n": index.n, "num_shards": index.num_shards,
+            "components": components,
+        }
+    raise QueryError(f"cannot serialize index {type(index).__name__}")
+
+
+def _check_index_header(data, tag: str) -> None:
+    if not isinstance(data, dict) or data.get("type") not in _INDEX_TAGS:
+        raise QueryError("not a serialized index")
+    if data.get("v") != VERSION:
+        raise QueryError(f"unsupported sketch format version {data.get('v')}")
+    if data["type"] != tag:  # pragma: no cover - internal dispatch only
+        raise QueryError(f"expected a {tag}, got {data['type']}")
+
+
+def _cdg_sketch_list(data: dict) -> list[CDGSketch]:
+    """Rebuild the per-node CDG sketch set behind a ``cdg_index`` payload
+    (shared by the cdg and graceful decoders)."""
+    _check_index_header(data, "cdg_index")
+    n, eps, k = int(data["n"]), float(data["eps"]), int(data["k"])
+    labels: dict[int, TZSketch] = {}
+    for entry in data["labels"]:
+        lbl = sketch_from_dict(entry)
+        if not isinstance(lbl, TZSketch):
+            raise QueryError("cdg_index labels must be tz sketches")
+        labels[lbl.node] = lbl
+    if len(data["gateways"]) != n:
+        raise QueryError(f"cdg_index wants {n} gateway rows, "
+                         f"got {len(data['gateways'])}")
+    out = []
+    for u, (gw, gd) in enumerate(data["gateways"]):
+        gw = int(gw)
+        lbl = labels.get(gw)
+        if lbl is None:
+            raise QueryError(f"cdg_index gateway {gw} has no label")
+        out.append(CDGSketch(node=u, eps=eps, k=k, gateway=gw,
+                             gateway_dist=_dec_dist(gd), label=lbl))
+    return out
 
 
 def index_from_dict(data: dict):
-    """Decode a dict produced by :func:`index_to_dict`."""
-    from repro.service.index import TZIndex
-    from repro.tz.sketch import TZSketch as TZ
+    """Decode a dict produced by :func:`index_to_dict` (any index type)."""
+    from repro.service.index import (CDGIndex, GracefulIndex, Stretch3Index,
+                                     TZIndex)
 
-    if not isinstance(data, dict) or data.get("type") != "tz_index":
-        raise QueryError("not a serialized tz_index")
+    if not isinstance(data, dict) or data.get("type") not in _INDEX_TAGS:
+        raise QueryError("not a serialized index")
     if data.get("v") != VERSION:
         raise QueryError(f"unsupported sketch format version {data.get('v')}")
-    n, k = int(data["n"]), int(data["k"])
-    bunches: list[dict[int, tuple[float, int]]] = [dict() for _ in range(n)]
-    for u, w, d, lvl in data["entries"]:
-        u, w = int(u), int(w)
-        if not (0 <= u < n and 0 <= w < n):
-            raise QueryError(
-                f"tz_index entry ({u}, {w}) out of range [0, {n})")
-        bunches[u][w] = (float(d), int(lvl))
-    inf = float("inf")
+    t = data["type"]
+    shards = int(data.get("num_shards", 1))
 
-    def pivot(p, d) -> tuple[int, float]:
-        p = int(p)
-        if not (-1 <= p < n):  # -1 is the INF_KEY sentinel
-            raise QueryError(f"tz_index pivot id {p} out of range [0, {n})")
-        return p, (inf if d is None else float(d))
+    if t == "tz_index":
+        n, k = int(data["n"]), int(data["k"])
+        bunches: list[dict[int, tuple[float, int]]] = [dict()
+                                                       for _ in range(n)]
+        for u, w, d, lvl in data["entries"]:
+            u, w = int(u), int(w)
+            if not (0 <= u < n and 0 <= w < n):
+                raise QueryError(
+                    f"tz_index entry ({u}, {w}) out of range [0, {n})")
+            bunches[u][w] = (float(d), int(lvl))
 
-    sketches = [TZ(node=u, k=k,
-                   pivots=tuple(pivot(p, d) for p, d in data["pivots"][u]),
-                   bunch=bunches[u])
+        def pivot(p, d) -> tuple[int, float]:
+            p = int(p)
+            if not (-1 <= p < n):  # -1 is the INF_KEY sentinel
+                raise QueryError(
+                    f"tz_index pivot id {p} out of range [0, {n})")
+            return p, _dec_dist(d)
+
+        sketches = [TZSketch(node=u, k=k,
+                             pivots=tuple(pivot(p, d)
+                                          for p, d in data["pivots"][u]),
+                             bunch=bunches[u])
+                    for u in range(n)]
+        return TZIndex(sketches, num_shards=shards)
+
+    if t == "stretch3_index":
+        n, eps = int(data["n"]), float(data["eps"])
+        per: list[dict[int, float]] = [dict() for _ in range(n)]
+        for u, w, d in data["entries"]:
+            u = int(u)
+            if not 0 <= u < n:
+                raise QueryError(
+                    f"stretch3_index owner {u} out of range [0, {n})")
+            per[u][int(w)] = float(d)
+        sketches = [Stretch3Sketch(node=u, eps=eps, entries=per[u])
+                    for u in range(n)]
+        return Stretch3Index(sketches, num_shards=shards)
+
+    if t == "cdg_index":
+        return CDGIndex(_cdg_sketch_list(data), num_shards=shards)
+
+    # graceful_index
+    comp_lists = [_cdg_sketch_list(c) for c in data["components"]]
+    n = int(data["n"])
+    if any(len(cl) != n for cl in comp_lists):
+        raise QueryError("graceful_index component size mismatch")
+    sketches = [GracefulSketch(node=u,
+                               components=tuple(cl[u] for cl in comp_lists))
                 for u in range(n)]
-    return TZIndex(sketches, num_shards=int(data.get("num_shards", 1)))
+    return GracefulIndex(sketches, num_shards=shards)
 
 
 def save_index(index, path) -> None:
-    """Persist a pre-indexed store as one JSON document."""
+    """Persist a pre-indexed store as one strict-JSON document."""
     with open(path, "w", encoding="ascii") as fh:
         json.dump(index_to_dict(index), fh, separators=(",", ":"),
                   allow_nan=False)

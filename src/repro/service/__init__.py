@@ -1,36 +1,52 @@
-"""The serving layer: batched queries and parallel sketch construction.
+"""The serving layer: batched queries, shard workers, parallel builds.
 
 The paper's end product is a distance *oracle*: preprocess once, then
-answer ``dist(u, v)`` queries with stretch ``<= 2k - 1``.  This package
-makes the oracle servable at scale:
+answer ``dist(u, v)`` queries with a bounded stretch.  This package makes
+the oracle servable at scale — for **every** scheme in the library:
 
-* :class:`~repro.service.index.TZIndex` — sketch entries pre-indexed into
-  flat landmark tables (with per-landmark sharding) so a batch of Q
-  queries is one vectorized pass,
+* :mod:`repro.service.index` — the :class:`IndexStore` protocol and one
+  pre-built vectorized store per scheme (:class:`TZIndex`,
+  :class:`Stretch3Index`, :class:`CDGIndex`, :class:`GracefulIndex`),
+  each decomposing a batch into per-landmark-shard probe tasks,
 * :class:`~repro.service.engine.QueryEngine` — ``dist`` / ``dist_many``
-  with an LRU result cache, falling back to a generic loop for non-TZ
-  schemes,
+  with an LRU result cache over whichever store fits the sketch set,
+* :class:`~repro.service.workers.ShardServer` — a persistent
+  ``multiprocessing`` pool running the shard probes (``jobs=1`` is an
+  in-process fallback with the identical dataflow),
 * :func:`~repro.service.parallel.build_tz_sketches_parallel` — the
   centralized preprocessing fanned across worker processes with a
   deterministic (byte-identical) merge,
 * :func:`~repro.service.bench.run_serve_benchmark` — the measurement
-  harness behind ``repro serve-bench`` and experiment E14.
+  harness behind ``repro serve-bench`` and experiments E14/E15.
 
 Batching and parallelism are performance features only: every answer is
-bit-identical to the one-pair-at-a-time reference path.
+bit-identical to the one-pair-at-a-time reference path, for any shard
+count and any worker count.  See ``docs/architecture.md`` for the layer
+map and ``docs/serving.md`` for the operator's guide.
 """
 
 from repro.service.bench import run_serve_benchmark, sample_query_pairs
 from repro.service.engine import CacheStats, QueryEngine
-from repro.service.index import TZIndex
+from repro.service.index import (CDGIndex, GracefulIndex, IndexStore,
+                                 Stretch3Index, TZIndex, build_index,
+                                 index_class_for, scheme_name_of)
 from repro.service.parallel import build_tz_sketches_parallel, default_jobs
+from repro.service.workers import ShardServer
 
 __all__ = [
+    "CDGIndex",
     "CacheStats",
+    "GracefulIndex",
+    "IndexStore",
     "QueryEngine",
+    "ShardServer",
+    "Stretch3Index",
     "TZIndex",
+    "build_index",
     "build_tz_sketches_parallel",
     "default_jobs",
+    "index_class_for",
     "run_serve_benchmark",
     "sample_query_pairs",
+    "scheme_name_of",
 ]

@@ -1,10 +1,10 @@
 """Serving benchmark: batched engine vs the single-query loop.
 
-One routine, shared by the ``repro serve-bench`` CLI subcommand and the E14
-benchmark, so the numbers the docs quote and the numbers a user measures
-come from the same code path.  The routine always cross-checks that the
-batched answers equal the single-query answers exactly before reporting
-throughput — a benchmark of wrong answers is worthless.
+One routine, shared by the ``repro serve-bench`` CLI subcommand and the
+E14/E15 benchmarks, so the numbers the docs quote and the numbers a user
+measures come from the same code path.  The routine always cross-checks
+that the batched answers equal the single-query answers exactly before
+reporting throughput — a benchmark of wrong answers is worthless.
 """
 
 from __future__ import annotations
@@ -17,6 +17,7 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.rng import SeedLike, ensure_rng
 from repro.service.engine import QueryEngine
+from repro.service.index import scheme_name_of
 
 
 def sample_query_pairs(n: int, queries: int, seed: SeedLike = 0) -> np.ndarray:
@@ -37,58 +38,66 @@ def _best_of(repeats: int, fn) -> float:
 def run_serve_benchmark(sketches: Sequence[Any], queries: int = 1000,
                         batch: Optional[int] = None, seed: SeedLike = 0,
                         repeats: int = 3, cache_size: int = 0,
-                        num_shards: int = 1) -> dict:
+                        num_shards: int = 1, jobs: int = 1) -> dict:
     """Time ``queries`` random queries answered one-by-one vs in batches.
 
-    Parameters
-    ----------
-    batch:
-        Batch size for the engine path (default: the whole workload in one
-        batch).
-    cache_size:
-        Engine result-cache capacity; the default 0 measures the raw
-        vectorized path (cold-cache throughput).
+    :param batch: batch size for the engine path (default: the whole
+        workload in one batch).
+    :param cache_size: engine result-cache capacity; the default 0
+        measures the raw vectorized path (cold-cache throughput).
+    :param num_shards: landmark shard count in the pre-built index.
+    :param jobs: worker processes behind the shards (``1`` = in-process;
+        clamped to ``num_shards``, and the report shows the effective
+        count).
 
     Returns a JSON-ready dict with per-path wall times, queries/second,
-    the speedup, and an ``identical`` flag (batched == single, bitwise).
+    the speedup, the detected scheme, and an ``identical`` flag (batched
+    == single, bitwise).
     """
     if queries < 1:
         raise ConfigError(f"queries must be >= 1, got {queries}")
     engine = QueryEngine(sketches, cache_size=cache_size,
-                         num_shards=num_shards)
-    pairs = sample_query_pairs(engine.n, queries, seed=seed)
-    if batch is None or batch > queries:
-        batch = queries
-    if batch < 1:
-        raise ConfigError(f"batch must be >= 1, got {batch}")
+                         num_shards=num_shards, jobs=jobs)
+    try:
+        pairs = sample_query_pairs(engine.n, queries, seed=seed)
+        if batch is None or batch > queries:
+            batch = queries
+        if batch < 1:
+            raise ConfigError(f"batch must be >= 1, got {batch}")
 
-    ref = np.asarray([engine.reference_query(int(u), int(v))
-                      for u, v in pairs])
+        ref = np.asarray([engine.reference_query(int(u), int(v))
+                          for u, v in pairs])
 
-    def single_loop():
-        for u, v in pairs:
-            engine.reference_query(int(u), int(v))
+        def single_loop():
+            for u, v in pairs:
+                engine.reference_query(int(u), int(v))
 
-    def batched_loop():
-        engine.clear_cache()
-        out = np.empty(queries, dtype=np.float64)
-        for lo in range(0, queries, batch):
-            out[lo:lo + batch] = engine.dist_many(pairs[lo:lo + batch])
-        return out
+        def batched_loop():
+            engine.clear_cache()
+            out = np.empty(queries, dtype=np.float64)
+            for lo in range(0, queries, batch):
+                out[lo:lo + batch] = engine.dist_many(pairs[lo:lo + batch])
+            return out
 
-    batched_answers = batched_loop()
-    t_single = _best_of(repeats, single_loop)
-    t_batched = _best_of(repeats, batched_loop)
-    return {
-        "n": engine.n,
-        "queries": int(queries),
-        "batch": int(batch),
-        "shards": int(num_shards),
-        "cache_size": int(cache_size),
-        "single_seconds": t_single,
-        "batched_seconds": t_batched,
-        "single_qps": queries / t_single,
-        "batched_qps": queries / t_batched,
-        "speedup": t_single / t_batched,
-        "identical": bool(np.array_equal(ref, batched_answers)),
-    }
+        batched_answers = batched_loop()
+        t_single = _best_of(repeats, single_loop)
+        t_batched = _best_of(repeats, batched_loop)
+        return {
+            "n": engine.n,
+            "scheme": scheme_name_of(sketches),
+            "queries": int(queries),
+            "batch": int(batch),
+            "shards": int(num_shards),
+            # the engine clamps jobs to the shard count (a shard is the
+            # unit of work) — report the worker count that actually served
+            "jobs": int(engine.jobs),
+            "cache_size": int(cache_size),
+            "single_seconds": t_single,
+            "batched_seconds": t_batched,
+            "single_qps": queries / t_single,
+            "batched_qps": queries / t_batched,
+            "speedup": t_single / t_batched,
+            "identical": bool(np.array_equal(ref, batched_answers)),
+        }
+    finally:
+        engine.close()

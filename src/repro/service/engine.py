@@ -1,12 +1,22 @@
 """The batched query engine: ``dist_many`` over a built sketch set.
 
-:class:`QueryEngine` is the serving-layer front end.  For Thorup–Zwick
-sketch sets it routes batches through the vectorized
-:class:`~repro.service.index.TZIndex`; for every other scheme in the
-library it falls back to a plain loop over the sketches' ``estimate_to``
-(still benefiting from the result cache).  Either way the answers are
-exactly the ones the one-pair-at-a-time API produces — batching is a
-performance feature, never a semantic one.
+:class:`QueryEngine` is the serving-layer front end.  Every scheme in the
+library has a vectorized :class:`~repro.service.index.IndexStore`
+(:class:`~repro.service.index.TZIndex`,
+:class:`~repro.service.index.Stretch3Index`,
+:class:`~repro.service.index.CDGIndex`,
+:class:`~repro.service.index.GracefulIndex`), so batches route through a
+pre-built store by default; ``use_index=False`` forces the plain loop
+over the sketches' single-pair queries (still benefiting from the result
+cache).  Either way the answers are exactly the ones the one-pair-at-a-
+time API produces — batching is a performance feature, never a semantic
+one.
+
+With ``jobs > 1`` the engine puts a persistent
+:class:`~repro.service.workers.ShardServer` process pool behind the
+index's landmark shards; answers stay bit-identical for every worker
+count.  Call :meth:`~QueryEngine.close` (or use the engine as a context
+manager) to shut the pool down.
 
 The LRU result cache keys on the *ordered* pair ``(u, v)``: the paper's
 level-scan query is not symmetric under swapping the endpoints (both
@@ -24,7 +34,9 @@ from typing import Any, Iterable, Optional, Sequence
 import numpy as np
 
 from repro.errors import ConfigError, QueryError
-from repro.service.index import TZIndex
+from repro.service.index import (IndexStore, build_index, index_class_for,
+                                 parse_pair_array)
+from repro.service.workers import ShardServer
 from repro.tz.sketch import TZSketch, estimate_distance
 
 
@@ -44,43 +56,66 @@ class CacheStats:
 class QueryEngine:
     """Answer distance queries — singly or in batches — from one sketch set.
 
-    Parameters
-    ----------
-    sketches:
-        One sketch per node (any scheme; TZ gets the vectorized path).
-    cache_size:
-        Capacity of the LRU result cache; ``0`` disables caching.
-    num_shards:
-        Landmark shard count for the TZ index (layout knob; answers are
-        shard-independent).
-    use_index:
-        ``None`` (default) auto-detects: a TZ sketch set gets the
-        vectorized index, everything else the generic loop.  ``False``
-        forces the generic loop; ``True`` requires an indexable set (the
-        scheme registry's :attr:`SchemeSpec.supports_batch` is the
-        intended source of this value — see ``BuiltSketches.engine``).
+    :param sketches: one sketch per node.  Any homogeneous set of a
+        library scheme gets its vectorized index; mixed or unknown sets
+        get the generic loop.
+    :param cache_size: capacity of the LRU result cache; ``0`` disables
+        caching.
+    :param num_shards: landmark shard count for the index (layout knob;
+        answers are shard-independent).  With ``jobs > 1`` it is also the
+        number of parallel probe tasks per batch.
+    :param use_index: ``None`` (default) auto-detects; ``False`` forces
+        the generic loop; ``True`` requires an indexable set (the scheme
+        registry's :attr:`~repro.oracle.schemes.SchemeSpec.supports_batch`
+        is the intended source of this value — see
+        :meth:`~repro.oracle.api.BuiltSketches.engine`).
+    :param jobs: worker processes behind the landmark shards (``1`` =
+        everything in-process).  Requires an indexed engine; values above
+        ``num_shards`` are clamped (a shard is the unit of work) and the
+        attribute reflects the effective count.
+    :raises ConfigError: on an empty set, negative cache size,
+        ``use_index=True`` without an indexable set, or ``jobs`` without
+        an index.
     """
 
     def __init__(self, sketches: Sequence[Any], cache_size: int = 65536,
-                 num_shards: int = 1, use_index: Optional[bool] = None):
+                 num_shards: int = 1, use_index: Optional[bool] = None,
+                 jobs: int = 1):
         if not sketches:
             raise ConfigError("cannot serve an empty sketch set")
         if cache_size < 0:
             raise ConfigError(f"cache_size must be >= 0, got {cache_size}")
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
         self.sketches = list(sketches)
         self.n = len(self.sketches)
         self.cache_size = int(cache_size)
-        self.index: Optional[TZIndex] = None
-        indexable = all(isinstance(s, TZSketch) for s in self.sketches)
+        self.jobs = int(jobs)
+        self.index: Optional[IndexStore] = None
+        indexable = index_class_for(self.sketches) is not None
         if use_index is True and not indexable:
-            raise ConfigError("use_index=True needs a TZ sketch set")
+            raise ConfigError(
+                "use_index=True needs a homogeneous sketch set of a "
+                "library scheme")
         if use_index is not False and indexable:
-            self.index = TZIndex(self.sketches, num_shards=num_shards)
+            self.index = build_index(self.sketches, num_shards=num_shards)
+        self._server: Optional[ShardServer] = None
+        if self.jobs > 1:
+            if self.index is None:
+                raise ConfigError(
+                    "jobs > 1 needs an indexed engine "
+                    "(do not pass use_index=False)")
+            self._server = ShardServer(self.index, jobs=self.jobs)
+            # a shard is the unit of work, so the server clamps jobs to
+            # the shard count — expose the worker count actually serving
+            self.jobs = self._server.jobs
         self._cache: OrderedDict[tuple[int, int], float] = OrderedDict()
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
     def _compute_many(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        if self._server is not None:
+            return self._server.estimate_many(us, vs)
         if self.index is not None:
             return self.index.estimate_many(us, vs)
         if us.size and (min(us.min(), vs.min()) < 0
@@ -115,19 +150,14 @@ class QueryEngine:
                   ) -> np.ndarray:
         """Estimates for a batch of ``(u, v)`` pairs, in input order.
 
-        Accepts any iterable of pairs or a ``(Q, 2)`` integer array; returns
-        a float64 array of length Q.  Cached answers are reused; the misses
-        are computed in one vectorized pass.
+        Accepts any iterable of pairs or a ``(Q, 2)`` integer array;
+        returns a float64 array of length Q.  Cached answers are reused;
+        the misses are computed in one vectorized pass (fanned across the
+        shard workers when the engine was built with ``jobs > 1``).
         """
-        if isinstance(pairs, np.ndarray):
-            arr = pairs.astype(np.int64, copy=False)
-        else:
-            arr = np.asarray(list(pairs), dtype=np.int64)
+        arr = parse_pair_array(pairs)
         if arr.size == 0:
             return np.empty(0, dtype=np.float64)
-        if arr.ndim != 2 or arr.shape[1] != 2:
-            raise ConfigError(
-                f"dist_many wants a (Q, 2) pair array, got shape {arr.shape}")
         q = arr.shape[0]
         if self.cache_size == 0:
             return self._compute_many(arr[:, 0], arr[:, 1])
@@ -173,10 +203,24 @@ class QueryEngine:
         return su.estimate_to(sv)
 
     def clear_cache(self) -> None:
+        """Drop all cached results and reset the hit/miss counters."""
         self._cache.clear()
         self.stats = CacheStats()
 
+    def close(self) -> None:
+        """Shut the shard-worker pool down, if any (idempotent)."""
+        if self._server is not None:
+            self._server.close()
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        kind = "tz-indexed" if self.index is not None else "generic"
+        kind = (type(self.index).__name__ if self.index is not None
+                else "generic")
+        tail = f", jobs={self.jobs}" if self.jobs > 1 else ""
         return (f"QueryEngine(n={self.n}, {kind}, "
-                f"cache={len(self._cache)}/{self.cache_size})")
+                f"cache={len(self._cache)}/{self.cache_size}{tail})")

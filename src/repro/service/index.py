@@ -1,8 +1,35 @@
-"""The pre-indexed sketch store behind the batched query engine.
+"""Pre-indexed sketch stores behind the batched query engine.
 
-:class:`TZIndex` flattens a per-node :class:`~repro.tz.sketch.TZSketch` set
-into NumPy arrays so that a batch of Q queries costs one vectorized pass
-instead of Q dict-intersection loops:
+Every scheme in the library has a vectorized index here, all conforming to
+the :class:`IndexStore` protocol:
+
+* :class:`TZIndex` — Thorup–Zwick labels flattened into dense pivot/top
+  tables plus hashed per-landmark shard tables.
+* :class:`Stretch3Index` — the Theorem 4.3 sketches as one dense
+  ``(n, |N|)`` node × net-node distance matrix; a batch is a gather and a
+  row-wise min.
+* :class:`CDGIndex` — gateway arrays plus a :class:`TZIndex` over the net
+  labels (remapped to a compact universe); a batch is two gathers around
+  one TZ sub-batch.
+* :class:`GracefulIndex` — one :class:`CDGIndex` per ε-component; a batch
+  is the component-wise minimum.
+
+Batched answers are **bit-identical** to the scheme's single-pair query
+(``estimate_distance`` / ``estimate_to``) — the test suite asserts this
+pair by pair, including :class:`~repro.errors.QueryError` parity on
+disconnected graphs.  Use :func:`build_index` to get the right store for a
+homogeneous sketch set.
+
+Every store also decomposes a batch into **per-landmark-shard probe
+tasks** (``plan`` → ``shard_answer`` × S → ``finish``), which is what
+:class:`~repro.service.workers.ShardServer` runs on a process pool.  The
+decomposition is part of the determinism contract: ``shard_answer`` is a
+pure function of ``(shard data, request)``, and ``finish`` combines
+responses by shard id, never by completion order, so any worker count
+yields the same bytes.  See ``docs/architecture.md`` for the dataflow
+diagram.
+
+Notes on the TZ layout (the template the other stores reuse):
 
 * ``pivot_ids`` / ``pivot_dists`` — dense ``(n, k)`` tables of the pivot
   entries ``p_i(u), d(u, p_i(u))``.
@@ -30,27 +57,138 @@ never share a landmark — true for every honest TZ construction, where an
 entry's level is the landmark's own hierarchy level.  Hand-crafted sketch
 sets violating this are detected at build time and stored fully sharded
 (slower, still exact).
-
-The batched estimator reproduces the paper's Lemma 3.2 level scan *exactly*
-— including the first-hit-wins order (level ``i`` checks ``p_i(u) ∈ B_i(v)``
-before ``p_i(v) ∈ B_i(u)``) and IEEE-754 addition — so batched answers are
-bit-identical to :func:`repro.tz.sketch.estimate_distance`, a property the
-test suite asserts pair by pair.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
 from repro.errors import ConfigError, QueryError
+from repro.slack.cdg import CDGSketch
+from repro.slack.graceful import GracefulSketch
+from repro.slack.stretch3 import Stretch3Sketch
 from repro.tz.sketch import TZSketch
 
 _HASH_MULT = np.uint64(0x9E3779B97F4A7C15)  # Fibonacci hashing constant
 
 
+# ----------------------------------------------------------------------
+# the store protocol
+# ----------------------------------------------------------------------
+@runtime_checkable
+class IndexStore(Protocol):
+    """What the serving layer requires of a pre-built sketch index.
+
+    Implementations promise two things:
+
+    1. **Bit-identity** — :meth:`estimate_many` returns, for every pair,
+       the exact float the scheme's single-pair query would return, and
+       raises :class:`~repro.errors.QueryError` exactly when some pair in
+       the batch would raise it singly.
+    2. **Shard decomposition** — ``estimate_many`` is equivalent to::
+
+           state, requests = store.plan(us, vs)
+           responses = [store.shard_answer(s, r)
+                        for s, r in enumerate(requests)]
+           answers = store.finish(state, responses)
+
+       where each ``shard_answer`` call touches only shard ``s``'s slice
+       of the store and is a pure function of its arguments (so it can
+       run in a worker process), and ``finish`` combines responses by
+       shard id.  Answers are independent of ``num_shards``.
+    """
+
+    n: int
+    num_shards: int
+
+    def estimate_many(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """Batched distance estimates for equal-length id arrays."""
+        ...
+
+    def estimate(self, u: int, v: int) -> float:
+        """Single-pair convenience wrapper over :meth:`estimate_many`."""
+        ...
+
+    def nnz(self) -> int:
+        """Total number of stored entries."""
+        ...
+
+    def shard_sizes(self) -> list[int]:
+        """Stored entry count per landmark shard."""
+        ...
+
+    def plan(self, us: np.ndarray, vs: np.ndarray) -> tuple[Any, list]:
+        """Validate a batch and split it into per-shard requests."""
+        ...
+
+    def shard_answer(self, shard: int, request: Any) -> Any:
+        """Serve one shard's request (pure; safe in a worker process)."""
+        ...
+
+    def finish(self, state: Any, responses: list) -> np.ndarray:
+        """Combine the per-shard responses into the final answers."""
+        ...
+
+
+def _validated_pairs(us, vs, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Shared batch validation: contiguous int64 arrays, ids in [0, n)."""
+    us = np.ascontiguousarray(us, dtype=np.int64)
+    vs = np.ascontiguousarray(vs, dtype=np.int64)
+    if us.shape != vs.shape or us.ndim != 1:
+        raise QueryError("estimate_many wants two equal-length 1-d arrays")
+    if us.size and (us.min() < 0 or vs.min() < 0
+                    or max(int(us.max()), int(vs.max())) >= n):
+        raise QueryError(f"node id out of range [0, {n})")
+    return us, vs
+
+
+def parse_pair_array(pairs) -> np.ndarray:
+    """Normalize a ``dist_many`` workload — any iterable of ``(u, v)``
+    pairs or a ``(Q, 2)`` integer array — to an int64 ``(Q, 2)`` array
+    (shared by the engine and the shard-server front ends).
+
+    :raises ConfigError: on any other shape.
+    """
+    if isinstance(pairs, np.ndarray):
+        arr = pairs.astype(np.int64, copy=False)
+    else:
+        arr = np.asarray(list(pairs), dtype=np.int64)
+    if arr.size and (arr.ndim != 2 or arr.shape[1] != 2):
+        raise ConfigError(
+            f"dist_many wants a (Q, 2) pair array, got shape {arr.shape}")
+    return arr.reshape(-1, 2)
+
+
+def _unresolved_error(message: str, row: int) -> QueryError:
+    """A QueryError tagged with the offending batch row (wrapping stores
+    use the tag to re-raise with their own node ids)."""
+    err = QueryError(message)
+    err.row = row
+    return err
+
+
+class _BaseIndex:
+    """Shared driver: ``estimate_many`` as the in-process plan/probe/finish
+    loop, plus the single-pair wrapper."""
+
+    def estimate_many(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """Batched estimates, bit-identical to the single-pair query."""
+        state, requests = self.plan(us, vs)
+        responses = [self.shard_answer(s, r) for s, r in enumerate(requests)]
+        return self.finish(state, responses)
+
+    def estimate(self, u: int, v: int) -> float:
+        """Single-pair convenience wrapper over :meth:`estimate_many`."""
+        return float(self.estimate_many(np.asarray([u]), np.asarray([v]))[0])
+
+
+# ----------------------------------------------------------------------
+# Thorup–Zwick
+# ----------------------------------------------------------------------
 def _compose_keys(owners: np.ndarray, landmarks: np.ndarray,
                   n: np.int64) -> np.ndarray:
     """Composite probe keys ``owner * n + landmark``.
@@ -129,16 +267,31 @@ class _Shard:
         return pos
 
 
-class TZIndex:
+@dataclass
+class _TZPlan:
+    """In-flight state of one batched TZ query (master side only)."""
+
+    us: np.ndarray
+    vs: np.ndarray
+    hit: np.ndarray       # (q, k, 2) bool, top level prefilled if dense
+    cand: np.ndarray      # (q, k, 2) float64, ditto
+    via: np.ndarray       # (q, kk, 2) pivot distances awaiting probe sums
+    kk: int               # levels routed through the shard tables
+    idx: list             # per-shard positions into the flat probe array
+    nprobe: int           # flat probe count
+
+
+class TZIndex(_BaseIndex):
     """Flat-array index over a TZ sketch set, built for batched queries.
 
-    Parameters
-    ----------
-    sketches:
-        One :class:`TZSketch` per node, indexed by node ID.
-    num_shards:
-        Number of landmark shards (``>= 1``).  Answers are independent of
-        the shard count; it only changes the physical layout.
+    :param sketches: one :class:`~repro.tz.sketch.TZSketch` per node,
+        indexed by node ID.
+    :param num_shards: number of landmark shards (``>= 1``).  Answers are
+        independent of the shard count; it only changes the physical
+        layout (and the unit of work a
+        :class:`~repro.service.workers.ShardServer` hands one worker).
+    :raises ConfigError: on an empty set, a non-TZ sketch, mixed ``k``,
+        or ``num_shards < 1``.
     """
 
     def __init__(self, sketches: Sequence[TZSketch], num_shards: int = 1):
@@ -224,35 +377,59 @@ class TZIndex:
         return [sh.keys.size for sh in self.shards]
 
     # ------------------------------------------------------------------
-    # lookups
+    # shard routing and probing
     # ------------------------------------------------------------------
+    def _route(self, keys: np.ndarray, landmarks: np.ndarray,
+               ) -> tuple[list, list[np.ndarray]]:
+        """Group flat composite keys by landmark shard.
+
+        Returns ``(idx, requests)``: per-shard positions into the flat
+        array (``[None]`` for the trivial single-shard layout) and the
+        per-shard key arrays.
+        """
+        if self.num_shards == 1:
+            return [None], [keys]
+        shard_of = landmarks % self.num_shards
+        idx = [np.flatnonzero(shard_of == s) for s in range(self.num_shards)]
+        return idx, [keys[i] for i in idx]
+
+    def shard_answer(self, shard: int, request: np.ndarray,
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """Probe shard ``shard`` with composite keys.
+
+        Returns ``(dist, level)`` with level -1 where absent (the distance
+        is then unspecified; a -1 level never matches a scan level, so the
+        garbage value is never selected).  Pure: touches only this shard's
+        hash table, so it can run in a worker process.
+        """
+        sh = self.shards[shard]
+        if request.size == 0 or sh.keys.size == 0:
+            return (np.zeros(request.size, dtype=np.float64),
+                    np.full(request.size, -1, dtype=np.int64))
+        pos = sh.probe(request)
+        # gather with pos=-1 wrapping to the last entry is safe: the level
+        # is forced to -1 there (see above)
+        return sh.dists[pos], np.where(pos >= 0, sh.levels[pos], -1)
+
+    def _scatter(self, idx: list, responses: list, total: int,
+                 ) -> tuple[np.ndarray, np.ndarray]:
+        """Merge per-shard probe responses back into flat arrays."""
+        if self.num_shards == 1:
+            return responses[0]
+        dist = np.zeros(total, dtype=np.float64)
+        level = np.full(total, -1, dtype=np.int64)
+        for pos, (d, lvl) in zip(idx, responses):
+            dist[pos] = d
+            level[pos] = lvl
+        return dist, level
+
     def _probe_keys(self, keys: np.ndarray, landmarks: np.ndarray,
                     ) -> tuple[np.ndarray, np.ndarray]:
         """Route flat composite keys through the shard hash tables; returns
         ``(dist, level)`` with level -1 where absent."""
-        if self.num_shards == 1:
-            sh = self.shards[0]
-            if sh.keys.size == 0:
-                return (np.zeros(keys.size, dtype=np.float64),
-                        np.full(keys.size, -1, dtype=np.int64))
-            pos = sh.probe(keys)
-            # gather with pos=-1 wrapping to the last entry is safe: the
-            # level is forced to -1 there, and a -1 level never matches a
-            # scan level, so the garbage distance is never selected
-            return (sh.dists[pos],
-                    np.where(pos >= 0, sh.levels[pos], -1))
-        dist = np.zeros(keys.size, dtype=np.float64)
-        level = np.full(keys.size, -1, dtype=np.int64)
-        shard_of = landmarks % self.num_shards
-        for s in range(self.num_shards):
-            idx = np.flatnonzero(shard_of == s)
-            sh = self.shards[s]
-            if idx.size and sh.keys.size:
-                p = sh.probe(keys[idx])
-                ok = p >= 0
-                dist[idx[ok]] = sh.dists[p[ok]]
-                level[idx[ok]] = sh.levels[p[ok]]
-        return dist, level
+        idx, requests = self._route(keys, landmarks)
+        responses = [self.shard_answer(s, r) for s, r in enumerate(requests)]
+        return self._scatter(idx, responses, keys.size)
 
     def lookup(self, owners: np.ndarray, landmarks: np.ndarray,
                ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -290,19 +467,12 @@ class TZIndex:
         return dist, level, level >= 0
 
     # ------------------------------------------------------------------
-    # the batched Lemma 3.2 query
+    # the batched Lemma 3.2 query, decomposed per the IndexStore contract
     # ------------------------------------------------------------------
-    def estimate_many(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
-        """Batched distance estimates, bit-identical to the single-pair
-        :func:`~repro.tz.sketch.estimate_distance` with ``method="paper"``.
-        """
-        us = np.ascontiguousarray(us, dtype=np.int64)
-        vs = np.ascontiguousarray(vs, dtype=np.int64)
-        if us.shape != vs.shape or us.ndim != 1:
-            raise QueryError("estimate_many wants two equal-length 1-d arrays")
-        if us.size and (us.min() < 0 or vs.min() < 0
-                        or max(int(us.max()), int(vs.max())) >= self.n):
-            raise QueryError(f"node id out of range [0, {self.n})")
+    def plan(self, us: np.ndarray, vs: np.ndarray) -> tuple[_TZPlan, list]:
+        """Validate the batch, gather pivots and the dense-top hits, and
+        split the sub-top membership probes into per-shard key requests."""
+        us, vs = _validated_pairs(us, vs, self.n)
         q, k, n = us.shape[0], self.k, self.n
 
         pu = self.pivot_ids[us]      # (q, k)
@@ -321,23 +491,29 @@ class TZIndex:
         compose = _compose_keys if self.sentinel_pivots else (
             lambda o, lm, nn: o * nn + lm)
 
+        kk = k - 1 if self.dense_top else k
+        if kk:
+            keys = np.empty((q, kk, 2), dtype=np.int64)
+            keys[:, :, 0] = compose(vs[:, None], pu[:, :kk], n)
+            keys[:, :, 1] = compose(us[:, None], pv[:, :kk], n)
+            flat = keys.reshape(-1)
+            if self.num_shards > 1:
+                # landmarks only needed for routing; clamp the -2 sentinel
+                # keys of the fully-sharded path into a valid shard (they
+                # can never match a stored key anyway)
+                lms = flat % n if self.dense_top else np.maximum(flat, 0) % n
+            else:
+                lms = flat
+            via = np.empty((q, kk, 2), dtype=np.float64)
+            via[:, :, 0] = du[:, :kk]
+            via[:, :, 1] = dv[:, :kk]
+            idx, requests = self._route(flat, lms)
+        else:
+            flat = np.empty(0, dtype=np.int64)
+            via = np.empty((q, 0, 2), dtype=np.float64)
+            idx, requests = self._route(flat, flat)
+
         if self.dense_top:
-            kk = k - 1
-            if kk:  # sub-top levels through the sharded hash tables
-                keys = np.empty((q, kk, 2), dtype=np.int64)
-                keys[:, :, 0] = compose(vs[:, None], pu[:, :kk], n)
-                keys[:, :, 1] = compose(us[:, None], pv[:, :kk], n)
-                flat = keys.reshape(-1)
-                lms = (flat % n if self.num_shards > 1
-                       else flat)  # landmarks only needed for routing
-                d, lvl = self._probe_keys(flat, lms)
-                hit[:, :kk, :] = (
-                    lvl.reshape(q, kk, 2)
-                    == np.arange(kk, dtype=np.int64)[None, :, None])
-                via = np.empty((q, kk, 2), dtype=np.float64)
-                via[:, :, 0] = du[:, :kk]
-                via[:, :, 1] = dv[:, :kk]
-                cand[:, :kk, :] = via + d.reshape(q, kk, 2)
             if self.top_ids.size:
                 # the landmark >= 0 guard keeps the INF_KEY sentinel pivot
                 # (-1, on disconnected graphs) from wrapping into a column
@@ -358,35 +534,35 @@ class TZIndex:
             else:  # degenerate: no top-level entries anywhere
                 hit[:, kk, :] = False
                 cand[:, kk, :] = np.inf
-        else:
-            # fully sharded fallback (mixed-level landmark sets)
-            keys = np.empty((q, k, 2), dtype=np.int64)
-            keys[:, :, 0] = compose(vs[:, None], pu, n)
-            keys[:, :, 1] = compose(us[:, None], pv, n)
-            flat = keys.reshape(-1)
-            d, lvl = self._probe_keys(flat, np.maximum(flat, 0) % n)
-            hit[:] = (lvl.reshape(q, k, 2)
-                      == np.arange(k, dtype=np.int64)[None, :, None])
-            via = np.empty((q, k, 2), dtype=np.float64)
-            via[:, :, 0] = du
-            via[:, :, 1] = dv
-            cand[:] = via + d.reshape(q, k, 2)
 
-        hit2 = hit.reshape(q, 2 * k)
+        state = _TZPlan(us=us, vs=vs, hit=hit, cand=cand, via=via, kk=kk,
+                        idx=idx, nprobe=flat.size)
+        return state, requests
+
+    def finish(self, state: _TZPlan, responses: list) -> np.ndarray:
+        """Fold the shard probe responses into the Lemma 3.2 level scan:
+        first hit wins, exactly like the single-pair reference."""
+        us, vs, kk = state.us, state.vs, state.kk
+        q, k = us.shape[0], self.k
+        if kk:
+            d, lvl = self._scatter(state.idx, responses, state.nprobe)
+            state.hit[:, :kk, :] = (
+                lvl.reshape(q, kk, 2)
+                == np.arange(kk, dtype=np.int64)[None, :, None])
+            state.cand[:, :kk, :] = state.via + d.reshape(q, kk, 2)
+        hit2 = state.hit.reshape(q, 2 * k)
         first = np.argmax(hit2, axis=1)
         rows = np.arange(q)
-        est = np.where(us == vs, 0.0, cand.reshape(q, 2 * k)[rows, first])
+        est = np.where(us == vs, 0.0,
+                       state.cand.reshape(q, 2 * k)[rows, first])
         unresolved = (us != vs) & ~hit2[rows, first]
         if unresolved.any():
             j = int(np.flatnonzero(unresolved)[0])
-            raise QueryError(
+            raise _unresolved_error(
                 f"labels of {int(us[j])} and {int(vs[j])} share no level "
-                f"(A_{self.k - 1} membership is inconsistent between them)")
+                f"(A_{self.k - 1} membership is inconsistent between them)",
+                j)
         return est
-
-    def estimate(self, u: int, v: int) -> float:
-        """Single-pair convenience wrapper over :meth:`estimate_many`."""
-        return float(self.estimate_many(np.asarray([u]), np.asarray([v]))[0])
 
     # ------------------------------------------------------------------
     # canonical entry stream (serialization / equality)
@@ -419,3 +595,423 @@ class TZIndex:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"TZIndex(n={self.n}, k={self.k}, nnz={self.nnz()}, "
                 f"shards={self.num_shards})")
+
+
+# ----------------------------------------------------------------------
+# stretch-3 (Theorem 4.3)
+# ----------------------------------------------------------------------
+class Stretch3Index(_BaseIndex):
+    """Dense node × net-node distance table over a stretch-3 sketch set.
+
+    The single-pair query is ``min_w d(u, w) + d(w, v)`` over the shared
+    ε-density net; with all entries in one ``(n, |N|)`` matrix (missing
+    entries stored as +inf, which no min ever selects) a batch is two row
+    gathers, one addition, and a row-wise min — the same floats the dict
+    loop in :meth:`~repro.slack.stretch3.Stretch3Sketch.estimate_to`
+    produces, since an IEEE-754 min is order-independent.
+
+    Sharding is by net-node id (``w % num_shards``): each shard owns a
+    column block and answers a batch with its partial per-pair min; the
+    combine step is an elementwise min over shards.
+
+    :param sketches: one :class:`~repro.slack.stretch3.Stretch3Sketch`
+        per node, indexed by node ID.
+    :param num_shards: number of net-node shards (``>= 1``); answers are
+        shard-independent.
+    :raises ConfigError: on an empty set, a non-stretch3 sketch, mixed
+        ``eps``, or ``num_shards < 1``.
+    """
+
+    def __init__(self, sketches: Sequence[Stretch3Sketch],
+                 num_shards: int = 1):
+        if not sketches:
+            raise ConfigError("cannot index an empty sketch set")
+        if num_shards < 1:
+            raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
+        for s in sketches:
+            if not isinstance(s, Stretch3Sketch):
+                raise ConfigError(
+                    f"Stretch3Index only indexes Stretch3Sketch, "
+                    f"got {type(s).__name__}")
+        eps = sketches[0].eps
+        for s in sketches:
+            if s.eps != eps:
+                raise ConfigError(
+                    f"mixed eps in sketch set: {s.eps} vs {eps} "
+                    f"(node {s.node})")
+        self.n = len(sketches)
+        self.eps = eps
+        self.num_shards = int(num_shards)
+        #: sorted net-node ids — the columns of the dense table
+        self.net_ids = np.asarray(
+            sorted({w for s in sketches for w in s.entries}), dtype=np.int64)
+        col = {int(w): j for j, w in enumerate(self.net_ids)}
+        #: dense ``d(u, w)``; +inf marks a missing entry
+        self.dist = np.full((self.n, self.net_ids.size), np.inf,
+                            dtype=np.float64)
+        for u, s in enumerate(sketches):
+            for w, d in s.entries.items():
+                self.dist[u, col[w]] = d
+        #: per-shard column blocks (net node ``w`` lives in ``w mod S``)
+        self._shard_cols = [
+            np.flatnonzero(self.net_ids % self.num_shards == s)
+            for s in range(self.num_shards)]
+
+    def nnz(self) -> int:
+        """Number of stored (finite) node → net-node entries."""
+        return int(np.isfinite(self.dist).sum())
+
+    def shard_sizes(self) -> list[int]:
+        """Stored entry count per net-node shard."""
+        return [int(np.isfinite(self.dist[:, cols]).sum())
+                for cols in self._shard_cols]
+
+    # ------------------------------------------------------------------
+    def plan(self, us: np.ndarray, vs: np.ndarray) -> tuple[Any, list]:
+        """Validate the batch; every shard receives the full pair list
+        (each owns a disjoint column block of the min)."""
+        us, vs = _validated_pairs(us, vs, self.n)
+        return (us, vs), [(us, vs)] * self.num_shards
+
+    def shard_answer(self, shard: int, request: Any) -> np.ndarray:
+        """Partial per-pair min over this shard's net-node columns
+        (+inf where the shard contributes no finite route)."""
+        us, vs = request
+        cols = self._shard_cols[shard]
+        if cols.size == 0:
+            return np.full(us.size, np.inf, dtype=np.float64)
+        through = (self.dist[us[:, None], cols[None, :]]
+                   + self.dist[vs[:, None], cols[None, :]])
+        return through.min(axis=1)
+
+    def finish(self, state: Any, responses: list) -> np.ndarray:
+        """Elementwise min over the shard partials; QueryError where no
+        shard found a shared net node (exactly when the dict loop would
+        have raised)."""
+        us, vs = state
+        best = responses[0]
+        for part in responses[1:]:
+            best = np.minimum(best, part)
+        est = np.where(us == vs, 0.0, best)
+        bad = (us != vs) & ~np.isfinite(best)
+        if bad.any():
+            j = int(np.flatnonzero(bad)[0])
+            raise _unresolved_error(
+                f"sketches of {int(us[j])} and {int(vs[j])} share no "
+                f"net node", j)
+        return est
+
+    # ------------------------------------------------------------------
+    def iter_entries(self) -> Iterable[tuple[int, int, float]]:
+        """Finite entries as ``(owner, net node, dist)``, sorted by
+        ``(owner, net node)`` — the canonical serialization stream."""
+        for u in range(self.n):
+            row = self.dist[u]
+            for j in np.flatnonzero(np.isfinite(row)):
+                yield u, int(self.net_ids[j]), float(row[j])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Stretch3Index):
+            return NotImplemented
+        return (self.n == other.n and self.eps == other.eps
+                and list(self.iter_entries()) == list(other.iter_entries()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Stretch3Index(n={self.n}, net={self.net_ids.size}, "
+                f"nnz={self.nnz()}, shards={self.num_shards})")
+
+
+# ----------------------------------------------------------------------
+# (ε,k)-CDG (Theorem 4.6)
+# ----------------------------------------------------------------------
+class CDGIndex(_BaseIndex):
+    """Gateway arrays plus a TZ sub-index over the net labels.
+
+    The single-pair query is ``d(u, u') + d''(u', v') + d(v', v)`` where
+    ``d''`` is the TZ estimate between the gateways' labels.  The store
+    keeps the gateway pairs in flat arrays and the labels — remapped onto
+    a compact 0-based universe — in a :class:`TZIndex`, so a batch is two
+    gathers around one TZ sub-batch.  Sharding (and hence the
+    :class:`~repro.service.workers.ShardServer` decomposition) is
+    delegated to the sub-index.
+
+    :param sketches: one :class:`~repro.slack.cdg.CDGSketch` per node,
+        indexed by node ID.
+    :param num_shards: landmark shard count of the TZ sub-index.
+    :raises ConfigError: on an empty set, a non-CDG sketch, mixed
+        ``eps``/``k``, a sketch whose label is not its gateway's, or two
+        sketches shipping different labels for the same gateway.
+    """
+
+    def __init__(self, sketches: Sequence[CDGSketch], num_shards: int = 1):
+        if not sketches:
+            raise ConfigError("cannot index an empty sketch set")
+        if num_shards < 1:
+            raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
+        for s in sketches:
+            if not isinstance(s, CDGSketch):
+                raise ConfigError(
+                    f"CDGIndex only indexes CDGSketch, got {type(s).__name__}")
+        eps, k = sketches[0].eps, sketches[0].k
+        labels: dict[int, TZSketch] = {}
+        for s in sketches:
+            if s.eps != eps or s.k != k:
+                raise ConfigError(
+                    f"mixed eps/k in sketch set: ({s.eps}, {s.k}) vs "
+                    f"({eps}, {k}) (node {s.node})")
+            if s.label.node != s.gateway:
+                raise ConfigError(
+                    f"node {s.node} ships the label of {s.label.node} but "
+                    f"names gateway {s.gateway}")
+            prev = labels.get(s.gateway)
+            if prev is None:
+                labels[s.gateway] = s.label
+            elif prev != s.label:
+                raise ConfigError(
+                    f"conflicting labels for gateway {s.gateway}")
+        lk = next(iter(labels.values())).k
+        for lbl in labels.values():
+            if lbl.k != lk:
+                raise ConfigError(
+                    f"mixed k in net labels: {lbl.k} vs {lk}")
+        self.n = len(sketches)
+        self.eps = eps
+        self.k = k
+        self.num_shards = int(num_shards)
+        self.gateway_ids = np.asarray([s.gateway for s in sketches],
+                                      dtype=np.int64)
+        self.gateway_dists = np.asarray([s.gateway_dist for s in sketches],
+                                        dtype=np.float64)
+        #: original-id label map (one per gateway) — the serialization form
+        self.labels = labels
+
+        # compact universe: every id a label mentions (owners, bunch
+        # landmarks, non-sentinel pivots), remapped to 0..m-1 so the TZ
+        # sub-index wastes no rows on non-net nodes
+        universe = set(labels)
+        for lbl in labels.values():
+            universe.update(lbl.bunch)
+            universe.update(p for p, _ in lbl.pivots if p >= 0)
+        self.net_ids = np.asarray(sorted(universe), dtype=np.int64)
+        slot = {int(w): j for j, w in enumerate(self.net_ids)}
+        subs = []
+        for j, w in enumerate(self.net_ids):
+            lbl = labels.get(int(w))
+            if lbl is None:
+                # a net node referenced by labels but never a gateway: it
+                # is never queried as an owner, so an empty placeholder
+                # row keeps the universe contiguous without inventing data
+                subs.append(TZSketch(node=j, k=lk,
+                                     pivots=((-1, math.inf),) * lk,
+                                     bunch={}))
+            else:
+                subs.append(TZSketch(
+                    node=j, k=lbl.k,
+                    pivots=tuple((slot[p] if p >= 0 else -1, d)
+                                 for p, d in lbl.pivots),
+                    bunch={slot[w2]: entry
+                           for w2, entry in lbl.bunch.items()}))
+        self._sub = TZIndex(subs, num_shards=self.num_shards)
+        #: per-node slot of the gateway's label in the sub-index
+        self._gw_slot = np.asarray([slot[int(g)] for g in self.gateway_ids],
+                                   dtype=np.int64)
+
+    def nnz(self) -> int:
+        """Stored entries: gateway pairs plus the sub-index's bunches."""
+        return self.n + self._sub.nnz()
+
+    def shard_sizes(self) -> list[int]:
+        """Sharded entry count per landmark shard of the sub-index."""
+        return self._sub.shard_sizes()
+
+    # ------------------------------------------------------------------
+    def plan(self, us: np.ndarray, vs: np.ndarray) -> tuple[Any, list]:
+        """Validate the batch and plan the gateway-label TZ sub-batch."""
+        us, vs = _validated_pairs(us, vs, self.n)
+        sub_state, requests = self._sub.plan(self._gw_slot[us],
+                                             self._gw_slot[vs])
+        return (us, vs, sub_state), requests
+
+    def shard_answer(self, shard: int, request: Any) -> Any:
+        """Delegate the probe to the TZ sub-index shard."""
+        return self._sub.shard_answer(shard, request)
+
+    def finish(self, state: Any, responses: list) -> np.ndarray:
+        """Wrap the sub-index's answers in the gateway legs, re-raising
+        unresolved pairs with the original node ids."""
+        us, vs, sub_state = state
+        try:
+            through = self._sub.finish(sub_state, responses)
+        except QueryError as exc:
+            j = getattr(exc, "row", None)
+            if j is None:  # pragma: no cover - defensive
+                raise
+            raise _unresolved_error(
+                f"cdg sketches of {int(us[j])} and {int(vs[j])} share no "
+                f"level (gateways {int(self.gateway_ids[us[j]])} and "
+                f"{int(self.gateway_ids[vs[j]])})", j) from None
+        est = (self.gateway_dists[us] + through) + self.gateway_dists[vs]
+        return np.where(us == vs, 0.0, est)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CDGIndex):
+            return NotImplemented
+        return (self.n == other.n and self.eps == other.eps
+                and self.k == other.k
+                and np.array_equal(self.gateway_ids, other.gateway_ids)
+                and np.array_equal(self.gateway_dists, other.gateway_dists)
+                and self.labels == other.labels)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"CDGIndex(n={self.n}, net={self.net_ids.size}, "
+                f"nnz={self.nnz()}, shards={self.num_shards})")
+
+
+# ----------------------------------------------------------------------
+# gracefully degrading (Theorem 4.8)
+# ----------------------------------------------------------------------
+class GracefulIndex(_BaseIndex):
+    """One :class:`CDGIndex` per ε-component; a batch takes the
+    component-wise minimum — the same floats as
+    :meth:`~repro.slack.graceful.GracefulSketch.estimate_to`.
+
+    A pair is unresolved exactly when *any* component is unresolved for
+    it, matching the single-pair ``min`` over component estimates (which
+    consumes every component).  Shard ``s`` of this store is the union of
+    shard ``s`` across the component sub-indexes, so one worker still
+    owns one landmark shard end to end.
+
+    :param sketches: one :class:`~repro.slack.graceful.GracefulSketch`
+        per node, indexed by node ID.
+    :param num_shards: landmark shard count for every component.
+    :raises ConfigError: on an empty set, a non-graceful sketch, or
+        mismatched component counts.
+    """
+
+    def __init__(self, sketches: Sequence[GracefulSketch],
+                 num_shards: int = 1):
+        if not sketches:
+            raise ConfigError("cannot index an empty sketch set")
+        if num_shards < 1:
+            raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
+        for s in sketches:
+            if not isinstance(s, GracefulSketch):
+                raise ConfigError(
+                    f"GracefulIndex only indexes GracefulSketch, "
+                    f"got {type(s).__name__}")
+        levels = len(sketches[0].components)
+        for s in sketches:
+            if len(s.components) != levels:
+                raise ConfigError(
+                    f"mismatched graceful sketches: node {s.node} has "
+                    f"{len(s.components)} components, expected {levels}")
+        if levels == 0:
+            raise ConfigError("graceful sketches need >= 1 component")
+        self.n = len(sketches)
+        self.num_shards = int(num_shards)
+        #: per-ε-level CDG stores, ordered by schedule index
+        self.components = [
+            CDGIndex([s.components[i] for s in sketches],
+                     num_shards=self.num_shards)
+            for i in range(levels)]
+
+    def nnz(self) -> int:
+        """Total stored entries across all components."""
+        return sum(c.nnz() for c in self.components)
+
+    def shard_sizes(self) -> list[int]:
+        """Per-shard entry count summed across components."""
+        per = [c.shard_sizes() for c in self.components]
+        return [sum(sizes[s] for sizes in per)
+                for s in range(self.num_shards)]
+
+    # ------------------------------------------------------------------
+    def plan(self, us: np.ndarray, vs: np.ndarray) -> tuple[Any, list]:
+        """Plan every component's sub-batch; shard ``s``'s request is the
+        tuple of the components' shard-``s`` requests."""
+        us, vs = _validated_pairs(us, vs, self.n)
+        states, per_comp = [], []
+        for comp in self.components:
+            st, reqs = comp.plan(us, vs)
+            states.append(st)
+            per_comp.append(reqs)
+        requests = [tuple(per_comp[i][s] for i in range(len(self.components)))
+                    for s in range(self.num_shards)]
+        return (us, vs, states), requests
+
+    def shard_answer(self, shard: int, request: Any) -> Any:
+        """Serve shard ``shard`` of every component."""
+        return tuple(comp.shard_answer(shard, r)
+                     for comp, r in zip(self.components, request))
+
+    def finish(self, state: Any, responses: list) -> np.ndarray:
+        """Component-wise minimum (any unresolved component raises, as the
+        single-pair ``min`` over a raising generator would)."""
+        us, vs, states = state
+        est: Optional[np.ndarray] = None
+        for i, comp in enumerate(self.components):
+            part = comp.finish(states[i], [responses[s][i]
+                                           for s in range(self.num_shards)])
+            est = part if est is None else np.minimum(est, part)
+        return est
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GracefulIndex):
+            return NotImplemented
+        return self.n == other.n and self.components == other.components
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"GracefulIndex(n={self.n}, "
+                f"components={len(self.components)}, nnz={self.nnz()}, "
+                f"shards={self.num_shards})")
+
+
+# ----------------------------------------------------------------------
+# the factory
+# ----------------------------------------------------------------------
+#: sketch type -> (scheme name, index class); the single source of truth
+#: for which store serves which scheme
+INDEX_TYPES: dict[type, tuple[str, type]] = {
+    TZSketch: ("tz", TZIndex),
+    Stretch3Sketch: ("stretch3", Stretch3Index),
+    CDGSketch: ("cdg", CDGIndex),
+    GracefulSketch: ("graceful", GracefulIndex),
+}
+
+
+def index_class_for(sketches: Sequence[Any]) -> Optional[type]:
+    """The :class:`IndexStore` class serving this sketch set, or ``None``
+    when the set is empty, mixed, or of an unknown type."""
+    if not sketches:
+        return None
+    entry = INDEX_TYPES.get(type(sketches[0]))
+    if entry is None:
+        return None
+    first = type(sketches[0])
+    if not all(isinstance(s, first) for s in sketches):
+        return None
+    return entry[1]
+
+
+def scheme_name_of(sketches: Sequence[Any]) -> Optional[str]:
+    """The registry name (``"tz"`` …) of a homogeneous sketch set, or
+    ``None`` when unrecognized."""
+    if index_class_for(sketches) is None:
+        return None
+    return INDEX_TYPES[type(sketches[0])][0]
+
+
+def build_index(sketches: Sequence[Any], num_shards: int = 1) -> IndexStore:
+    """Build the right :class:`IndexStore` for a homogeneous sketch set.
+
+    :raises ConfigError: when no index class serves this set (empty,
+        mixed types, or an unknown sketch type).
+    """
+    cls = index_class_for(sketches)
+    if cls is None:
+        kinds = sorted({type(s).__name__ for s in sketches}) or ["(empty)"]
+        raise ConfigError(
+            f"no batched index for this sketch set ({', '.join(kinds)}); "
+            f"indexable types: "
+            f"{', '.join(t.__name__ for t in INDEX_TYPES)}")
+    return cls(sketches, num_shards=num_shards)

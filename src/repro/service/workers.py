@@ -1,0 +1,130 @@
+"""Multi-process shard serving: a worker pool behind the landmark shards.
+
+Every :class:`~repro.service.index.IndexStore` decomposes a query batch
+into per-shard probe tasks (``plan`` → ``shard_answer`` × S → ``finish``;
+see the protocol contract).  :class:`ShardServer` runs that decomposition
+on a **persistent** ``multiprocessing`` pool::
+
+    master                         workers (persistent pool)
+    ------                         -------------------------
+    plan(us, vs) ──┬─ request[0] ─▶ shard_answer(0, ·) ─┐
+                   ├─ request[1] ─▶ shard_answer(1, ·) ─┤
+                   └─ request[S-1]▶ shard_answer(S-1,·) ─┤
+    finish(state, responses) ◀──── ordered responses ────┘
+
+The pool is created once (the index ships to each worker through the pool
+initializer, not per task) and reused for every batch.  ``jobs=1`` runs
+the identical plan/probe/finish path in-process — no pool, no pickling —
+so the decomposition itself is exercised even in single-process tests.
+
+Determinism: ``shard_answer`` is a pure function of ``(shard, request)``
+and ``finish`` consumes responses by shard id (``pool.map`` preserves
+order), never by completion order, so answers are bit-identical for every
+``jobs`` value — the test suite asserts ``jobs=1`` vs ``jobs=4`` equality
+for every scheme.  A :class:`~repro.errors.QueryError` for an unresolved
+pair is raised by ``finish`` on the master, exactly as in-process.
+
+This mirrors the separable-structure parallelism of distributed solvers
+like DiPOA: the per-landmark subproblems share no state, so the only
+coordination is the scatter/gather around them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Iterable, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.service.index import IndexStore, parse_pair_array
+
+# Worker-global store, installed once per worker by the pool initializer
+# (cheaper than pickling the index into every task).
+_WORKER_INDEX: Optional[IndexStore] = None
+
+
+def _install_index(index: IndexStore) -> None:
+    global _WORKER_INDEX
+    _WORKER_INDEX = index
+
+
+def _serve_shard(task: tuple[int, Any]) -> Any:
+    shard, request = task
+    return _WORKER_INDEX.shard_answer(shard, request)
+
+
+class ShardServer:
+    """Serve batched queries from an :class:`IndexStore` with one task per
+    landmark shard, fanned across a persistent worker pool.
+
+    :param index: any built index store (all schemes).
+    :param jobs: worker processes.  ``1`` keeps everything in-process
+        (same decomposition, no pool); values above the shard count are
+        clamped — a shard is the unit of work, so extra workers would
+        idle.
+    :raises ConfigError: when ``jobs < 1``.
+
+    Use as a context manager (or call :meth:`close`) so the pool does not
+    outlive the server::
+
+        with ShardServer(build_index(sketches, num_shards=4), jobs=4) as srv:
+            est = srv.estimate_many(us, vs)
+    """
+
+    def __init__(self, index: IndexStore, jobs: int = 1):
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        self.index = index
+        self.jobs = min(int(jobs), index.num_shards)
+        self._pool = None
+        if self.jobs > 1:
+            ctx = multiprocessing.get_context()
+            self._pool = ctx.Pool(processes=self.jobs,
+                                  initializer=_install_index,
+                                  initargs=(index,))
+
+    # ------------------------------------------------------------------
+    def estimate_many(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """Batched estimates through the shard workers — bit-identical to
+        ``index.estimate_many`` for every worker count."""
+        state, requests = self.index.plan(us, vs)
+        tasks = list(enumerate(requests))
+        if self._pool is None:
+            responses = [self.index.shard_answer(s, r) for s, r in tasks]
+        else:
+            responses = self._pool.map(_serve_shard, tasks)
+        return self.index.finish(state, responses)
+
+    def dist_many(self, pairs: Iterable[tuple[int, int]] | np.ndarray,
+                  ) -> np.ndarray:
+        """Convenience pair-list front end (mirrors
+        :meth:`~repro.service.engine.QueryEngine.dist_many`)."""
+        arr = parse_pair_array(pairs)
+        if arr.size == 0:
+            return np.empty(0, dtype=np.float64)
+        return self.estimate_many(arr[:, 0], arr[:, 1])
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ShardServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC backstop
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = f"{self.jobs} workers" if self._pool is not None else "in-process"
+        return (f"ShardServer({self.index!r}, {mode})")

@@ -167,3 +167,55 @@ class TestServeBench:
         report = json.loads(capsys.readouterr().out)
         assert report["shards"] == 3 and report["cache_size"] == 64
         assert report["identical"] is True
+
+
+class TestServeBenchJobsAndScheme:
+    def test_jobs_flag_keeps_answers_identical(self, sketch_file, capsys):
+        rc = main(["serve-bench", str(sketch_file), "--queries", "200",
+                   "--repeats", "1", "--shards", "2", "--jobs", "2"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["jobs"] == 2 and report["shards"] == 2
+        assert report["identical"] is True
+
+    def test_scheme_assertion_passes_and_fails(self, sketch_file, capsys):
+        rc = main(["serve-bench", str(sketch_file), "--queries", "100",
+                   "--repeats", "1", "--scheme", "tz"])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["scheme"] == "tz"
+        rc = main(["serve-bench", str(sketch_file), "--queries", "100",
+                   "--repeats", "1", "--scheme", "graceful"])
+        assert rc == 2
+        assert "not graceful" in capsys.readouterr().err
+
+    def test_slack_sketches_are_served_batched(self, tmp_path, graph_file,
+                                               capsys):
+        path = tmp_path / "s3.jsonl"
+        assert main(["build", str(graph_file), "--scheme", "stretch3",
+                     "--eps", "0.3", "--seed", "5", "-o", str(path)]) == 0
+        capsys.readouterr()
+        rc = main(["serve-bench", str(path), "--queries", "200",
+                   "--repeats", "1", "--scheme", "stretch3"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["scheme"] == "stretch3"
+        assert report["identical"] is True
+
+
+class TestSchemesCommand:
+    def test_json_matrix(self, capsys):
+        assert main(["schemes"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {r["scheme"] for r in rows} == {"tz", "stretch3", "cdg",
+                                               "graceful"}
+        assert all(r["batch"] for r in rows)  # every scheme serves batches
+        assert all(r["serialize"] for r in rows)
+
+    def test_markdown_matrix_matches_registry(self, capsys):
+        from repro.oracle.schemes import SCHEMES, schemes_markdown
+
+        assert main(["schemes", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip() == schemes_markdown()
+        for name in SCHEMES:
+            assert f"`{name}`" in out

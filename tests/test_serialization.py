@@ -229,3 +229,115 @@ class TestIndexCorruption:
         corrupt["pivots"][0][0][0] = base["n"] + 5
         with pytest.raises(QueryError):
             index_from_dict(corrupt)
+
+
+class TestSlackIndexRoundTrip:
+    """Round-trips for the stretch3/cdg/graceful serving stores."""
+
+    def _pairs(self, n):
+        import numpy as np
+
+        us, vs = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        return us.ravel(), vs.ravel()
+
+    @pytest.mark.parametrize("scheme", ["stretch3", "cdg", "graceful"])
+    def test_save_load_identical_batched_answers(self, tmp_path, all_built,
+                                                 scheme):
+        import numpy as np
+
+        from repro.oracle.serialization import load_index, save_index
+        from repro.service import build_index
+
+        idx = build_index(all_built[scheme].sketches, num_shards=3)
+        path = tmp_path / f"{scheme}.json"
+        save_index(idx, path)
+        back = load_index(path)
+        assert back == idx
+        assert type(back) is type(idx)
+        us, vs = self._pairs(idx.n)
+        assert np.array_equal(back.estimate_many(us, vs),
+                              idx.estimate_many(us, vs))
+
+    @pytest.mark.parametrize("scheme", ["stretch3", "cdg", "graceful"])
+    def test_dict_round_trip_is_canonical(self, all_built, scheme):
+        from repro.oracle.serialization import index_from_dict, index_to_dict
+        from repro.service import build_index
+
+        sketches = all_built[scheme].sketches
+        d1 = index_to_dict(build_index(sketches, num_shards=1))
+        d5 = index_to_dict(build_index(sketches, num_shards=5))
+        # the payload is canonical: only the shard count differs
+        assert {k: v for k, v in d1.items() if k != "num_shards"} == \
+            {k: v for k, v in d5.items() if k != "num_shards"}
+        assert index_from_dict(d1) == index_from_dict(d5)
+
+    @pytest.mark.parametrize("scheme", ["stretch3", "cdg", "graceful"])
+    def test_files_are_strict_json(self, tmp_path, all_built, scheme):
+        from repro.oracle.serialization import save_index
+        from repro.service import build_index
+
+        path = tmp_path / f"{scheme}.json"
+        save_index(build_index(all_built[scheme].sketches), path)
+        text = path.read_text(encoding="ascii")
+        assert "Infinity" not in text
+        data = json.loads(text)  # strict parse succeeds
+        assert data["type"] == f"{scheme}_index"
+
+    def test_disconnected_stretch3_round_trip(self, tmp_path):
+        import numpy as np
+
+        from repro.graphs import Graph
+        from repro.oracle.serialization import load_index, save_index
+        from repro.service import Stretch3Index
+        from repro.slack.density_net import DensityNet
+        from repro.slack.stretch3 import build_stretch3_centralized
+
+        # a net node per component: inf distances in the sketches must not
+        # leak into the file (strict JSON) and the reloaded store must
+        # raise exactly where the original does
+        g = Graph(5, [(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0), (2, 4, 2.0)])
+        net = DensityNet(eps=0.5, n=g.n, members=(0, 2))
+        sketches, _ = build_stretch3_centralized(g, 0.5, net=net)
+        idx = Stretch3Index(sketches, num_shards=2)
+        path = tmp_path / "disc3.json"
+        save_index(idx, path)
+        assert "Infinity" not in path.read_text(encoding="ascii")
+        back = load_index(path)
+        assert back == idx
+        ok = np.array([2, 3]), np.array([4, 2])
+        assert np.array_equal(back.estimate_many(*ok),
+                              idx.estimate_many(*ok))
+        with pytest.raises(QueryError):
+            back.estimate_many(np.array([0]), np.array([2]))
+
+    def test_corrupt_cdg_gateway_fails_loudly(self, all_built):
+        from repro.oracle.serialization import index_from_dict, index_to_dict
+        from repro.service import build_index
+
+        base = index_to_dict(build_index(all_built["cdg"].sketches))
+        corrupt = dict(base, gateways=[[10**6, 1.0]] + base["gateways"][1:])
+        with pytest.raises(QueryError, match="has no label"):
+            index_from_dict(corrupt)
+
+    def test_corrupt_stretch3_owner_fails_loudly(self, all_built):
+        from repro.oracle.serialization import index_from_dict, index_to_dict
+        from repro.service import build_index
+
+        base = index_to_dict(build_index(all_built["stretch3"].sketches))
+        corrupt = dict(base, entries=base["entries"] + [[base["n"], 0, 1.0]])
+        with pytest.raises(QueryError, match="out of range"):
+            index_from_dict(corrupt)
+
+    def test_sketch_sets_with_inf_entries_are_strict_json(self):
+        from repro.graphs import Graph
+        from repro.oracle.serialization import dumps, loads
+        from repro.slack.density_net import DensityNet
+        from repro.slack.stretch3 import build_stretch3_centralized
+
+        g = Graph(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        net = DensityNet(eps=0.5, n=g.n, members=(0, 2))
+        sketches, _ = build_stretch3_centralized(g, 0.5, net=net)
+        text = dumps(sketches[0])  # has an inf entry toward node 2
+        assert "Infinity" not in text
+        json.loads(text)
+        assert loads(text) == sketches[0]

@@ -138,9 +138,19 @@ class TestQueryEngine:
         assert a == engine.reference_query(3, 30)
         assert b == engine.reference_query(30, 3)
 
-    def test_generic_fallback_for_slack_schemes(self, er_unit):
+    def test_slack_schemes_get_their_own_index(self, er_unit):
+        from repro.service import Stretch3Index
+
         built = build_sketches(er_unit, scheme="stretch3", eps=0.3, seed=2)
         engine = QueryEngine(built.sketches, cache_size=8)
+        assert isinstance(engine.index, Stretch3Index)
+        pairs = [(0, 5), (5, 0), (2, 2)]
+        assert engine.dist_many(pairs).tolist() == [
+            built.query(u, v) for u, v in pairs]
+
+    def test_generic_loop_still_available(self, er_unit):
+        built = build_sketches(er_unit, scheme="stretch3", eps=0.3, seed=2)
+        engine = QueryEngine(built.sketches, cache_size=8, use_index=False)
         assert engine.index is None
         pairs = [(0, 5), (5, 0), (2, 2)]
         assert engine.dist_many(pairs).tolist() == [
@@ -171,9 +181,11 @@ class TestBuiltSketchesIntegration:
         built = build_sketches(er_weighted, scheme="tz", k=2, seed=5)
         assert built.engine() is built.engine()
 
-    def test_scheme_flags(self):
-        assert get_scheme("tz").supports_batch
-        assert not get_scheme("stretch3").supports_batch
+    def test_every_scheme_supports_batch(self):
+        from repro.oracle.schemes import SCHEMES
+
+        for name in SCHEMES:
+            assert get_scheme(name).supports_batch, name
 
 
 class TestServeBenchmark:
@@ -263,8 +275,11 @@ class TestEngineConfig:
                             seed=2).sketches
         assert QueryEngine(tz, use_index=False).index is None
         assert QueryEngine(tz, use_index=True).index is not None
+        assert QueryEngine(s3, use_index=True).index is not None
+        # a mixed set has no index class and must refuse use_index=True
         with pytest.raises(ConfigError):
-            QueryEngine(s3, use_index=True)
+            QueryEngine([tz[0], s3[1]], use_index=True)
+        assert QueryEngine([tz[0], s3[1]]).index is None  # generic loop
 
 
 class TestLookupValidation:
@@ -297,3 +312,135 @@ class TestGenericPathParity:
             engine.dist(-1, 5)
         with pytest.raises(QueryError):
             engine.dist(0, engine.n)
+
+
+class TestSlackIndexes:
+    """Unit tests for the stretch3/cdg/graceful stores (the scheme-specific
+    batched==single property suites live in test_service_properties.py)."""
+
+    @pytest.fixture(scope="class")
+    def s3_built(self, er_unit):
+        return build_sketches(er_unit, scheme="stretch3", eps=0.3, seed=2)
+
+    @pytest.fixture(scope="class")
+    def cdg_built(self, er_unit):
+        return build_sketches(er_unit, scheme="cdg", eps=0.3, k=2, seed=3)
+
+    @pytest.fixture(scope="class")
+    def graceful_built(self, er_unit):
+        return build_sketches(er_unit, scheme="graceful", seed=4)
+
+    def _assert_matches_single(self, index, sketches):
+        n = len(sketches)
+        us, vs = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        us, vs = us.ravel(), vs.ravel()
+        batched = index.estimate_many(us, vs)
+        single = [sketches[u].estimate_to(sketches[v])
+                  for u, v in zip(us, vs)]
+        assert batched.tolist() == single  # exact, not approx
+
+    def test_stretch3_matches_single(self, s3_built):
+        from repro.service import Stretch3Index
+
+        self._assert_matches_single(Stretch3Index(s3_built.sketches),
+                                    s3_built.sketches)
+
+    def test_cdg_matches_single(self, cdg_built):
+        from repro.service import CDGIndex
+
+        self._assert_matches_single(CDGIndex(cdg_built.sketches),
+                                    cdg_built.sketches)
+
+    def test_graceful_matches_single(self, graceful_built):
+        from repro.service import GracefulIndex
+
+        self._assert_matches_single(GracefulIndex(graceful_built.sketches),
+                                    graceful_built.sketches)
+
+    @pytest.mark.parametrize("shards", [2, 5])
+    def test_shard_count_never_changes_answers(self, s3_built, cdg_built,
+                                               graceful_built, shards):
+        from repro.service import build_index
+
+        for built in (s3_built, cdg_built, graceful_built):
+            n = len(built.sketches)
+            us, vs = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+            us, vs = us.ravel(), vs.ravel()
+            base = build_index(built.sketches, num_shards=1)
+            sharded = build_index(built.sketches, num_shards=shards)
+            assert np.array_equal(base.estimate_many(us, vs),
+                                  sharded.estimate_many(us, vs))
+            assert sharded.nnz() == base.nnz()
+
+    def test_shard_sizes_partition_entries(self, s3_built, graceful_built):
+        from repro.service import build_index
+
+        for built in (s3_built, graceful_built):
+            idx = build_index(built.sketches, num_shards=4)
+            assert len(idx.shard_sizes()) == 4
+            assert all(s >= 0 for s in idx.shard_sizes())
+
+    def test_engine_auto_detects_every_scheme(self, s3_built, cdg_built,
+                                              graceful_built):
+        from repro.service import CDGIndex, GracefulIndex, Stretch3Index
+
+        for built, cls in ((s3_built, Stretch3Index), (cdg_built, CDGIndex),
+                           (graceful_built, GracefulIndex)):
+            assert isinstance(QueryEngine(built.sketches).index, cls)
+
+    def test_query_many_matches_query_all_schemes(self, s3_built, cdg_built,
+                                                  graceful_built):
+        pairs = [(0, 9), (9, 0), (4, 4), (1, 35)]
+        for built in (s3_built, cdg_built, graceful_built):
+            assert built.query_many(pairs).tolist() == [
+                built.query(u, v) for u, v in pairs]
+
+    def test_validation_errors(self, s3_built, cdg_built, graceful_built):
+        from repro.service import (CDGIndex, GracefulIndex, Stretch3Index,
+                                   build_index)
+
+        for cls in (Stretch3Index, CDGIndex, GracefulIndex):
+            with pytest.raises(ConfigError):
+                cls([])
+        with pytest.raises(ConfigError):
+            Stretch3Index(s3_built.sketches, num_shards=0)
+        with pytest.raises(ConfigError):
+            Stretch3Index(cdg_built.sketches)  # wrong sketch type
+        with pytest.raises(ConfigError):
+            CDGIndex(graceful_built.sketches)
+        with pytest.raises(ConfigError):
+            GracefulIndex(s3_built.sketches)
+        with pytest.raises(ConfigError):
+            build_index([s3_built.sketches[0], cdg_built.sketches[1]])
+
+    def test_out_of_range_ids_raise(self, s3_built, cdg_built,
+                                    graceful_built):
+        from repro.service import build_index
+
+        for built in (s3_built, cdg_built, graceful_built):
+            idx = build_index(built.sketches)
+            with pytest.raises(QueryError):
+                idx.estimate_many(np.array([0]), np.array([idx.n]))
+            with pytest.raises(QueryError):
+                idx.estimate_many(np.array([-1]), np.array([0]))
+
+    def test_empty_batch_all_schemes(self, s3_built, cdg_built,
+                                     graceful_built):
+        from repro.service import build_index
+
+        empty = np.empty(0, dtype=np.int64)
+        for built in (s3_built, cdg_built, graceful_built):
+            assert build_index(built.sketches).estimate_many(empty,
+                                                             empty).size == 0
+
+    def test_scheme_name_of(self, s3_built, cdg_built, graceful_built,
+                            tz_sketches):
+        from repro.service import scheme_name_of
+
+        assert scheme_name_of(tz_sketches) == "tz"
+        assert scheme_name_of(s3_built.sketches) == "stretch3"
+        assert scheme_name_of(cdg_built.sketches) == "cdg"
+        assert scheme_name_of(graceful_built.sketches) == "graceful"
+        assert scheme_name_of([]) is None
+        assert scheme_name_of([object()]) is None
+        assert scheme_name_of([tz_sketches[0], s3_built.sketches[0]]) is None

@@ -24,6 +24,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.errors import QueryError
 from repro.graphs import Graph, apsp
 from repro.service import QueryEngine, TZIndex, build_tz_sketches_parallel
 from repro.tz import build_tz_sketches_centralized, estimate_distance
@@ -146,3 +147,191 @@ class TestExhaustive:
             assert est.tolist() == single
             assert (est >= d[us, vs] - 1e-9).all()
             assert (est <= (2 * k - 1) * d[us, vs] + 1e-9).all()
+
+
+def _single_answers(sketches, us, vs):
+    """Per-pair single-query answers with QueryError as a sentinel."""
+    out = []
+    for u, v in zip(us, vs):
+        try:
+            out.append(sketches[u].estimate_to(sketches[v]))
+        except QueryError:
+            out.append("raise")
+    return out
+
+
+def _batched_answers(index, us, vs):
+    """Per-pair batch-of-one answers with QueryError as a sentinel, plus
+    the full-batch outcome."""
+    per_pair = []
+    for u, v in zip(us, vs):
+        try:
+            per_pair.append(float(index.estimate_many(
+                np.asarray([u]), np.asarray([v]))[0]))
+        except QueryError:
+            per_pair.append("raise")
+    try:
+        full = index.estimate_many(us, vs)
+        full_raises = False
+    except QueryError:
+        full, full_raises = None, True
+    return per_pair, full, full_raises
+
+
+def _assert_batched_equals_single(sketches, index):
+    """The universal contract: batch-of-one answers (values *and*
+    QueryErrors) equal the single-query path pair by pair, and the full
+    batch raises exactly when some pair raises singly."""
+    n = len(sketches)
+    us, vs = _all_ordered_pairs(n)
+    single = _single_answers(sketches, us, vs)
+    per_pair, full, full_raises = _batched_answers(index, us, vs)
+    assert per_pair == single  # exact floats, exact raise positions
+    assert full_raises == ("raise" in single)
+    if not full_raises:
+        assert full.tolist() == single
+
+
+class TestSlackSchemesBatchedEqualsSingle:
+    """ISSUE 2 acceptance: every scheme's batched answers are bit-identical
+    to the single-query path, across shard counts."""
+
+    @settings(max_examples=8, **COMMON)
+    @given(g=connected_graphs(max_n=10),
+           seed=st.integers(min_value=0, max_value=10**6),
+           shards=st.integers(min_value=1, max_value=4))
+    def test_stretch3(self, g, seed, shards):
+        from repro import build_sketches
+        from repro.service import Stretch3Index
+
+        built = build_sketches(g, scheme="stretch3", eps=0.4, seed=seed)
+        _assert_batched_equals_single(
+            built.sketches, Stretch3Index(built.sketches, num_shards=shards))
+
+    @settings(max_examples=8, **COMMON)
+    @given(g=connected_graphs(max_n=10),
+           seed=st.integers(min_value=0, max_value=10**6),
+           shards=st.integers(min_value=1, max_value=4))
+    def test_cdg(self, g, seed, shards):
+        from repro import build_sketches
+        from repro.service import CDGIndex
+
+        built = build_sketches(g, scheme="cdg", eps=0.4, k=2, seed=seed)
+        _assert_batched_equals_single(
+            built.sketches, CDGIndex(built.sketches, num_shards=shards))
+
+    @settings(max_examples=6, **COMMON)
+    @given(g=connected_graphs(max_n=8),
+           seed=st.integers(min_value=0, max_value=10**6),
+           shards=st.integers(min_value=1, max_value=4))
+    def test_graceful(self, g, seed, shards):
+        from repro import build_sketches
+        from repro.service import GracefulIndex
+
+        built = build_sketches(g, scheme="graceful", seed=seed)
+        _assert_batched_equals_single(
+            built.sketches, GracefulIndex(built.sketches, num_shards=shards))
+
+    @settings(max_examples=6, **COMMON)
+    @given(g=connected_graphs(max_n=10),
+           seed=st.integers(min_value=0, max_value=10**6),
+           jobs=st.sampled_from([1, 4]))
+    def test_shard_server_jobs_never_change_answers(self, g, seed, jobs):
+        # in-process decomposition across jobs values; the real-pool
+        # equality lives in test_service_workers.py (a pool per hypothesis
+        # example would dominate the runtime)
+        from repro import build_sketches
+        from repro.service import ShardServer, build_index
+
+        built = build_sketches(g, scheme="stretch3", eps=0.4, seed=seed)
+        us, vs = _all_ordered_pairs(g.n)
+        index = build_index(built.sketches, num_shards=4)
+        base = index.estimate_many(us, vs)
+        with ShardServer(index, jobs=jobs) as srv:
+            assert srv.estimate_many(us, vs).tolist() == base.tolist()
+
+
+class TestQueryErrorParityDisconnected:
+    """Batched raises exactly where the single path raises, on graphs
+    where some pairs genuinely have no shared landmark."""
+
+    def _two_components(self):
+        from repro.graphs import Graph
+
+        # components {0, 1} and {2, 3, 4}
+        return Graph(5, [(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0),
+                         (2, 4, 2.0)])
+
+    def test_stretch3_net_missing_a_component(self):
+        from repro.slack.density_net import DensityNet
+        from repro.slack.stretch3 import build_stretch3_centralized
+        from repro.service import Stretch3Index
+
+        g = self._two_components()
+        # net only in the big component: every pair touching {0, 1} raises
+        net = DensityNet(eps=0.5, n=g.n, members=(2,))
+        sketches, _ = build_stretch3_centralized(g, 0.5, net=net)
+        idx = Stretch3Index(sketches, num_shards=3)
+        _assert_batched_equals_single(sketches, idx)
+        with pytest.raises(QueryError, match="share no net node"):
+            idx.estimate_many(np.array([0]), np.array([2]))
+
+    def test_stretch3_net_in_both_components(self):
+        from repro.slack.density_net import DensityNet
+        from repro.slack.stretch3 import build_stretch3_centralized
+        from repro.service import Stretch3Index
+
+        g = self._two_components()
+        # one net node per component: within-component pairs answer,
+        # cross-component pairs raise (all routes are inf)
+        net = DensityNet(eps=0.5, n=g.n, members=(0, 2))
+        sketches, _ = build_stretch3_centralized(g, 0.5, net=net)
+        idx = Stretch3Index(sketches)
+        _assert_batched_equals_single(sketches, idx)
+        assert idx.estimate(3, 4) == sketches[3].estimate_to(sketches[4])
+
+    def test_cdg_cross_component_parity(self):
+        from repro.slack.cdg import build_cdg_centralized
+        from repro.slack.density_net import DensityNet
+        from repro.service import CDGIndex
+
+        g = self._two_components()
+        net = DensityNet(eps=0.5, n=g.n, members=(0, 2))
+        for seed in range(5):
+            sketches, _, _ = build_cdg_centralized(g, 0.5, 2, seed=seed,
+                                                   net=net)
+            _assert_batched_equals_single(sketches,
+                                          CDGIndex(sketches, num_shards=2))
+
+    def test_graceful_component_parity(self):
+        from repro.slack.cdg import build_cdg_centralized
+        from repro.slack.density_net import DensityNet
+        from repro.slack.graceful import GracefulSketch
+        from repro.service import GracefulIndex
+
+        g = self._two_components()
+        net = DensityNet(eps=0.5, n=g.n, members=(0, 2))
+        # hand-assembled two-component graceful set (the stock builder
+        # samples its own nets, which may miss a component entirely)
+        a, _, _ = build_cdg_centralized(g, 0.5, 1, seed=1, net=net)
+        b, _, _ = build_cdg_centralized(g, 0.25, 2, seed=2, net=net)
+        sketches = [GracefulSketch(node=u, components=(a[u], b[u]))
+                    for u in range(g.n)]
+        _assert_batched_equals_single(
+            sketches, GracefulIndex(sketches, num_shards=2))
+
+    def test_workers_match_inline_on_disconnected(self):
+        from repro.slack.density_net import DensityNet
+        from repro.slack.stretch3 import build_stretch3_centralized
+        from repro.service import ShardServer, Stretch3Index
+
+        g = self._two_components()
+        net = DensityNet(eps=0.5, n=g.n, members=(0, 2))
+        sketches, _ = build_stretch3_centralized(g, 0.5, net=net)
+        idx = Stretch3Index(sketches, num_shards=2)
+        with ShardServer(idx, jobs=2) as srv:
+            ok = np.array([2, 3]), np.array([4, 2])
+            assert srv.estimate_many(*ok).tolist() == \
+                idx.estimate_many(*ok).tolist()
+            with pytest.raises(QueryError):
+                srv.estimate_many(np.array([1]), np.array([3]))

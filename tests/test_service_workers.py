@@ -1,0 +1,154 @@
+"""Multi-process shard serving (repro.service.workers).
+
+The acceptance bar: for every scheme, ``ShardServer`` answers are
+bit-identical for ``jobs=1`` (in-process decomposition) and ``jobs=4``
+(real worker pool), and both equal the plain ``estimate_many`` path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import build_sketches
+from repro.errors import ConfigError, QueryError
+from repro.service import (QueryEngine, ShardServer, build_index,
+                           sample_query_pairs)
+from repro.tz import build_tz_sketches_centralized
+
+
+@pytest.fixture(scope="module")
+def built_sets(er_weighted, er_unit):
+    tz, _ = build_tz_sketches_centralized(er_weighted, k=3, seed=11)
+    return {
+        "tz": tz,
+        "stretch3": build_sketches(er_unit, scheme="stretch3", eps=0.3,
+                                   seed=2).sketches,
+        "cdg": build_sketches(er_unit, scheme="cdg", eps=0.3, k=2,
+                              seed=3).sketches,
+        "graceful": build_sketches(er_unit, scheme="graceful",
+                                   seed=4).sketches,
+    }
+
+
+SCHEMES = ["tz", "stretch3", "cdg", "graceful"]
+
+
+class TestShardServerIdentity:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_jobs_1_equals_jobs_4_equals_inline(self, built_sets, scheme):
+        sketches = built_sets[scheme]
+        index = build_index(sketches, num_shards=4)
+        pairs = sample_query_pairs(len(sketches), 300, seed=7)
+        us, vs = pairs[:, 0], pairs[:, 1]
+        want = index.estimate_many(us, vs)
+        with ShardServer(index, jobs=1) as inproc:
+            got1 = inproc.estimate_many(us, vs)
+        with ShardServer(index, jobs=4) as pooled:
+            got4 = pooled.estimate_many(us, vs)
+            again = pooled.estimate_many(us, vs)  # pool is reusable
+        assert got1.tolist() == want.tolist()  # exact, not approx
+        assert got4.tolist() == want.tolist()
+        assert again.tolist() == want.tolist()
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_engine_jobs_matches_reference(self, built_sets, scheme):
+        sketches = built_sets[scheme]
+        pairs = sample_query_pairs(len(sketches), 100, seed=9)
+        with QueryEngine(sketches, cache_size=0, num_shards=3,
+                         jobs=3) as engine:
+            got = engine.dist_many(pairs)
+            single = [engine.reference_query(int(u), int(v))
+                      for u, v in pairs]
+        assert got.tolist() == single
+
+    def test_dist_many_front_end(self, built_sets):
+        index = build_index(built_sets["tz"], num_shards=2)
+        with ShardServer(index, jobs=2) as srv:
+            got = srv.dist_many([(0, 5), (5, 0), (3, 3)])
+            assert got.tolist() == [index.estimate(0, 5),
+                                    index.estimate(5, 0), 0.0]
+            assert srv.dist_many(np.empty((0, 2), dtype=np.int64)).size == 0
+            with pytest.raises(ConfigError):
+                srv.dist_many(np.arange(6))
+
+
+class TestShardServerLifecycle:
+    def test_jobs_clamped_to_shard_count(self, built_sets):
+        index = build_index(built_sets["tz"], num_shards=2)
+        srv = ShardServer(index, jobs=8)
+        try:
+            assert srv.jobs == 2
+        finally:
+            srv.close()
+
+    def test_single_shard_stays_in_process(self, built_sets):
+        srv = ShardServer(build_index(built_sets["tz"], num_shards=1),
+                          jobs=4)
+        assert srv._pool is None  # nothing to fan out
+        srv.close()
+
+    def test_close_is_idempotent(self, built_sets):
+        srv = ShardServer(build_index(built_sets["tz"], num_shards=2),
+                          jobs=2)
+        srv.close()
+        srv.close()
+
+    def test_rejects_bad_jobs(self, built_sets):
+        index = build_index(built_sets["tz"])
+        with pytest.raises(ConfigError):
+            ShardServer(index, jobs=0)
+        with pytest.raises(ConfigError):
+            QueryEngine(built_sets["tz"], jobs=0)
+
+    def test_engine_jobs_requires_an_index(self, built_sets):
+        with pytest.raises(ConfigError):
+            QueryEngine(built_sets["tz"], use_index=False, jobs=2)
+
+    def test_engine_close_is_idempotent(self, built_sets):
+        engine = QueryEngine(built_sets["tz"], num_shards=2, jobs=2)
+        engine.close()
+        engine.close()
+
+
+class TestShardServerErrors:
+    def test_query_error_propagates_through_workers(self):
+        from repro.graphs import Graph
+
+        g = Graph(5, [(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0), (2, 4, 2.0)])
+        sketches, _ = build_tz_sketches_centralized(g, k=2, seed=1)
+        index = build_index(sketches, num_shards=2)
+        with ShardServer(index, jobs=2) as srv:
+            # same-component pairs answer fine...
+            assert srv.estimate_many(np.array([2]), np.array([4])).size == 1
+            # ...cross-component pairs raise exactly like the inline path
+            with pytest.raises(QueryError):
+                srv.estimate_many(np.array([0]), np.array([2]))
+
+
+class TestBuiltSketchesJobs:
+    def test_engine_rebuilds_on_jobs_change(self, er_unit):
+        built = build_sketches(er_unit, scheme="stretch3", eps=0.3, seed=2)
+        base = built.engine(cache_size=0, num_shards=2)
+        fanned = built.engine(cache_size=0, num_shards=2, jobs=2)
+        assert fanned is not base
+        pairs = [(0, 9), (9, 0), (4, 4)]
+        assert fanned.dist_many(pairs).tolist() == [
+            built.query(u, v) for u, v in pairs]
+        built.engine().close()
+
+
+class TestEffectiveJobsReporting:
+    def test_engine_and_report_show_clamped_jobs(self, built_sets):
+        from repro.service import run_serve_benchmark
+
+        # shards=1 clamps a 4-worker request to in-process serving; the
+        # engine attribute and the benchmark report must say so
+        with QueryEngine(built_sets["tz"], num_shards=1, jobs=4) as eng:
+            assert eng.jobs == 1
+        rep = run_serve_benchmark(built_sets["tz"], queries=50, repeats=1,
+                                  num_shards=1, jobs=4)
+        assert rep["jobs"] == 1 and rep["shards"] == 1
+        rep = run_serve_benchmark(built_sets["tz"], queries=50, repeats=1,
+                                  num_shards=4, jobs=2)
+        assert rep["jobs"] == 2
