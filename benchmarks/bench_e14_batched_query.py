@@ -30,8 +30,10 @@ from repro.analysis import render_table
 from repro.service import QueryEngine, build_tz_sketches_parallel
 from repro.service.bench import run_serve_benchmark, sample_query_pairs
 
-N = 2000
-QUERIES = 1000
+# CI's benchmark smoke job shrinks the graph (and zeroes the speedup
+# bar) to exercise the serving path without timing claims
+N = int(os.environ.get("REPRO_E14_N", "2000"))
+QUERIES = int(os.environ.get("REPRO_E14_QUERIES", "1000"))
 SEED = 61
 # the acceptance bar on quiet hardware; shared/throttled CI runners can
 # relax it via the environment (see .github/workflows/ci.yml) — the
@@ -72,6 +74,8 @@ def test_e14_batched_5x_at_1000(e14_table):
 
 
 def test_e14_bigger_batches_amortize_better(e14_table):
+    if MIN_SPEEDUP <= 0:  # the CI smoke config: no timing claims at all
+        pytest.skip("relative-timing claim disabled (REPRO_E14_MIN_SPEEDUP=0)")
     speedups = [r["speedup"] for r in e14_table]
     assert speedups[-1] >= speedups[0]
 

@@ -10,7 +10,10 @@ A downstream user can drive the whole pipeline without writing Python::
     python -m repro query net.edges sketches.jsonl --pairs 0:100 5:17
     python -m repro eval net.edges sketches.jsonl --eps 0.25
     python -m repro serve-bench sketches.jsonl --queries 10000 --batch 1000 \
-        --shards 4 --jobs 4
+        --shards 4 --jobs 4 --memory shared
+    python -m repro build net.edges --scheme tz --k 3 --format binary \
+        --shards 4 -o index.rpix
+    python -m repro serve-bench index.rpix --memory mmap --queries 10000
     python -m repro schemes --markdown
 
 Sketches travel as the JSON-lines format of
@@ -93,19 +96,38 @@ def _scheme_params(args) -> dict:
 def _cmd_build(args) -> int:
     from repro.graphs import read_edgelist
     from repro.oracle.api import build_sketches
-    from repro.oracle.serialization import save_sketch_set
+    from repro.oracle.serialization import save_index_binary, save_sketch_set
+
+    # flag errors before the (possibly expensive) build, not after
+    if args.format != "binary" and args.shards is not None:
+        raise ReproError(
+            "--shards only applies to --format binary (a JSON-lines "
+            "sketch set has no shard layout; serve-bench takes "
+            "--shards at load time instead)")
+    if args.shards is not None and args.shards < 1:
+        raise ReproError(f"--shards must be >= 1, got {args.shards}")
 
     g = read_edgelist(args.graph)
     built = build_sketches(g, scheme=args.scheme, mode=args.mode,
                            seed=args.seed, jobs=args.jobs,
                            **_scheme_params(args))
-    save_sketch_set(built.sketches, args.output)
     print(built.describe())
     if built.metrics is not None:
         print(f"cost: {built.metrics.rounds} rounds, "
               f"{built.metrics.messages} messages, "
               f"{built.metrics.words} words")
-    print(f"wrote {len(built.sketches)} sketches to {args.output}")
+    if args.format == "binary":
+        from repro.service import build_index
+
+        shards = 1 if args.shards is None else args.shards
+        index = build_index(built.sketches, num_shards=shards)
+        save_index_binary(index, args.output)
+        print(f"wrote a binary {type(index).__name__} "
+              f"({index.nnz()} entries, {shards} shards) "
+              f"to {args.output}")
+    else:
+        save_sketch_set(built.sketches, args.output)
+        print(f"wrote {len(built.sketches)} sketches to {args.output}")
     return 0
 
 
@@ -150,20 +172,44 @@ def _cmd_query(args) -> int:
 
 
 def _cmd_serve_bench(args) -> int:
-    from repro.oracle.serialization import load_sketch_set
+    from repro.oracle.serialization import (is_binary_index,
+                                            load_index_binary,
+                                            load_sketch_set)
     from repro.service import run_serve_benchmark, scheme_name_of
+    from repro.service.bench import scheme_name_of_index
 
-    sketches = load_sketch_set(args.sketches)
-    if args.scheme is not None:
-        found = scheme_name_of(sketches)
-        if found != args.scheme:
+    if is_binary_index(args.sketches):
+        # a pre-built binary index: mmap-attach when the memory plane is
+        # mmap (no blob parsing), plain read otherwise
+        backing = "mmap" if args.memory == "mmap" else "heap"
+        index = load_index_binary(args.sketches, backing=backing)
+        found = scheme_name_of_index(index)
+        if args.scheme is not None and found != args.scheme:
             raise ReproError(
-                f"sketch set is {found or 'unrecognized'}, "
-                f"not {args.scheme}")
-    report = run_serve_benchmark(
-        sketches, queries=args.queries, batch=args.batch, seed=args.seed,
-        repeats=args.repeats, cache_size=args.cache_size,
-        num_shards=args.shards, jobs=args.jobs)
+                f"index is {found or 'unrecognized'}, not {args.scheme}")
+        if args.shards is not None and args.shards != index.num_shards:
+            raise ReproError(
+                f"a binary index bakes its shard layout in: this one has "
+                f"{index.num_shards} shards, not {args.shards} (rebuild "
+                f"with --format binary --shards {args.shards})")
+        report = run_serve_benchmark(
+            index=index, queries=args.queries, batch=args.batch,
+            seed=args.seed, repeats=args.repeats,
+            cache_size=args.cache_size, jobs=args.jobs, memory=args.memory)
+    else:
+        sketches = load_sketch_set(args.sketches)
+        if args.scheme is not None:
+            found = scheme_name_of(sketches)
+            if found != args.scheme:
+                raise ReproError(
+                    f"sketch set is {found or 'unrecognized'}, "
+                    f"not {args.scheme}")
+        report = run_serve_benchmark(
+            sketches, queries=args.queries, batch=args.batch,
+            seed=args.seed, repeats=args.repeats,
+            cache_size=args.cache_size,
+            num_shards=1 if args.shards is None else args.shards,
+            jobs=args.jobs, memory=args.memory)
     print(json.dumps(report, indent=2))
     if not report["identical"]:
         print("error: batched answers diverged from the single-query path",
@@ -243,6 +289,14 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--jobs", type=int, default=None,
                    help="parallel worker processes for the centralized tz "
                         "construction (output is identical for any count)")
+    b.add_argument("--format", choices=["json", "binary"], default="json",
+                   help="json = per-node sketches as JSON lines; binary = "
+                        "a pre-built index as the mmap-loadable container "
+                        "(serve-bench detects either)")
+    b.add_argument("--shards", type=int, default=None,
+                   help="landmark shard count baked into a --format binary "
+                        "index (layout only; answers are identical; "
+                        "rejected with --format json)")
     b.add_argument("-o", "--output", required=True)
     b.set_defaults(func=_cmd_build)
 
@@ -261,14 +315,22 @@ def build_parser() -> argparse.ArgumentParser:
     sb.add_argument("--batch", type=int, default=None,
                     help="batch size (default: one batch for all queries)")
     sb.add_argument("--repeats", type=int, default=3)
-    sb.add_argument("--shards", type=int, default=1,
-                    help="landmark shards in the pre-built index")
+    sb.add_argument("--shards", type=int, default=None,
+                    help="landmark shards in the pre-built index "
+                         "(default 1; a binary index bakes its own count "
+                         "in, and asking for a different one is an error)")
     sb.add_argument("--cache-size", type=int, default=0,
                     help="LRU result-cache capacity (0 = cold-cache run)")
     sb.add_argument("--jobs", type=int, default=1,
                     help="worker processes behind the landmark shards "
                          "(1 = in-process; clamped to --shards; answers "
                          "are identical either way)")
+    sb.add_argument("--memory", choices=["heap", "shared", "mmap"],
+                    default="heap",
+                    help="serving data plane: heap = plain arrays + "
+                         "pickle IPC; shared = zero-copy worker attach + "
+                         "shared ring buffers; mmap = memory-mapped index "
+                         "pack (answers are identical in every mode)")
     sb.add_argument("--scheme",
                     choices=["tz", "stretch3", "cdg", "graceful"],
                     default=None,

@@ -48,18 +48,21 @@ class BuiltSketches:
         return su.estimate_to(sv)
 
     def engine(self, cache_size: int = 65536, num_shards: int = 1,
-               jobs: int = 1):
+               jobs: int = 1, memory: str = "heap"):
         """The batched :class:`~repro.service.engine.QueryEngine` over this
         sketch set (built on first use, then cached in ``extras``; asking
         for a different configuration rebuilds it — closing the previous
-        engine's worker pool, if it had one).
+        engine's worker pool and shared segments, if it had any).
 
         :param cache_size: LRU result-cache capacity.
         :param num_shards: landmark shard count for the index.
         :param jobs: worker processes behind the shards (``1`` =
             in-process); see :class:`~repro.service.workers.ShardServer`.
+        :param memory: serving data plane — ``"heap"``, ``"shared"``
+            (zero-copy worker attach + shared ring buffers), or
+            ``"mmap"``; answers are identical in every mode.
         """
-        config = (cache_size, num_shards, jobs)
+        config = (cache_size, num_shards, jobs, memory)
         cached = self.extras.get("_engine")
         if cached is not None:
             if cached[0] == config:
@@ -67,7 +70,7 @@ class BuiltSketches:
             cached[1].close()
         from repro.service.engine import QueryEngine
         eng = QueryEngine(self.sketches, cache_size=cache_size,
-                          num_shards=num_shards, jobs=jobs,
+                          num_shards=num_shards, jobs=jobs, memory=memory,
                           use_index=self.scheme.supports_batch)
         self.extras["_engine"] = (config, eng)
         return eng

@@ -19,7 +19,11 @@ from __future__ import annotations
 
 import json
 import math
+import os
+import struct
 from typing import Any, Optional, Union
+
+import numpy as np
 
 from repro.errors import QueryError
 from repro.slack.cdg import CDGSketch
@@ -28,6 +32,12 @@ from repro.slack.stretch3 import Stretch3Sketch
 from repro.tz.sketch import TZSketch
 
 VERSION = 1
+
+#: magic prefix of the binary index container (see ``save_index_binary``)
+BINARY_MAGIC = b"RPIX"
+#: version of the binary container layout (independent of the JSON
+#: payload version above, which governs the logical content)
+BINARY_VERSION = 1
 
 AnySketch = Union[TZSketch, Stretch3Sketch, CDGSketch, GracefulSketch]
 
@@ -47,17 +57,21 @@ def _dec_dist(d) -> float:
 def sketch_to_dict(sketch: AnySketch) -> dict:
     """Encode any library sketch as a JSON-compatible dict."""
     if isinstance(sketch, TZSketch):
+        # sorted entry streams: the wire form is canonical — independent
+        # of the in-memory dict's insertion history, so equal sketches
+        # always serialize to equal bytes
         return {
             "type": "tz", "v": VERSION, "node": sketch.node, "k": sketch.k,
             "pivots": [[p, _enc_dist(d)] for p, d in sketch.pivots],
-            "bunch": [[v, d, lvl] for v, (d, lvl) in sketch.bunch.items()],
+            "bunch": [[v, sketch.bunch[v][0], sketch.bunch[v][1]]
+                      for v in sorted(sketch.bunch)],
         }
     if isinstance(sketch, Stretch3Sketch):
         return {
             "type": "stretch3", "v": VERSION, "node": sketch.node,
             "eps": sketch.eps,
-            "entries": [[w, _enc_dist(d)]
-                        for w, d in sketch.entries.items()],
+            "entries": [[w, _enc_dist(sketch.entries[w])]
+                        for w in sorted(sketch.entries)],
         }
     if isinstance(sketch, CDGSketch):
         return {
@@ -279,6 +293,140 @@ def load_index(path):
     """Load a store written by :func:`save_index`."""
     with open(path, "r", encoding="ascii") as fh:
         return index_from_dict(json.load(fh))
+
+
+# ----------------------------------------------------------------------
+# the binary index container (header + raw array blobs)
+# ----------------------------------------------------------------------
+# Layout (little-endian):
+#
+#   offset 0   BINARY_MAGIC  (4 bytes, b"RPIX")
+#   offset 4   uint16  container version (BINARY_VERSION)
+#   offset 6   uint16  reserved (zero)
+#   offset 8   uint32  header length H
+#   offset 12  H bytes of ASCII JSON:
+#              {"type": tag, "v": VERSION, "meta": {...},
+#               "manifest": [[name, dtype, shape, offset], ...],
+#               "nbytes": blob span, "base": blob start in the file}
+#   offset base  the raw array blobs, 64-byte aligned relative to base
+#
+# The blobs are exactly a BufferPack layout, so loading with
+# ``backing="mmap"`` attaches the arrays straight off the page cache —
+# the only parsing is the (small) JSON header.  The JSON format above
+# stays the canonical interchange form; this container is the fast path
+# for serving boxes.
+def save_index_binary(index, path) -> None:
+    """Persist any pre-built store as a binary container: a small JSON
+    header plus the store's contiguous arrays as raw aligned blobs."""
+    from repro.service.buffers import plan_layout
+    from repro.service.index import INDEX_TAGS
+
+    tag = INDEX_TAGS.get(type(index))
+    if tag is None:
+        raise QueryError(f"cannot serialize index {type(index).__name__}")
+    arrays = index.pack_arrays()
+    manifest, nbytes = plan_layout(arrays)
+    header = {
+        "type": tag, "v": VERSION, "meta": index.pack_meta(),
+        "manifest": [[name, dt, list(shape), off]
+                     for name, dt, shape, off in manifest],
+        "nbytes": nbytes,
+    }
+    probe = json.dumps({**header, "base": 0}, separators=(",", ":"))
+    # the final header embeds its own blob base; pad the estimate so the
+    # base digits cannot change the header length
+    base = 12 + len(probe) + 16
+    base = (base + 63) & ~63
+    header_json = json.dumps({**header, "base": base},
+                             separators=(",", ":")).encode("ascii")
+    with open(path, "wb") as fh:
+        fh.write(BINARY_MAGIC)
+        fh.write(struct.pack("<HHI", BINARY_VERSION, 0, len(header_json)))
+        fh.write(header_json)
+        fh.write(b"\0" * (base - 12 - len(header_json)))
+        cursor = 0
+        values = list(arrays.values())
+        for (name, dt, shape, off), arr in zip(manifest, values):
+            if off > cursor:
+                fh.write(b"\0" * (off - cursor))
+                cursor = off
+            blob = np.ascontiguousarray(arr).tobytes()
+            fh.write(blob)
+            cursor += len(blob)
+
+
+def _read_binary_header(fh) -> dict:
+    head = fh.read(12)
+    if len(head) < 12 or head[:4] != BINARY_MAGIC:
+        raise QueryError("not a binary index container")
+    version, _, hlen = struct.unpack("<HHI", head[4:])
+    if version != BINARY_VERSION:
+        raise QueryError(
+            f"unsupported binary container version {version}")
+    try:
+        header = json.loads(fh.read(hlen).decode("ascii"))
+    except (ValueError, UnicodeDecodeError):  # short read or garbage
+        raise QueryError("binary index container header is corrupt") \
+            from None
+    if not isinstance(header, dict):
+        raise QueryError("binary index container header is corrupt")
+    # the binary path is registry-driven end to end: accept exactly the
+    # tags save_index_binary can write (unlike _INDEX_TAGS, which names
+    # the formats the hand-written JSON decoders understand)
+    from repro.service.index import INDEX_TAGS
+
+    if header.get("type") not in set(INDEX_TAGS.values()):
+        raise QueryError("binary container holds no known index type")
+    if header.get("v") != VERSION:
+        raise QueryError(
+            f"unsupported sketch format version {header.get('v')}")
+    return header
+
+
+def is_binary_index(path) -> bool:
+    """True when ``path`` starts with the binary container magic."""
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(len(BINARY_MAGIC)) == BINARY_MAGIC
+    except OSError:
+        return False
+
+
+def load_index_binary(path, backing: str = "heap"):
+    """Load a store written by :func:`save_index_binary`.
+
+    :param backing: ``"heap"`` reads the blobs into memory; ``"mmap"``
+        memory-maps the file and serves the arrays straight from the
+        page cache — no blob parsing, no copy, instant loads however
+        large the index.
+    :raises QueryError: on a bad magic, container version, or type tag.
+    """
+    from repro.service.buffers import BufferPack, PackedIndex, PackHandle
+    from repro.service.index import index_from_pack
+
+    if backing not in ("heap", "mmap"):
+        raise QueryError(
+            f"load_index_binary backing must be 'heap' or 'mmap', "
+            f"got {backing!r}")
+    with open(path, "rb") as fh:
+        header = _read_binary_header(fh)
+        manifest = tuple((name, dt, tuple(shape), off)
+                         for name, dt, shape, off in header["manifest"])
+        nbytes, base = int(header["nbytes"]), int(header["base"])
+        if backing == "heap":
+            fh.seek(base)
+            blob = fh.read(nbytes)
+            if len(blob) < nbytes:
+                raise QueryError("binary index container is truncated")
+            handle = PackHandle("heap", manifest, nbytes, data=blob)
+        else:
+            if os.fstat(fh.fileno()).st_size < base + nbytes:
+                raise QueryError("binary index container is truncated")
+            handle = PackHandle("mmap", manifest, nbytes, path=str(path),
+                                base=base)
+    packed = PackedIndex(tag=header["type"], meta=header["meta"],
+                         pack=BufferPack.attach(handle))
+    return index_from_pack(packed)
 
 
 def dumps(sketch: AnySketch) -> str:

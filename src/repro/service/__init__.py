@@ -4,15 +4,24 @@ The paper's end product is a distance *oracle*: preprocess once, then
 answer ``dist(u, v)`` queries with a bounded stretch.  This package makes
 the oracle servable at scale — for **every** scheme in the library:
 
+* :mod:`repro.service.buffers` — the zero-copy memory plane:
+  :class:`BufferPack` lays every store's arrays out in one contiguous
+  buffer backed by heap memory, a shared-memory segment, or a
+  memory-mapped file, with picklable attach handles and the array-tree
+  codec behind the shared message rings,
 * :mod:`repro.service.index` — the :class:`IndexStore` protocol and one
   pre-built vectorized store per scheme (:class:`TZIndex`,
   :class:`Stretch3Index`, :class:`CDGIndex`, :class:`GracefulIndex`),
-  each decomposing a batch into per-landmark-shard probe tasks,
+  each decomposing a batch into per-landmark-shard probe tasks and
+  splitting into a pure-logic view over packed arrays
+  (:func:`index_to_pack` / :func:`index_from_pack`),
 * :class:`~repro.service.engine.QueryEngine` — ``dist`` / ``dist_many``
   with an LRU result cache over whichever store fits the sketch set,
 * :class:`~repro.service.workers.ShardServer` — a persistent
   ``multiprocessing`` pool running the shard probes (``jobs=1`` is an
-  in-process fallback with the identical dataflow),
+  in-process fallback with the identical dataflow); ``memory="shared"``
+  attaches workers to the pack zero-copy and moves requests/responses
+  through preallocated shared ring buffers instead of pickles,
 * :func:`~repro.service.parallel.build_tz_sketches_parallel` — the
   centralized preprocessing fanned across worker processes with a
   deterministic (byte-identical) merge,
@@ -26,18 +35,26 @@ map and ``docs/serving.md`` for the operator's guide.
 """
 
 from repro.service.bench import run_serve_benchmark, sample_query_pairs
+from repro.service.buffers import BufferPack, PackedIndex, PackHandle
 from repro.service.engine import CacheStats, QueryEngine
 from repro.service.index import (CDGIndex, GracefulIndex, IndexStore,
                                  Stretch3Index, TZIndex, build_index,
-                                 index_class_for, scheme_name_of)
+                                 index_class_for, index_from_handle,
+                                 index_from_pack, index_to_pack,
+                                 scheme_name_of)
 from repro.service.parallel import build_tz_sketches_parallel, default_jobs
-from repro.service.workers import ShardServer
+from repro.service.workers import MEMORY_MODES, PhaseTimings, ShardServer
 
 __all__ = [
+    "BufferPack",
     "CDGIndex",
     "CacheStats",
     "GracefulIndex",
     "IndexStore",
+    "MEMORY_MODES",
+    "PackHandle",
+    "PackedIndex",
+    "PhaseTimings",
     "QueryEngine",
     "ShardServer",
     "Stretch3Index",
@@ -46,6 +63,9 @@ __all__ = [
     "build_tz_sketches_parallel",
     "default_jobs",
     "index_class_for",
+    "index_from_handle",
+    "index_from_pack",
+    "index_to_pack",
     "run_serve_benchmark",
     "sample_query_pairs",
     "scheme_name_of",

@@ -1,10 +1,18 @@
 """Serving benchmark: batched engine vs the single-query loop.
 
 One routine, shared by the ``repro serve-bench`` CLI subcommand and the
-E14/E15 benchmarks, so the numbers the docs quote and the numbers a user
-measures come from the same code path.  The routine always cross-checks
-that the batched answers equal the single-query answers exactly before
-reporting throughput — a benchmark of wrong answers is worthless.
+E14/E15/E15b benchmarks, so the numbers the docs quote and the numbers a
+user measures come from the same code path.  The routine always
+cross-checks that the batched answers equal the single-query answers
+exactly before reporting throughput — a benchmark of wrong answers is
+worthless.
+
+Besides the wall totals the report carries a ``phases`` block — the
+cumulative plan / shard_answer / finish / IPC seconds of one measured
+batched pass — so an IPC-bound configuration (the E15 regression story)
+is diagnosable from a single run: if ``ipc_seconds`` dominates
+``shard_answer_seconds``, the workers are starved by the transport, and
+``--memory shared`` (or bigger batches) is the fix.
 """
 
 from __future__ import annotations
@@ -17,7 +25,7 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.rng import SeedLike, ensure_rng
 from repro.service.engine import QueryEngine
-from repro.service.index import scheme_name_of
+from repro.service.index import IndexStore, scheme_name_of
 
 
 def sample_query_pairs(n: int, queries: int, seed: SeedLike = 0) -> np.ndarray:
@@ -35,29 +43,50 @@ def _best_of(repeats: int, fn) -> float:
     return best
 
 
-def run_serve_benchmark(sketches: Sequence[Any], queries: int = 1000,
+def run_serve_benchmark(sketches: Optional[Sequence[Any]] = None,
+                        queries: int = 1000,
                         batch: Optional[int] = None, seed: SeedLike = 0,
                         repeats: int = 3, cache_size: int = 0,
-                        num_shards: int = 1, jobs: int = 1) -> dict:
+                        num_shards: int = 1, jobs: int = 1,
+                        memory: str = "heap",
+                        index: Optional[IndexStore] = None) -> dict:
     """Time ``queries`` random queries answered one-by-one vs in batches.
 
+    :param sketches: the per-node sketch set to serve (omit when passing
+        a pre-built ``index`` instead).
     :param batch: batch size for the engine path (default: the whole
         workload in one batch).
     :param cache_size: engine result-cache capacity; the default 0
         measures the raw vectorized path (cold-cache throughput).
-    :param num_shards: landmark shard count in the pre-built index.
+    :param num_shards: landmark shard count in the pre-built index
+        (ignored when ``index`` is given — its own shard count rules).
     :param jobs: worker processes behind the shards (``1`` = in-process;
-        clamped to ``num_shards``, and the report shows the effective
+        clamped to the shard count, and the report shows the effective
         count).
+    :param memory: serving data plane — ``heap`` | ``shared`` | ``mmap``
+        (see :class:`~repro.service.workers.ShardServer`).
+    :param index: serve a pre-built store (e.g. loaded from a binary
+        container) instead of building one from sketches; the
+        single-query baseline is then the store's own one-pair path.
 
     Returns a JSON-ready dict with per-path wall times, queries/second,
-    the speedup, the detected scheme, and an ``identical`` flag (batched
-    == single, bitwise).
+    the speedup, the detected scheme, per-phase timings of one batched
+    pass, and an ``identical`` flag (batched == single, bitwise).
     """
     if queries < 1:
         raise ConfigError(f"queries must be >= 1, got {queries}")
-    engine = QueryEngine(sketches, cache_size=cache_size,
-                         num_shards=num_shards, jobs=jobs)
+    if (sketches is None) == (index is None):
+        raise ConfigError(
+            "run_serve_benchmark wants exactly one of sketches= or index=")
+    if index is not None:
+        engine = QueryEngine.from_index(index, cache_size=cache_size,
+                                        jobs=jobs, memory=memory)
+        scheme = (scheme_name_of_index(index) or "?")
+    else:
+        engine = QueryEngine(sketches, cache_size=cache_size,
+                             num_shards=num_shards, jobs=jobs,
+                             memory=memory)
+        scheme = scheme_name_of(sketches)
     try:
         pairs = sample_query_pairs(engine.n, queries, seed=seed)
         if batch is None or batch > queries:
@@ -82,22 +111,37 @@ def run_serve_benchmark(sketches: Sequence[Any], queries: int = 1000,
         batched_answers = batched_loop()
         t_single = _best_of(repeats, single_loop)
         t_batched = _best_of(repeats, batched_loop)
+        # one more instrumented pass for the per-phase story
+        engine.reset_phase_timings()
+        batched_loop()
+        phases = engine.phase_timings()
         return {
             "n": engine.n,
-            "scheme": scheme_name_of(sketches),
+            "scheme": scheme,
             "queries": int(queries),
             "batch": int(batch),
-            "shards": int(num_shards),
+            "shards": int(engine.index.num_shards
+                          if engine.index is not None else num_shards),
             # the engine clamps jobs to the shard count (a shard is the
             # unit of work) — report the worker count that actually served
             "jobs": int(engine.jobs),
+            "memory": memory,
             "cache_size": int(cache_size),
             "single_seconds": t_single,
             "batched_seconds": t_batched,
             "single_qps": queries / t_single,
             "batched_qps": queries / t_batched,
             "speedup": t_single / t_batched,
+            "phases": phases,
             "identical": bool(np.array_equal(ref, batched_answers)),
         }
     finally:
         engine.close()
+
+
+def scheme_name_of_index(index: IndexStore) -> Optional[str]:
+    """The registry name (``"tz"`` …) behind a built store, or ``None``."""
+    from repro.service.index import INDEX_TAGS
+
+    tag = INDEX_TAGS.get(type(index))
+    return tag[: -len("_index")] if tag else None

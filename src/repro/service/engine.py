@@ -12,11 +12,20 @@ cache).  Either way the answers are exactly the ones the one-pair-at-a-
 time API produces — batching is a performance feature, never a semantic
 one.
 
-With ``jobs > 1`` the engine puts a persistent
-:class:`~repro.service.workers.ShardServer` process pool behind the
-index's landmark shards; answers stay bit-identical for every worker
-count.  Call :meth:`~QueryEngine.close` (or use the engine as a context
-manager) to shut the pool down.
+An indexed engine always runs the shard decomposition through a
+:class:`~repro.service.workers.ShardServer` (in-process for ``jobs=1``,
+a persistent process pool for ``jobs > 1``), which is also where the
+per-phase timings (``plan`` / ``shard_answer`` / ``finish`` / ``ipc``)
+accumulate.  ``memory=`` picks the data plane: ``"heap"`` (plain
+arrays / pickle IPC), ``"shared"`` (the index packed into shared memory,
+workers attached zero-copy, messages through shared ring buffers), or
+``"mmap"`` (the pack in a memory-mapped scratch file).  Answers stay
+bit-identical for every worker count and memory mode.  Call
+:meth:`~QueryEngine.close` (or use the engine as a context manager) to
+shut the pool down and release the segments.
+
+:meth:`QueryEngine.from_index` serves a pre-built (e.g. binary-loaded)
+store directly, without the sketch set.
 
 The LRU result cache keys on the *ordered* pair ``(u, v)``: the paper's
 level-scan query is not symmetric under swapping the endpoints (both
@@ -73,42 +82,80 @@ class QueryEngine:
         everything in-process).  Requires an indexed engine; values above
         ``num_shards`` are clamped (a shard is the unit of work) and the
         attribute reflects the effective count.
+    :param memory: the serving data plane — ``"heap"``, ``"shared"``, or
+        ``"mmap"`` (see :class:`~repro.service.workers.ShardServer`).
+        Non-heap modes require an indexed engine.
     :raises ConfigError: on an empty set, negative cache size,
-        ``use_index=True`` without an indexable set, or ``jobs`` without
-        an index.
+        ``use_index=True`` without an indexable set, or ``jobs``/
+        ``memory`` without an index.
     """
 
     def __init__(self, sketches: Sequence[Any], cache_size: int = 65536,
                  num_shards: int = 1, use_index: Optional[bool] = None,
-                 jobs: int = 1):
+                 jobs: int = 1, memory: str = "heap"):
         if not sketches:
             raise ConfigError("cannot serve an empty sketch set")
+        # scalar parameter errors must not cost an index build first
         if cache_size < 0:
             raise ConfigError(f"cache_size must be >= 0, got {cache_size}")
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
         self.sketches = list(sketches)
         self.n = len(self.sketches)
-        self.cache_size = int(cache_size)
-        self.jobs = int(jobs)
-        self.index: Optional[IndexStore] = None
+        index: Optional[IndexStore] = None
         indexable = index_class_for(self.sketches) is not None
         if use_index is True and not indexable:
             raise ConfigError(
                 "use_index=True needs a homogeneous sketch set of a "
                 "library scheme")
         if use_index is not False and indexable:
-            self.index = build_index(self.sketches, num_shards=num_shards)
+            index = build_index(self.sketches, num_shards=num_shards)
+        self._init_serving(index, cache_size=cache_size, jobs=jobs,
+                           memory=memory)
+
+    @classmethod
+    def from_index(cls, index: IndexStore, cache_size: int = 65536,
+                   jobs: int = 1, memory: str = "heap") -> "QueryEngine":
+        """Serve a pre-built store directly (no sketch set needed — e.g.
+        an index loaded from a binary container, possibly mmap-backed).
+
+        :meth:`reference_query` then falls back to the store's own
+        single-pair path, so the bench harness's identity cross-check
+        still compares batch-of-Q against one-at-a-time answers.
+        """
+        self = cls.__new__(cls)
+        self.sketches = None
+        self.n = index.n
+        self._init_serving(index, cache_size=cache_size, jobs=jobs,
+                           memory=memory)
+        return self
+
+    def _init_serving(self, index: Optional[IndexStore], cache_size: int,
+                      jobs: int, memory: str) -> None:
+        if cache_size < 0:
+            raise ConfigError(f"cache_size must be >= 0, got {cache_size}")
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        self.cache_size = int(cache_size)
+        self.jobs = int(jobs)
+        self.memory = memory
+        self.index = index
         self._server: Optional[ShardServer] = None
-        if self.jobs > 1:
-            if self.index is None:
-                raise ConfigError(
-                    "jobs > 1 needs an indexed engine "
-                    "(do not pass use_index=False)")
-            self._server = ShardServer(self.index, jobs=self.jobs)
-            # a shard is the unit of work, so the server clamps jobs to
-            # the shard count — expose the worker count actually serving
+        if index is not None:
+            self._server = ShardServer(index, jobs=self.jobs, memory=memory)
+            # the server may rebuild the store over a packed backing —
+            # serve (and expose) that store, and reflect the clamped
+            # worker count (a shard is the unit of work)
+            self.index = self._server.index
             self.jobs = self._server.jobs
+        elif self.jobs > 1:
+            raise ConfigError(
+                "jobs > 1 needs an indexed engine "
+                "(do not pass use_index=False)")
+        elif memory != "heap":
+            raise ConfigError(
+                f"memory={memory!r} needs an indexed engine "
+                "(do not pass use_index=False)")
         self._cache: OrderedDict[tuple[int, int], float] = OrderedDict()
         self.stats = CacheStats()
 
@@ -116,8 +163,6 @@ class QueryEngine:
     def _compute_many(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
         if self._server is not None:
             return self._server.estimate_many(us, vs)
-        if self.index is not None:
-            return self.index.estimate_many(us, vs)
         if us.size and (min(us.min(), vs.min()) < 0
                         or max(us.max(), vs.max()) >= self.n):
             raise QueryError(f"node id out of range [0, {self.n})")
@@ -194,13 +239,32 @@ class QueryEngine:
     # ------------------------------------------------------------------
     def reference_query(self, u: int, v: int) -> float:
         """The unbatched, uncached reference answer (differential tests and
-        the benchmark's single-query baseline)."""
+        the benchmark's single-query baseline).
+
+        With a sketch set this is the scheme's own single-pair query
+        (fully independent of the index); an index-only engine
+        (:meth:`from_index`) uses the store's single-pair path instead.
+        """
         if not (0 <= u < self.n and 0 <= v < self.n):
             raise QueryError(f"node id out of range [0, {self.n})")
+        if self.sketches is None:
+            return float(self.index.estimate(u, v))
         su, sv = self.sketches[u], self.sketches[v]
         if isinstance(su, TZSketch):
             return estimate_distance(su, sv)
         return su.estimate_to(sv)
+
+    def phase_timings(self) -> Optional[dict]:
+        """Cumulative plan/shard_answer/finish/ipc seconds from the shard
+        server (``None`` for an unindexed engine)."""
+        if self._server is None:
+            return None
+        return self._server.timings.as_dict()
+
+    def reset_phase_timings(self) -> None:
+        """Zero the per-phase counters (no-op for unindexed engines)."""
+        if self._server is not None:
+            self._server.reset_timings()
 
     def clear_cache(self) -> None:
         """Drop all cached results and reset the hit/miss counters."""
@@ -208,7 +272,8 @@ class QueryEngine:
         self.stats = CacheStats()
 
     def close(self) -> None:
-        """Shut the shard-worker pool down, if any (idempotent)."""
+        """Shut the shard server down — worker pool, shared segments,
+        scratch files (idempotent)."""
         if self._server is not None:
             self._server.close()
 
@@ -222,5 +287,7 @@ class QueryEngine:
         kind = (type(self.index).__name__ if self.index is not None
                 else "generic")
         tail = f", jobs={self.jobs}" if self.jobs > 1 else ""
+        if self.memory != "heap":
+            tail += f", memory={self.memory}"
         return (f"QueryEngine(n={self.n}, {kind}, "
                 f"cache={len(self._cache)}/{self.cache_size}{tail})")

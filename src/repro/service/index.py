@@ -175,6 +175,16 @@ class _BaseIndex:
     """Shared driver: ``estimate_many`` as the in-process plan/probe/finish
     loop, plus the single-pair wrapper."""
 
+    def __getstate__(self):
+        # a pack-built store records its PackedIndex on _pack_source so
+        # serving layers can reuse the backing, but packs (memoryviews,
+        # mmaps) cannot pickle — ship the arrays themselves instead
+        # (numpy copies buffer-backed views), which is exactly what the
+        # heap-mode worker initializer wants
+        state = self.__dict__.copy()
+        state.pop("_pack_source", None)
+        return state
+
     def estimate_many(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
         """Batched estimates, bit-identical to the single-pair query."""
         state, requests = self.plan(us, vs)
@@ -565,6 +575,71 @@ class TZIndex(_BaseIndex):
         return est
 
     # ------------------------------------------------------------------
+    # buffer-pack split: physical arrays vs pure logic
+    # ------------------------------------------------------------------
+    def pack_arrays(self) -> dict[str, np.ndarray]:
+        """Every array this store reads at query time, by name (the
+        payload of :func:`index_to_pack`)."""
+        out = {
+            "pivot_ids": self.pivot_ids, "pivot_dists": self.pivot_dists,
+            "top_ids": self.top_ids, "top_col": self.top_col,
+            "top_dist": self.top_dist,
+        }
+        for s, sh in enumerate(self.shards):
+            out[f"s{s}.keys"] = sh.keys
+            out[f"s{s}.dists"] = sh.dists
+            out[f"s{s}.levels"] = sh.levels
+            out[f"s{s}.slot_key"] = sh.slot_key
+            out[f"s{s}.slot_idx"] = sh.slot_idx
+        return out
+
+    def pack_meta(self) -> dict:
+        """The scalar (non-array) state, JSON-compatible."""
+        return {"n": self.n, "k": self.k, "num_shards": self.num_shards,
+                "dense_top": self.dense_top,
+                "sentinel_pivots": self.sentinel_pivots,
+                "shard_hash": [[sh.mask, sh.shift] for sh in self.shards]}
+
+    @classmethod
+    def _from_pack(cls, meta: dict, arrays) -> "TZIndex":
+        """Rebuild the store as a pure-logic view over packed arrays —
+        no copies, bit-identical answers for any backing."""
+        self = cls.__new__(cls)
+        self.n = int(meta["n"])
+        self.k = int(meta["k"])
+        self.num_shards = int(meta["num_shards"])
+        self.dense_top = bool(meta["dense_top"])
+        self.sentinel_pivots = bool(meta["sentinel_pivots"])
+        self.pivot_ids = arrays["pivot_ids"]
+        self.pivot_dists = arrays["pivot_dists"]
+        self.top_ids = arrays["top_ids"]
+        self.top_col = arrays["top_col"]
+        self.top_dist = arrays["top_dist"]
+        self.shards = [
+            _Shard(keys=arrays[f"s{s}.keys"], dists=arrays[f"s{s}.dists"],
+                   levels=arrays[f"s{s}.levels"],
+                   slot_key=arrays[f"s{s}.slot_key"],
+                   slot_idx=arrays[f"s{s}.slot_idx"],
+                   mask=int(mask), shift=int(shift))
+            for s, (mask, shift) in enumerate(meta["shard_hash"])]
+        return self
+
+    def _to_sketches(self) -> list[TZSketch]:
+        """Invert the build: the per-node sketch set this index stores
+        (exact — every pivot and bunch entry round-trips bitwise)."""
+        bunches: list[dict[int, tuple[float, int]]] = [
+            dict() for _ in range(self.n)]
+        for u, w, d, lvl in self.iter_entries():
+            bunches[u][w] = (d, lvl)
+        return [TZSketch(node=u, k=self.k,
+                         pivots=tuple(
+                             (int(self.pivot_ids[u, i]),
+                              float(self.pivot_dists[u, i]))
+                             for i in range(self.k)),
+                         bunch=bunches[u])
+                for u in range(self.n)]
+
+    # ------------------------------------------------------------------
     # canonical entry stream (serialization / equality)
     # ------------------------------------------------------------------
     def iter_entries(self) -> Iterable[tuple[int, int, float, int]]:
@@ -702,6 +777,32 @@ class Stretch3Index(_BaseIndex):
         return est
 
     # ------------------------------------------------------------------
+    # buffer-pack split
+    # ------------------------------------------------------------------
+    def pack_arrays(self) -> dict[str, np.ndarray]:
+        """Every array this store reads at query time, by name."""
+        return {"net_ids": self.net_ids, "dist": self.dist}
+
+    def pack_meta(self) -> dict:
+        """The scalar (non-array) state, JSON-compatible."""
+        return {"n": self.n, "eps": self.eps, "num_shards": self.num_shards}
+
+    @classmethod
+    def _from_pack(cls, meta: dict, arrays) -> "Stretch3Index":
+        """Rebuild as a view over packed arrays (the shard column split
+        is a pure function of ``net_ids`` and ``num_shards``)."""
+        self = cls.__new__(cls)
+        self.n = int(meta["n"])
+        self.eps = float(meta["eps"])
+        self.num_shards = int(meta["num_shards"])
+        self.net_ids = arrays["net_ids"]
+        self.dist = arrays["dist"]
+        self._shard_cols = [
+            np.flatnonzero(self.net_ids % self.num_shards == s)
+            for s in range(self.num_shards)]
+        return self
+
+    # ------------------------------------------------------------------
     def iter_entries(self) -> Iterable[tuple[int, int, float]]:
         """Finite entries as ``(owner, net node, dist)``, sorted by
         ``(owner, net node)`` — the canonical serialization stream."""
@@ -782,8 +883,9 @@ class CDGIndex(_BaseIndex):
                                       dtype=np.int64)
         self.gateway_dists = np.asarray([s.gateway_dist for s in sketches],
                                         dtype=np.float64)
-        #: original-id label map (one per gateway) — the serialization form
-        self.labels = labels
+        # original-id label map (one per gateway) — see the ``labels``
+        # property (pack-built stores reconstruct it lazily instead)
+        self._labels: Optional[dict[int, TZSketch]] = labels
 
         # compact universe: every id a label mentions (owners, bunch
         # landmarks, non-sentinel pivots), remapped to 0..m-1 so the TZ
@@ -815,6 +917,31 @@ class CDGIndex(_BaseIndex):
         #: per-node slot of the gateway's label in the sub-index
         self._gw_slot = np.asarray([slot[int(g)] for g in self.gateway_ids],
                                    dtype=np.int64)
+
+    @property
+    def labels(self) -> dict[int, TZSketch]:
+        """Original-id net-label map, one entry per gateway (the
+        serialization form).  Sketch-built stores carry it from
+        construction; pack-built stores reconstruct it exactly from the
+        TZ sub-index by mapping the compact universe back through
+        ``net_ids`` (the remap is a bijection, so the round trip is
+        bitwise)."""
+        if self._labels is None:
+            gateways = {int(g) for g in self.gateway_ids}
+            net = self.net_ids
+            labels: dict[int, TZSketch] = {}
+            for j, sub in enumerate(self._sub._to_sketches()):
+                w = int(net[j])
+                if w not in gateways:
+                    continue
+                labels[w] = TZSketch(
+                    node=w, k=sub.k,
+                    pivots=tuple(((int(net[p]) if p >= 0 else -1), d)
+                                 for p, d in sub.pivots),
+                    bunch={int(net[b]): entry
+                           for b, entry in sub.bunch.items()})
+            self._labels = labels
+        return self._labels
 
     def nnz(self) -> int:
         """Stored entries: gateway pairs plus the sub-index's bunches."""
@@ -852,6 +979,44 @@ class CDGIndex(_BaseIndex):
                 f"{int(self.gateway_ids[vs[j]])})", j) from None
         est = (self.gateway_dists[us] + through) + self.gateway_dists[vs]
         return np.where(us == vs, 0.0, est)
+
+    # ------------------------------------------------------------------
+    # buffer-pack split
+    # ------------------------------------------------------------------
+    def pack_arrays(self) -> dict[str, np.ndarray]:
+        """Own arrays plus the TZ sub-index's, namespaced ``sub.*``."""
+        out = {"gateway_ids": self.gateway_ids,
+               "gateway_dists": self.gateway_dists,
+               "net_ids": self.net_ids, "gw_slot": self._gw_slot}
+        for name, arr in self._sub.pack_arrays().items():
+            out[f"sub.{name}"] = arr
+        return out
+
+    def pack_meta(self) -> dict:
+        """The scalar state, with the sub-index's meta nested."""
+        return {"n": self.n, "eps": self.eps, "k": self.k,
+                "num_shards": self.num_shards,
+                "sub": self._sub.pack_meta()}
+
+    @classmethod
+    def _from_pack(cls, meta: dict, arrays) -> "CDGIndex":
+        """Rebuild as views over packed arrays; the label dict is
+        reconstructed lazily only if serialization/equality asks."""
+        self = cls.__new__(cls)
+        self.n = int(meta["n"])
+        self.eps = float(meta["eps"])
+        self.k = int(meta["k"])
+        self.num_shards = int(meta["num_shards"])
+        self.gateway_ids = arrays["gateway_ids"]
+        self.gateway_dists = arrays["gateway_dists"]
+        self.net_ids = arrays["net_ids"]
+        self._gw_slot = arrays["gw_slot"]
+        prefix = "sub."
+        sub_arrays = {name[len(prefix):]: arr for name, arr in arrays.items()
+                      if name.startswith(prefix)}
+        self._sub = TZIndex._from_pack(meta["sub"], sub_arrays)
+        self._labels = None
+        return self
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, CDGIndex):
@@ -955,6 +1120,38 @@ class GracefulIndex(_BaseIndex):
             est = part if est is None else np.minimum(est, part)
         return est
 
+    # ------------------------------------------------------------------
+    # buffer-pack split
+    # ------------------------------------------------------------------
+    def pack_arrays(self) -> dict[str, np.ndarray]:
+        """Every component's arrays, namespaced ``c<i>.*``."""
+        out: dict[str, np.ndarray] = {}
+        for i, comp in enumerate(self.components):
+            for name, arr in comp.pack_arrays().items():
+                out[f"c{i}.{name}"] = arr
+        return out
+
+    def pack_meta(self) -> dict:
+        """The scalar state, one nested meta per ε-component."""
+        return {"n": self.n, "num_shards": self.num_shards,
+                "components": [c.pack_meta() for c in self.components]}
+
+    @classmethod
+    def _from_pack(cls, meta: dict, arrays) -> "GracefulIndex":
+        """Rebuild every component as a view over its array slice."""
+        self = cls.__new__(cls)
+        self.n = int(meta["n"])
+        self.num_shards = int(meta["num_shards"])
+        self.components = []
+        for i, comp_meta in enumerate(meta["components"]):
+            prefix = f"c{i}."
+            comp_arrays = {name[len(prefix):]: arr
+                           for name, arr in arrays.items()
+                           if name.startswith(prefix)}
+            self.components.append(CDGIndex._from_pack(comp_meta,
+                                                       comp_arrays))
+        return self
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, GracefulIndex):
             return NotImplemented
@@ -1015,3 +1212,69 @@ def build_index(sketches: Sequence[Any], num_shards: int = 1) -> IndexStore:
             f"indexable types: "
             f"{', '.join(t.__name__ for t in INDEX_TYPES)}")
     return cls(sketches, num_shards=num_shards)
+
+
+# ----------------------------------------------------------------------
+# buffer-pack plumbing: any store <-> (tag, meta, named arrays)
+# ----------------------------------------------------------------------
+#: index class -> serialization/pack type tag
+INDEX_TAGS: dict[type, str] = {
+    TZIndex: "tz_index",
+    Stretch3Index: "stretch3_index",
+    CDGIndex: "cdg_index",
+    GracefulIndex: "graceful_index",
+}
+_TAG_TO_CLASS = {tag: cls for cls, tag in INDEX_TAGS.items()}
+
+
+def index_to_pack(index: IndexStore, backing: str = "heap", *,
+                  path: Optional[str] = None,
+                  delete_file: bool = False) -> "PackedIndex":
+    """Split any store into its physical arrays, copied once into a
+    :class:`~repro.service.buffers.BufferPack` of the chosen backing.
+
+    :param backing: ``"heap"``, ``"shared"``, or ``"mmap"``.
+    :param path: target file for ``"mmap"``.
+    :param delete_file: delete the mmap file on pack close.
+    :raises ConfigError: for a store type without a pack encoding.
+    """
+    from repro.service.buffers import BufferPack, PackedIndex
+
+    tag = INDEX_TAGS.get(type(index))
+    if tag is None:
+        raise ConfigError(
+            f"no buffer-pack encoding for {type(index).__name__}")
+    pack = BufferPack.from_arrays(index.pack_arrays(), backing=backing,
+                                  path=path, delete_file=delete_file)
+    return PackedIndex(tag=tag, meta=index.pack_meta(), pack=pack)
+
+
+def index_from_pack(packed) -> IndexStore:
+    """Rebuild a store as a pure-logic view over a pack — zero-copy,
+    bit-identical answers for any backing.
+
+    Accepts a :class:`~repro.service.buffers.PackedIndex` or a bare
+    ``(tag, meta, BufferPack)`` triple.  The returned store keeps a
+    reference to its pack source on ``_pack_source`` so serving layers
+    can reuse (rather than re-copy) an already-shared backing.
+    """
+    tag, meta, pack = ((packed.tag, packed.meta, packed.pack)
+                       if hasattr(packed, "pack") else packed)
+    cls = _TAG_TO_CLASS.get(tag)
+    if cls is None:
+        raise ConfigError(f"unknown packed index tag {tag!r}")
+    store = cls._from_pack(meta, pack.as_dict())
+    store._pack_source = packed if hasattr(packed, "pack") else None
+    return store
+
+
+def index_from_handle(handle) -> IndexStore:
+    """Attach to another process's packed index from its picklable
+    handle ``(tag, meta, PackHandle)`` — the worker side of the
+    shared-memory attach protocol."""
+    from repro.service.buffers import BufferPack, PackedIndex
+
+    tag, meta, pack_handle = handle
+    packed = PackedIndex(tag=tag, meta=meta,
+                         pack=BufferPack.attach(pack_handle))
+    return index_from_pack(packed)

@@ -12,36 +12,87 @@ on a **persistent** ``multiprocessing`` pool::
                    └─ request[S-1]▶ shard_answer(S-1,·) ─┤
     finish(state, responses) ◀──── ordered responses ────┘
 
-The pool is created once (the index ships to each worker through the pool
-initializer, not per task) and reused for every batch.  ``jobs=1`` runs
-the identical plan/probe/finish path in-process — no pool, no pickling —
-so the decomposition itself is exercised even in single-process tests.
+The pool is created once and reused for every batch; ``jobs=1`` runs the
+identical plan/probe/finish path in-process — no pool, no pickling — so
+the decomposition itself is exercised even in single-process tests.
+
+**Memory plane.**  ``memory=`` selects how index data and per-batch
+messages move (see ``docs/architecture.md`` for the layout diagram):
+
+* ``"heap"`` — the index ships to each worker once through the pool
+  initializer; per batch, request/response arrays are pickled through
+  the pool's pipes.  Simple, and fine for small batches.
+* ``"shared"`` — the index is packed once into a
+  ``multiprocessing.shared_memory`` segment
+  (:func:`~repro.service.index.index_to_pack`) and every worker
+  *attaches* to it zero-copy at pool init.  Per batch, requests and
+  responses travel through two preallocated shared **ring buffers**
+  (:class:`~repro.service.buffers.SharedArea`): the master memcpys each
+  shard's request tree into the request ring, workers memcpy their
+  response trees into their slice of the response ring, and only tiny
+  descriptors (segment name + offsets + shapes) cross the pipe.  This
+  removes the per-batch pickling/IPC tax that made small-batch worker
+  serving lose to in-process.
+* ``"mmap"`` — like ``"shared"``, but the pack lives in a memory-mapped
+  scratch file (page-cache-backed; also what a binary index file loads
+  into), and workers attach by path.  Message rings stay in shared
+  memory.
 
 Determinism: ``shard_answer`` is a pure function of ``(shard, request)``
 and ``finish`` consumes responses by shard id (``pool.map`` preserves
 order), never by completion order, so answers are bit-identical for every
-``jobs`` value — the test suite asserts ``jobs=1`` vs ``jobs=4`` equality
-for every scheme.  A :class:`~repro.errors.QueryError` for an unresolved
-pair is raised by ``finish`` on the master, exactly as in-process.
+``jobs`` value *and every memory mode* — the test suite asserts
+jobs=1/jobs=4 and heap/shared/mmap equality for every scheme.  A
+:class:`~repro.errors.QueryError` for an unresolved pair is raised by
+``finish`` on the master, exactly as in-process.
 
-This mirrors the separable-structure parallelism of distributed solvers
-like DiPOA: the per-landmark subproblems share no state, so the only
-coordination is the scatter/gather around them.
+Teardown is deterministic: :meth:`ShardServer.close` (or the context
+manager) terminates the pool first, then unlinks the index segment and
+both rings; a module-level ``atexit`` guard in
+:mod:`repro.service.buffers` unlinks anything that survives an unclean
+exit, so repeated ``serve-bench`` runs cannot leak ``/dev/shm``
+segments.
+
+Per-batch **phase timings** (plan / shard_answer / finish / ipc) are
+accumulated on :attr:`ShardServer.timings`; ``serve-bench`` reports
+them, which is how an IPC-bound configuration is diagnosed from one run.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import tempfile
+import time
+from dataclasses import dataclass
 from typing import Any, Iterable, Optional
 
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.service.index import IndexStore, parse_pair_array
+from repro.service import buffers
+from repro.service.buffers import (SharedArea, flatten_tree, next_pow2,
+                                   plan_tree, read_tree, write_tree)
+from repro.service.index import (IndexStore, index_from_handle,
+                                 index_from_pack, index_to_pack,
+                                 parse_pair_array)
 
-# Worker-global store, installed once per worker by the pool initializer
-# (cheaper than pickling the index into every task).
+MEMORY_MODES = ("heap", "shared", "mmap")
+
+#: floor for ring slot capacities — avoids reallocation churn on the
+#: first few small batches
+_MIN_RING_BYTES = 1 << 16
+
+# ----------------------------------------------------------------------
+# worker-side globals
+# ----------------------------------------------------------------------
+# Installed once per worker by the pool initializer: either the pickled
+# index (heap mode) or a zero-copy attach to the master's pack.
 _WORKER_INDEX: Optional[IndexStore] = None
+# Worker-side cache of attached message segments, keyed by name; a ring
+# reallocation (growth) simply shows up as a new name in the next
+# batch's descriptors.
+_WORKER_SEGMENTS: dict[str, Any] = {}
 
 
 def _install_index(index: IndexStore) -> None:
@@ -49,9 +100,77 @@ def _install_index(index: IndexStore) -> None:
     _WORKER_INDEX = index
 
 
-def _serve_shard(task: tuple[int, Any]) -> Any:
+def _attach_index(handle) -> None:
+    global _WORKER_INDEX
+    _WORKER_INDEX = index_from_handle(handle)
+
+
+def _segment_buffer(name: str):
+    seg = _WORKER_SEGMENTS.get(name)
+    if seg is None:
+        seg = buffers.attach_segment(name)
+        _WORKER_SEGMENTS[name] = seg
+    return seg.buf
+
+
+def _serve_shard(task: tuple[int, Any]) -> tuple[float, Any]:
+    """Heap-mode worker: pickled request in, ``(seconds, response)`` out."""
     shard, request = task
-    return _WORKER_INDEX.shard_answer(shard, request)
+    t0 = time.perf_counter()
+    response = _WORKER_INDEX.shard_answer(shard, request)
+    return time.perf_counter() - t0, response
+
+
+def _serve_shard_shm(task) -> tuple:
+    """Ring-mode worker: decode the request tree from the request ring,
+    probe, and write the response tree into this shard's slice of the
+    response ring.  Only descriptors cross the pipe.
+
+    Returns ``("shm", seconds, spec, manifest)`` on the fast path, or
+    ``("raw", seconds, response, needed_bytes)`` when the response
+    outgrew its ring slice — the master then grows the ring for the
+    next batch (the answer is still exact either way).
+    """
+    shard, (req_name, req_off, spec, req_manifest), target = task
+    request = read_tree(_segment_buffer(req_name), req_off, spec,
+                        req_manifest)
+    t0 = time.perf_counter()
+    response = _WORKER_INDEX.shard_answer(shard, request)
+    elapsed = time.perf_counter() - t0
+    resp_spec, leaves = flatten_tree(response)
+    manifest, total = plan_tree(leaves)
+    resp_name, resp_off, capacity = target
+    if total > capacity:
+        return ("raw", elapsed, response, total)
+    write_tree(_segment_buffer(resp_name), resp_off, manifest, leaves)
+    return ("shm", elapsed, resp_spec, manifest)
+
+
+# ----------------------------------------------------------------------
+# phase accounting
+# ----------------------------------------------------------------------
+@dataclass
+class PhaseTimings:
+    """Cumulative per-phase wall time across the batches a server ran.
+
+    ``ipc`` is everything between plan and finish that is not shard
+    compute: message encode/decode plus pool dispatch, minus the
+    parallel critical path (the slowest shard's compute).  In-process
+    serving has ``ipc == 0`` by construction.
+    """
+
+    plan: float = 0.0
+    shard_answer: float = 0.0
+    finish: float = 0.0
+    ipc: float = 0.0
+    batches: int = 0
+
+    def as_dict(self) -> dict:
+        return {"plan_seconds": self.plan,
+                "shard_answer_seconds": self.shard_answer,
+                "finish_seconds": self.finish,
+                "ipc_seconds": self.ipc,
+                "batches": self.batches}
 
 
 class ShardServer:
@@ -63,38 +182,183 @@ class ShardServer:
         (same decomposition, no pool); values above the shard count are
         clamped — a shard is the unit of work, so extra workers would
         idle.
-    :raises ConfigError: when ``jobs < 1``.
+    :param memory: ``"heap"`` (pickle IPC), ``"shared"`` (zero-copy
+        attach + shared ring buffers), or ``"mmap"`` (pack in a mapped
+        scratch file + shared rings); see the module docstring.  With
+        ``jobs=1`` a non-heap mode still rebuilds the store over the
+        packed backing, so single-process serving exercises the same
+        bytes a worker would read.
+    :param ring_slots: slots per message ring (rotated batch by batch).
+    :raises ConfigError: when ``jobs < 1`` or ``memory`` is unknown.
 
-    Use as a context manager (or call :meth:`close`) so the pool does not
-    outlive the server::
+    Use as a context manager (or call :meth:`close`) so the pool and any
+    shared segments do not outlive the server::
 
-        with ShardServer(build_index(sketches, num_shards=4), jobs=4) as srv:
+        with ShardServer(build_index(sketches, num_shards=4), jobs=4,
+                         memory="shared") as srv:
             est = srv.estimate_many(us, vs)
     """
 
-    def __init__(self, index: IndexStore, jobs: int = 1):
+    def __init__(self, index: IndexStore, jobs: int = 1,
+                 memory: str = "heap", ring_slots: int = 2):
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
-        self.index = index
+        if memory not in MEMORY_MODES:
+            raise ConfigError(f"unknown memory mode {memory!r}; "
+                              f"choose from {MEMORY_MODES}")
+        if ring_slots < 1:
+            raise ConfigError(f"ring_slots must be >= 1, got {ring_slots}")
+        self.memory = memory
         self.jobs = min(int(jobs), index.num_shards)
+        self.ring_slots = int(ring_slots)
+        self._packed = None
+        self._owns_pack = False
+        self.timings = PhaseTimings()
+
+        if memory == "heap":
+            self.index = index
+        else:
+            # reuse an already-matching pack (e.g. an mmap-loaded binary
+            # index) instead of copying the arrays again
+            source = getattr(index, "_pack_source", None)
+            backing = "shared" if memory == "shared" else "mmap"
+            if source is not None and source.pack.backing == backing:
+                self._packed = source
+                self.index = index
+            else:
+                path = None
+                if backing == "mmap":
+                    fd, path = tempfile.mkstemp(prefix="repro-pack-",
+                                                suffix=".bin")
+                    os.close(fd)
+                self._packed = index_to_pack(index, backing=backing,
+                                             path=path, delete_file=True)
+                self._owns_pack = True
+                # master serves plan/finish over the same packed bytes
+                # the workers attach to
+                self.index = index_from_pack(self._packed)
+
         self._pool = None
+        self._req_ring: Optional[SharedArea] = None
+        self._resp_ring: Optional[SharedArea] = None
+        self._resp_capacity = 0  # per-shard slice of a response slot
+        self._tick = 0
         if self.jobs > 1:
             ctx = multiprocessing.get_context()
-            self._pool = ctx.Pool(processes=self.jobs,
-                                  initializer=_install_index,
-                                  initargs=(index,))
+            if memory == "heap":
+                self._pool = ctx.Pool(processes=self.jobs,
+                                      initializer=_install_index,
+                                      initargs=(self.index,))
+            else:
+                self._pool = ctx.Pool(processes=self.jobs,
+                                      initializer=_attach_index,
+                                      initargs=(self._packed.handle(),))
+
+    # ------------------------------------------------------------------
+    # ring management (master side)
+    # ------------------------------------------------------------------
+    def _ensure_req_ring(self, need: int) -> SharedArea:
+        if self._req_ring is None or self._req_ring.slot_bytes < need:
+            if self._req_ring is not None:
+                self._req_ring.close()
+            self._req_ring = SharedArea(
+                next_pow2(max(need, _MIN_RING_BYTES)),
+                slots=self.ring_slots, tag="req")
+        return self._req_ring
+
+    def _ensure_resp_ring(self, per_shard: int) -> SharedArea:
+        if self._resp_ring is None or self._resp_capacity < per_shard:
+            if self._resp_ring is not None:
+                self._resp_ring.close()
+            self._resp_capacity = next_pow2(max(per_shard, _MIN_RING_BYTES))
+            self._resp_ring = SharedArea(
+                self._resp_capacity * self.index.num_shards,
+                slots=self.ring_slots, tag="resp")
+        return self._resp_ring
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, requests: list) -> tuple[list, float, float]:
+        """Run the per-shard probes; returns ``(responses,
+        sum_of_shard_seconds, max_shard_seconds)``."""
+        if self._pool is None:
+            responses, total = [], 0.0
+            for s, r in enumerate(requests):
+                t0 = time.perf_counter()
+                responses.append(self.index.shard_answer(s, r))
+                total += time.perf_counter() - t0
+            return responses, total, total
+        if self.memory == "heap":
+            raw = self._pool.map(_serve_shard, list(enumerate(requests)))
+            seconds = [dt for dt, _ in raw]
+            return [resp for _, resp in raw], sum(seconds), max(seconds)
+        return self._dispatch_rings(requests)
+
+    def _dispatch_rings(self, requests: list) -> tuple[list, float, float]:
+        """The shared-ring transport: memcpy request trees in, descriptors
+        through the pool, response trees memcpy'd back."""
+        encoded = []
+        need = 0
+        for request in requests:
+            spec, leaves = flatten_tree(request)
+            manifest, total = plan_tree(leaves)
+            encoded.append((spec, leaves, manifest, total))
+            need += buffers._align(total)
+        req_ring = self._ensure_req_ring(need)
+        resp_ring = self._ensure_resp_ring(self._resp_capacity
+                                           or _MIN_RING_BYTES)
+        slot = self._tick % self.ring_slots
+        self._tick += 1
+        req_base = req_ring.slot_offset(slot)
+        resp_base = resp_ring.slot_offset(slot)
+        tasks = []
+        cursor = 0
+        for s, (spec, leaves, manifest, total) in enumerate(encoded):
+            offset = req_base + cursor
+            write_tree(req_ring.buffer, offset, manifest, leaves)
+            cursor += buffers._align(total)
+            target = (resp_ring.name,
+                      resp_base + s * self._resp_capacity,
+                      self._resp_capacity)
+            tasks.append((s, (req_ring.name, offset, spec, manifest),
+                          target))
+        raw = self._pool.map(_serve_shard_shm, tasks)
+        responses, seconds, grow = [], [], 0
+        for s, reply in enumerate(raw):
+            if reply[0] == "shm":
+                _, dt, resp_spec, manifest = reply
+                responses.append(read_tree(
+                    resp_ring.buffer, resp_base + s * self._resp_capacity,
+                    resp_spec, manifest))
+            else:  # response outgrew its slice; pickled fallback this once
+                _, dt, response, needed = reply
+                responses.append(response)
+                grow = max(grow, needed)
+            seconds.append(dt)
+        if grow:
+            self._ensure_resp_ring(grow)
+        return responses, sum(seconds), max(seconds)
 
     # ------------------------------------------------------------------
     def estimate_many(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
         """Batched estimates through the shard workers — bit-identical to
-        ``index.estimate_many`` for every worker count."""
+        ``index.estimate_many`` for every worker count and memory mode."""
+        t0 = time.perf_counter()
         state, requests = self.index.plan(us, vs)
-        tasks = list(enumerate(requests))
-        if self._pool is None:
-            responses = [self.index.shard_answer(s, r) for s, r in tasks]
-        else:
-            responses = self._pool.map(_serve_shard, tasks)
-        return self.index.finish(state, responses)
+        t1 = time.perf_counter()
+        responses, shard_sum, shard_max = self._dispatch(requests)
+        t2 = time.perf_counter()
+        try:
+            answers = self.index.finish(state, responses)
+        finally:
+            t3 = time.perf_counter()
+            tm = self.timings
+            tm.plan += t1 - t0
+            tm.shard_answer += shard_sum
+            tm.finish += t3 - t2
+            if self._pool is not None:
+                tm.ipc += max(0.0, (t2 - t1) - shard_max)
+            tm.batches += 1
+        return answers
 
     def dist_many(self, pairs: Iterable[tuple[int, int]] | np.ndarray,
                   ) -> np.ndarray:
@@ -105,13 +369,25 @@ class ShardServer:
             return np.empty(0, dtype=np.float64)
         return self.estimate_many(arr[:, 0], arr[:, 1])
 
+    def reset_timings(self) -> None:
+        """Zero the cumulative phase timings."""
+        self.timings = PhaseTimings()
+
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down, then release every shared segment
+        and scratch file this server created (idempotent)."""
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+        for ring in (self._req_ring, self._resp_ring):
+            if ring is not None:
+                ring.close()
+        self._req_ring = self._resp_ring = None
+        if self._packed is not None and self._owns_pack:
+            self._packed.close()
+        self._packed = None
 
     def __enter__(self) -> "ShardServer":
         return self
@@ -126,5 +402,6 @@ class ShardServer:
             pass
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        mode = f"{self.jobs} workers" if self._pool is not None else "in-process"
-        return (f"ShardServer({self.index!r}, {mode})")
+        mode = (f"{self.jobs} workers" if self._pool is not None
+                else "in-process")
+        return f"ShardServer({self.index!r}, {mode}, memory={self.memory})"

@@ -219,3 +219,80 @@ class TestSchemesCommand:
         assert out.strip() == schemes_markdown()
         for name in SCHEMES:
             assert f"`{name}`" in out
+
+
+class TestBuildFormatAndMemoryPlane:
+    @pytest.fixture()
+    def binary_index_file(self, tmp_path, graph_file):
+        path = tmp_path / "idx.rpix"
+        rc = main(["build", str(graph_file), "--scheme", "tz", "--k", "2",
+                   "--seed", "3", "--format", "binary", "--shards", "2",
+                   "-o", str(path)])
+        assert rc == 0
+        return path
+
+    def test_build_binary_matches_jsonl_build(self, sketch_file,
+                                              binary_index_file, capsys):
+        from repro.oracle.serialization import (is_binary_index,
+                                                load_index_binary,
+                                                load_sketch_set)
+        from repro.service import build_index
+
+        assert is_binary_index(binary_index_file)
+        assert not is_binary_index(sketch_file)
+        from_cli = load_index_binary(binary_index_file)
+        rebuilt = build_index(load_sketch_set(sketch_file), num_shards=2)
+        assert from_cli == rebuilt
+
+    @pytest.mark.parametrize("memory", ["heap", "shared", "mmap"])
+    def test_serve_bench_memory_modes_on_sketches(self, sketch_file, memory,
+                                                  capsys):
+        rc = main(["serve-bench", str(sketch_file), "--queries", "150",
+                   "--repeats", "1", "--shards", "2", "--jobs", "2",
+                   "--memory", memory])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["identical"] is True
+        assert report["memory"] == memory
+        assert set(report["phases"]) >= {"plan_seconds",
+                                         "shard_answer_seconds",
+                                         "finish_seconds", "ipc_seconds"}
+
+    @pytest.mark.parametrize("memory", ["heap", "mmap"])
+    def test_serve_bench_on_binary_index(self, binary_index_file, memory,
+                                         capsys):
+        rc = main(["serve-bench", str(binary_index_file), "--queries",
+                   "150", "--repeats", "1", "--jobs", "2",
+                   "--memory", memory, "--scheme", "tz"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["identical"] is True
+        assert report["scheme"] == "tz"
+        assert report["shards"] == 2  # baked into the container
+
+    def test_serve_bench_binary_scheme_mismatch(self, binary_index_file,
+                                                capsys):
+        rc = main(["serve-bench", str(binary_index_file), "--queries",
+                   "50", "--repeats", "1", "--scheme", "graceful"])
+        assert rc == 2
+        assert "not graceful" in capsys.readouterr().err
+
+    def test_build_shards_requires_binary_format(self, tmp_path, graph_file,
+                                                 capsys):
+        rc = main(["build", str(graph_file), "--scheme", "tz", "--k", "2",
+                   "--seed", "3", "--shards", "4",
+                   "-o", str(tmp_path / "sk.jsonl")])
+        assert rc == 2
+        assert "--format binary" in capsys.readouterr().err
+
+    def test_serve_bench_binary_shards_mismatch(self, binary_index_file,
+                                                capsys):
+        """A binary index bakes its shard layout in; asking for another
+        count must fail loudly, not silently serve the baked one."""
+        rc = main(["serve-bench", str(binary_index_file), "--queries",
+                   "50", "--repeats", "1", "--shards", "8"])
+        assert rc == 2
+        assert "bakes its shard layout" in capsys.readouterr().err
+        rc = main(["serve-bench", str(binary_index_file), "--queries",
+                   "50", "--repeats", "1", "--shards", "2"])
+        assert rc == 0  # matching the baked count is fine

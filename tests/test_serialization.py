@@ -341,3 +341,99 @@ class TestSlackIndexRoundTrip:
         assert "Infinity" not in text
         json.loads(text)
         assert loads(text) == sketches[0]
+
+
+class TestBinaryContainer:
+    """The mmap-loadable binary index format (header + raw array blobs)."""
+
+    @pytest.mark.parametrize("scheme", ["tz", "stretch3", "cdg", "graceful"])
+    @pytest.mark.parametrize("backing", ["heap", "mmap"])
+    def test_round_trip_equals_json_loaded(self, all_built, scheme, backing,
+                                           tmp_path):
+        import numpy as np
+
+        from repro.oracle.serialization import (load_index,
+                                                load_index_binary,
+                                                save_index,
+                                                save_index_binary)
+        from repro.service import build_index, sample_query_pairs
+
+        idx = build_index(all_built[scheme].sketches, num_shards=3)
+        jpath, bpath = tmp_path / "i.json", tmp_path / "i.rpix"
+        save_index(idx, jpath)
+        save_index_binary(idx, bpath)
+        from_json = load_index(jpath)
+        from_bin = load_index_binary(bpath, backing=backing)
+        assert from_bin == from_json == idx
+        pairs = sample_query_pairs(idx.n, 200, seed=4)
+        assert np.array_equal(
+            from_bin.estimate_many(pairs[:, 0], pairs[:, 1]),
+            idx.estimate_many(pairs[:, 0], pairs[:, 1]))
+
+    def test_binary_reload_reserializes_to_canonical_json(self, all_built,
+                                                          tmp_path):
+        from repro.oracle.serialization import (load_index_binary,
+                                                save_index,
+                                                save_index_binary)
+        from repro.service import build_index
+
+        idx = build_index(all_built["cdg"].sketches, num_shards=2)
+        save_index(idx, tmp_path / "a.json")
+        save_index_binary(idx, tmp_path / "i.rpix")
+        save_index(load_index_binary(tmp_path / "i.rpix"),
+                   tmp_path / "b.json")
+        assert (tmp_path / "a.json").read_bytes() == \
+            (tmp_path / "b.json").read_bytes()
+
+    def test_format_sniffing(self, all_built, tmp_path):
+        from repro.oracle.serialization import (is_binary_index, save_index,
+                                                save_index_binary)
+        from repro.service import build_index
+
+        idx = build_index(all_built["tz"].sketches)
+        save_index(idx, tmp_path / "i.json")
+        save_index_binary(idx, tmp_path / "i.rpix")
+        assert is_binary_index(tmp_path / "i.rpix")
+        assert not is_binary_index(tmp_path / "i.json")
+        assert not is_binary_index(tmp_path / "missing.rpix")
+
+    def test_bad_magic_and_version_fail_loudly(self, all_built, tmp_path):
+        from repro.oracle.serialization import (load_index_binary,
+                                                save_index_binary)
+        from repro.service import build_index
+
+        idx = build_index(all_built["tz"].sketches)
+        path = tmp_path / "i.rpix"
+        save_index_binary(idx, path)
+        raw = bytearray(path.read_bytes())
+        (tmp_path / "junk.rpix").write_bytes(b"NOPE" + raw[4:])
+        with pytest.raises(QueryError, match="not a binary index"):
+            load_index_binary(tmp_path / "junk.rpix")
+        bad = bytearray(raw)
+        bad[4] = 99  # container version
+        (tmp_path / "vers.rpix").write_bytes(bytes(bad))
+        with pytest.raises(QueryError, match="container version"):
+            load_index_binary(tmp_path / "vers.rpix")
+        (tmp_path / "trunc.rpix").write_bytes(bytes(raw[:-50]))
+        for backing in ("heap", "mmap"):
+            with pytest.raises(QueryError, match="truncated"):
+                load_index_binary(tmp_path / "trunc.rpix", backing=backing)
+        # cut inside the JSON header itself: still a clean QueryError
+        (tmp_path / "head.rpix").write_bytes(bytes(raw[:20]))
+        with pytest.raises(QueryError, match="header is corrupt"):
+            load_index_binary(tmp_path / "head.rpix")
+        with pytest.raises(QueryError, match="backing"):
+            load_index_binary(path, backing="gpu")
+
+    def test_mmap_load_shares_file_bytes(self, all_built, tmp_path):
+        """The mmap load builds views over the file, not copies."""
+        from repro.oracle.serialization import (load_index_binary,
+                                                save_index_binary)
+        from repro.service import build_index
+
+        idx = build_index(all_built["tz"].sketches)
+        path = tmp_path / "i.rpix"
+        save_index_binary(idx, path)
+        store = load_index_binary(path, backing="mmap")
+        assert not store.pivot_ids.flags.owndata
+        assert not store.pivot_ids.flags.writeable

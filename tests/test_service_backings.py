@@ -1,0 +1,246 @@
+"""Backing equivalence: every IndexStore answers bit-identically whether
+its arrays live on the heap, in a shared-memory segment, or in a
+memory-mapped file — and whether the batch runs in-process or through
+shard workers attached to those backings.
+
+This is the determinism contract of the buffer-pack refactor: the pack
+stores exact bytes and the stores are pure logic over them, so *nothing*
+about the physical memory plane may leak into answers — including which
+pairs raise :class:`~repro.errors.QueryError` on disconnected graphs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import build_sketches
+from repro.errors import QueryError
+from repro.graphs import Graph, assign_uniform_weights, erdos_renyi
+from repro.service import (
+    QueryEngine,
+    ShardServer,
+    build_index,
+    index_from_handle,
+    index_from_pack,
+    index_to_pack,
+    sample_query_pairs,
+)
+from repro.tz import build_tz_sketches_centralized
+
+SCHEMES = ["tz", "stretch3", "cdg", "graceful"]
+BACKINGS = ["heap", "shared", "mmap"]
+
+
+@pytest.fixture(scope="module")
+def built_sets(er_weighted, er_unit):
+    tz, _ = build_tz_sketches_centralized(er_weighted, k=3, seed=11)
+    return {
+        "tz": tz,
+        "stretch3": build_sketches(er_unit, scheme="stretch3", eps=0.3,
+                                   seed=2).sketches,
+        "cdg": build_sketches(er_unit, scheme="cdg", eps=0.3, k=2,
+                              seed=3).sketches,
+        "graceful": build_sketches(er_unit, scheme="graceful",
+                                   seed=4).sketches,
+    }
+
+
+def _pack_kwargs(backing, tmp_path, name):
+    if backing == "mmap":
+        return {"path": str(tmp_path / f"{name}.pack"), "delete_file": True}
+    return {}
+
+
+class TestPackEquivalence:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("shards", [1, 3])
+    def test_all_backings_bit_identical(self, built_sets, scheme, shards,
+                                        tmp_path):
+        sketches = built_sets[scheme]
+        index = build_index(sketches, num_shards=shards)
+        pairs = sample_query_pairs(len(sketches), 250, seed=13)
+        us, vs = pairs[:, 0], pairs[:, 1]
+        want = index.estimate_many(us, vs)
+        for backing in BACKINGS:
+            packed = index_to_pack(index, backing=backing,
+                                   **_pack_kwargs(backing, tmp_path,
+                                                  f"{scheme}-{shards}"))
+            try:
+                store = index_from_pack(packed)
+                got = store.estimate_many(us, vs)
+                assert got.tolist() == want.tolist(), (scheme, backing)
+                # the rebuilt store is the same logical index
+                assert store == index, (scheme, backing)
+                assert store.nnz() == index.nnz()
+                assert store.shard_sizes() == index.shard_sizes()
+            finally:
+                packed.close()
+
+    @pytest.mark.parametrize("backing", BACKINGS)
+    def test_pack_built_index_is_picklable(self, built_sets, backing,
+                                           tmp_path):
+        """A pack-built store must still pickle (spawn-context pools ship
+        the index through initargs in heap memory mode): the pack source
+        is dropped and the arrays themselves travel."""
+        import pickle
+
+        index = build_index(built_sets["tz"], num_shards=2)
+        packed = index_to_pack(index, backing=backing,
+                               **_pack_kwargs(backing, tmp_path, "pkl"))
+        try:
+            store = index_from_pack(packed)
+            clone = pickle.loads(pickle.dumps(store))
+            pairs = sample_query_pairs(index.n, 60, seed=2)
+            assert np.array_equal(
+                clone.estimate_many(pairs[:, 0], pairs[:, 1]),
+                index.estimate_many(pairs[:, 0], pairs[:, 1]))
+        finally:
+            packed.close()
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_handle_attach_equivalence(self, built_sets, scheme):
+        """The worker-side attach path (handle -> pack -> store) answers
+        like the original, in this very process."""
+        index = build_index(built_sets[scheme], num_shards=2)
+        packed = index_to_pack(index, backing="shared")
+        try:
+            attached = index_from_handle(packed.handle())
+            pairs = sample_query_pairs(index.n, 120, seed=5)
+            assert np.array_equal(
+                attached.estimate_many(pairs[:, 0], pairs[:, 1]),
+                index.estimate_many(pairs[:, 0], pairs[:, 1]))
+        finally:
+            packed.close()
+
+    def test_query_error_parity_on_disconnected_graphs(self, tmp_path):
+        """A pair unresolved on the heap store is unresolved on every
+        backing — same error, same (first) offending row."""
+        g = Graph(6, [(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0), (2, 4, 2.0),
+                      (4, 5, 1.0)])
+        sketches, _ = build_tz_sketches_centralized(g, k=2, seed=1)
+        index = build_index(sketches, num_shards=2)
+        us = np.asarray([0, 0, 2])
+        vs = np.asarray([1, 5, 4])
+        with pytest.raises(QueryError) as heap_err:
+            index.estimate_many(us, vs)
+        for backing in BACKINGS:
+            packed = index_to_pack(index, backing=backing,
+                                   **_pack_kwargs(backing, tmp_path,
+                                                  backing))
+            try:
+                store = index_from_pack(packed)
+                with pytest.raises(QueryError) as err:
+                    store.estimate_many(us, vs)
+                assert str(err.value) == str(heap_err.value)
+                assert err.value.row == heap_err.value.row
+                # the resolvable prefix still answers
+                assert store.estimate_many(us[:1], vs[:1]).tolist() == \
+                    index.estimate_many(us[:1], vs[:1]).tolist()
+            finally:
+                packed.close()
+
+
+class TestServerMemoryModes:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("memory", ["shared", "mmap"])
+    def test_in_process_non_heap_serving(self, built_sets, scheme, memory):
+        """jobs=1 with a non-heap plane serves over the packed bytes."""
+        index = build_index(built_sets[scheme], num_shards=2)
+        pairs = sample_query_pairs(index.n, 150, seed=7)
+        want = index.estimate_many(pairs[:, 0], pairs[:, 1])
+        with ShardServer(index, jobs=1, memory=memory) as srv:
+            assert srv.index is not index  # rebuilt over the pack
+            got = srv.estimate_many(pairs[:, 0], pairs[:, 1])
+        assert got.tolist() == want.tolist()
+
+    @pytest.mark.parametrize("memory", ["heap", "shared", "mmap"])
+    def test_worker_pool_identity(self, built_sets, memory):
+        """4 workers over each memory plane produce the jobs=1 bytes
+        (rings and attach included), across repeated batches."""
+        index = build_index(built_sets["tz"], num_shards=4)
+        pairs = sample_query_pairs(index.n, 400, seed=9)
+        want = index.estimate_many(pairs[:, 0], pairs[:, 1])
+        with ShardServer(index, jobs=4, memory=memory) as srv:
+            first = srv.estimate_many(pairs[:, 0], pairs[:, 1])
+            again = srv.estimate_many(pairs[:, 0], pairs[:, 1])
+            small = srv.estimate_many(pairs[:7, 0], pairs[:7, 1])
+        assert first.tolist() == want.tolist()
+        assert again.tolist() == want.tolist()
+        assert small.tolist() == want[:7].tolist()
+
+    def test_worker_pool_query_error_parity(self):
+        g = Graph(5, [(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0), (2, 4, 2.0)])
+        sketches, _ = build_tz_sketches_centralized(g, k=2, seed=1)
+        index = build_index(sketches, num_shards=2)
+        with ShardServer(index, jobs=2, memory="shared") as srv:
+            with pytest.raises(QueryError):
+                srv.estimate_many(np.asarray([0]), np.asarray([4]))
+            # the pool survives the error and keeps serving
+            assert srv.estimate_many(np.asarray([2]), np.asarray([4])
+                                     ).tolist() == [2.0]
+
+    def test_engine_memory_modes_identical(self, built_sets):
+        sketches = built_sets["stretch3"]
+        pairs = sample_query_pairs(len(sketches), 200, seed=3)
+        with QueryEngine(sketches, cache_size=0) as base:
+            want = base.dist_many(pairs)
+        for memory in ("shared", "mmap"):
+            with QueryEngine(sketches, cache_size=0, num_shards=3, jobs=2,
+                             memory=memory) as eng:
+                assert eng.dist_many(pairs).tolist() == want.tolist()
+
+    def test_engine_rejects_memory_without_index(self, built_sets):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            QueryEngine(built_sets["tz"], use_index=False, memory="shared")
+
+    def test_server_rejects_unknown_memory(self, built_sets):
+        from repro.errors import ConfigError
+
+        index = build_index(built_sets["tz"])
+        with pytest.raises(ConfigError):
+            ShardServer(index, memory="vram")
+
+    def test_phase_timings_accumulate_and_reset(self, built_sets):
+        index = build_index(built_sets["tz"], num_shards=2)
+        with ShardServer(index, jobs=1) as srv:
+            pairs = sample_query_pairs(index.n, 100, seed=1)
+            srv.estimate_many(pairs[:, 0], pairs[:, 1])
+            t = srv.timings
+            assert t.batches == 1
+            assert t.plan > 0.0 and t.shard_answer > 0.0 and t.finish > 0.0
+            assert t.ipc == 0.0  # in-process: no transport
+            srv.reset_timings()
+            assert srv.timings.batches == 0
+
+
+class TestBackingProperty:
+    """Small hypothesis sweep: random graphs x schemes x shard counts,
+    heap vs shared vs mmap answers equal (the nightly profile widens
+    the example count)."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(n=st.integers(16, 36), seed=st.integers(0, 1000),
+           shards=st.integers(1, 4),
+           scheme=st.sampled_from(SCHEMES))
+    def test_backings_agree(self, n, seed, shards, scheme, tmp_path_factory):
+        g = assign_uniform_weights(erdos_renyi(n, seed=seed), seed=seed + 1)
+        kwargs = {"tz": {"k": 2}, "stretch3": {"eps": 0.35},
+                  "cdg": {"eps": 0.35, "k": 2}, "graceful": {}}[scheme]
+        sketches = build_sketches(g, scheme=scheme, seed=seed + 2,
+                                  **kwargs).sketches
+        index = build_index(sketches, num_shards=shards)
+        pairs = sample_query_pairs(n, 80, seed=seed + 3)
+        want = index.estimate_many(pairs[:, 0], pairs[:, 1])
+        tmp = tmp_path_factory.mktemp("packs")
+        for backing in BACKINGS:
+            packed = index_to_pack(index, backing=backing,
+                                   **_pack_kwargs(backing, tmp, backing))
+            try:
+                got = index_from_pack(packed).estimate_many(pairs[:, 0],
+                                                            pairs[:, 1])
+                assert got.tolist() == want.tolist()
+            finally:
+                packed.close()
