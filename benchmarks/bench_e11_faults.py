@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 import pytest
 
 from benchmarks._workloads import workload, workload_apsp

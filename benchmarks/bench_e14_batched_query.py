@@ -63,7 +63,8 @@ def e14_table(experiment_report, e14_sketches):
         })
     experiment_report("E14-batched-query", render_table(
         rows, title="E14: batched serving throughput vs the single-query "
-                    "loop (TZ k=2, ER n=2000, uniform weights)"))
+                    "loop (TZ k=2, ER n=2000, uniform weights)"),
+        data={"n": N, "queries": QUERIES, "rows": rows})
     return rows
 
 
@@ -127,7 +128,8 @@ def e14_slack_table(experiment_report):
         })
     experiment_report("E14b-slack-batched", render_table(
         rows, title="E14b: batched serving across the slack schemes "
-                    "(ER n=400, uniform weights, batch=500)"))
+                    "(ER n=400, uniform weights, batch=500)"),
+        data={"n": 400, "queries": 500, "rows": rows})
     return rows
 
 

@@ -31,7 +31,7 @@ import pytest
 
 from benchmarks._workloads import workload
 from repro.analysis import render_table
-from repro.service import (QueryEngine, build_index, build_tz_sketches_parallel,
+from repro.service import (QueryEngine, build_tz_sketches_parallel,
                            run_serve_benchmark, sample_query_pairs)
 
 N = 2000
@@ -65,7 +65,8 @@ def e15_table(experiment_report, e15_sketches):
         })
     experiment_report("E15-shard-workers", render_table(
         rows, title=f"E15: shard-worker scaling (TZ k=2, ER n={N}, "
-                    f"{SHARDS} landmark shards, batch={QUERIES})"))
+                    f"{SHARDS} landmark shards, batch={QUERIES})"),
+        data={"n": N, "queries": QUERIES, "shards": SHARDS, "rows": rows})
     return rows
 
 

@@ -96,7 +96,9 @@ def e15b_table(experiment_report, e15b_sketches):
         })
     experiment_report("E15b-shared-memory", render_table(
         rows, title=f"E15b: zero-copy data plane (stretch3 eps={EPS}, "
-                    f"ER n={N}, {SHARDS} shards, batch={BATCH})"))
+                    f"ER n={N}, {SHARDS} shards, batch={BATCH})"),
+        data={"n": N, "queries": QUERIES, "batch": BATCH, "eps": EPS,
+              "shards": SHARDS, "rows": rows})
     return rows
 
 

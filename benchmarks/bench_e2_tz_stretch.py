@@ -9,7 +9,6 @@ Claims under test:
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from benchmarks._workloads import workload, workload_apsp

@@ -20,7 +20,7 @@ import pytest
 from benchmarks._workloads import workload, workload_S
 from repro.analysis import render_table, summarize_ratios, tz_message_bound, tz_round_bound
 from repro.algorithms.ksource import k_source_shortest_paths
-from repro.tz import build_tz_sketches_distributed, sample_hierarchy
+from repro.tz import build_tz_sketches_distributed
 
 SWEEP = (("er", (32, 64, 128)), ("grid", (36, 64, 100)), ("ring", (24, 48, 96)))
 K = 2

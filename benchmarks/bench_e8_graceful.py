@@ -18,8 +18,8 @@ import math
 import numpy as np
 import pytest
 
-from benchmarks._workloads import workload, workload_apsp, workload_S
-from repro.analysis import graceful_round_bound, graceful_size_bound, render_table
+from benchmarks._workloads import workload, workload_apsp
+from repro.analysis import graceful_size_bound, render_table
 from repro.oracle.evaluation import average_stretch, evaluate_stretch
 from repro.slack.graceful import build_graceful_centralized
 from repro.tz import build_tz_sketches_centralized, estimate_distance

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks._workloads import workload, workload_apsp, workload_S
+from benchmarks._workloads import workload, workload_apsp
 from repro import build_sketches
 from repro.analysis import render_table
 from repro.oracle.evaluation import average_stretch, evaluate_stretch

@@ -1,18 +1,30 @@
 """Benchmark-harness plumbing.
 
-Each experiment file (``bench_e1_*`` … ``bench_e10_*``) computes the table
-for one paper claim and registers it via the ``experiment_report`` fixture.
-All registered tables are printed in the terminal summary (so they appear
-in ``bench_output.txt``) and persisted under ``benchmarks/results/``.
+Each experiment file (``bench_e1_*`` … ``bench_e16_*``) computes the
+table for one paper claim and registers it via the ``experiment_report``
+fixture.  All registered tables are printed in the terminal summary (so
+they appear in ``bench_output.txt``) and persisted under
+``benchmarks/results/``.
 
-The ``benchmark`` fixture times a representative kernel of each experiment;
-the tables themselves are computed once per session.
+Every registered report also writes a machine-readable
+``BENCH_<name>.json`` next to the text table — an envelope carrying the
+git sha, timestamp, python/platform, and whatever structured ``data``
+the experiment passed (throughput rows, per-phase timings, graph sizes).
+CI uploads these as workflow artifacts from the ``bench-smoke`` and
+``nightly`` jobs, so the perf trajectory is recorded run over run
+instead of evaporating with the runner.
+
+The ``benchmark`` fixture times a representative kernel of each
+experiment; the tables themselves are computed once per session.
 """
 
 from __future__ import annotations
 
-import os
+import datetime
+import json
 import pathlib
+import platform
+import subprocess
 
 import pytest
 
@@ -20,15 +32,45 @@ _REPORTS: list[tuple[str, str]] = []
 _RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            cwd=pathlib.Path(__file__).parent, timeout=10)
+        return out.stdout.strip() if out.returncode == 0 else "unknown"
+    except OSError:  # pragma: no cover - no git binary
+        return "unknown"
+
+
 @pytest.fixture(scope="session")
 def experiment_report():
-    """Callable ``report(name, text)`` registering an experiment table."""
+    """Callable ``report(name, text, data=None)`` registering an
+    experiment table.
 
-    def report(name: str, text: str) -> None:
+    ``text`` is the human table (``<name>.txt``); ``data``, when given,
+    is any JSON-serializable payload (rows, timings, parameters) stored
+    in the ``BENCH_<name>.json`` envelope.  The envelope is written even
+    without ``data`` so every benchmark leaves a machine-readable trace.
+    """
+    sha = _git_sha()
+
+    def report(name: str, text: str, data=None) -> None:
         _REPORTS.append((name, text))
         _RESULTS_DIR.mkdir(exist_ok=True)
-        path = _RESULTS_DIR / f"{name}.txt"
-        path.write_text(text + "\n", encoding="utf-8")
+        (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n",
+                                                  encoding="utf-8")
+        envelope = {
+            "name": name,
+            "git_sha": sha,
+            "generated_at": datetime.datetime.now(
+                datetime.timezone.utc).isoformat(timespec="seconds"),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "data": data,
+        }
+        (_RESULTS_DIR / f"BENCH_{name}.json").write_text(
+            json.dumps(envelope, indent=2, sort_keys=True, default=float)
+            + "\n", encoding="utf-8")
 
     return report
 

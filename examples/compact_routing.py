@@ -11,7 +11,6 @@ routes are provably within ``4k-3`` of the shortest path.
 Run:  python examples/compact_routing.py
 """
 
-import numpy as np
 
 from repro.analysis import render_table
 from repro.graphs import apsp, assign_uniform_weights, erdos_renyi, graph_stats

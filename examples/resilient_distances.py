@@ -15,7 +15,6 @@ Run:  python examples/resilient_distances.py
 
 import math
 
-import numpy as np
 
 from repro.algorithms.bellman_ford import BellmanFordProgram
 from repro.algorithms.reliable_bf import reliable_single_source_distances

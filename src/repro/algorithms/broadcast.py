@@ -9,7 +9,7 @@ overhead the paper claims for phase synchronization.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 from repro.algorithms.bfs_tree import TreeInfo
 from repro.congest.context import NodeContext

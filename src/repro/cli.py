@@ -14,6 +14,9 @@ A downstream user can drive the whole pipeline without writing Python::
     python -m repro build net.edges --scheme tz --k 3 --format binary \
         --shards 4 -o index.rpix
     python -m repro serve-bench index.rpix --memory mmap --queries 10000
+    python -m repro build net.edges --scheme tz --k 3 --seed 2 \
+        --apply-updates changes.jsonl -o sketches.jsonl
+    python -m repro update-bench net.edges --scheme tz --k 2 --batches 1 4 16
     python -m repro schemes --markdown
 
 Sketches travel as the JSON-lines format of
@@ -116,18 +119,29 @@ def _cmd_build(args) -> int:
         print(f"cost: {built.metrics.rounds} rounds, "
               f"{built.metrics.messages} messages, "
               f"{built.metrics.words} words")
-    if args.format == "binary":
-        from repro.service import build_index
+    shards = 1 if args.shards is None else args.shards
+    sketches, index = built.sketches, None
+    if args.apply_updates is not None:
+        from repro.service.updates import load_changes_jsonl
 
-        shards = 1 if args.shards is None else args.shards
-        index = build_index(built.sketches, num_shards=shards)
+        upd = built.updateable(num_shards=shards)
+        report = upd.apply(load_changes_jsonl(args.apply_updates))
+        print(f"applied {report.changes} changes from "
+              f"{args.apply_updates}: mode={report.mode} "
+              f"dirty={report.dirty}/{report.n} epoch={report.epoch}")
+        sketches, index = upd.sketches, upd.index
+    if args.format == "binary":
+        if index is None:
+            from repro.service import build_index
+
+            index = build_index(sketches, num_shards=shards)
         save_index_binary(index, args.output)
         print(f"wrote a binary {type(index).__name__} "
               f"({index.nnz()} entries, {shards} shards) "
               f"to {args.output}")
     else:
-        save_sketch_set(built.sketches, args.output)
-        print(f"wrote {len(built.sketches)} sketches to {args.output}")
+        save_sketch_set(sketches, args.output)
+        print(f"wrote {len(sketches)} sketches to {args.output}")
     return 0
 
 
@@ -218,6 +232,28 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_update_bench(args) -> int:
+    from repro.graphs import read_edgelist
+    from repro.service.updates import run_update_benchmark
+
+    params = {}
+    if args.k is not None:
+        params["k"] = args.k
+    if args.eps is not None:
+        params["eps"] = args.eps
+    g = read_edgelist(args.graph)
+    report = run_update_benchmark(
+        g, scheme=args.scheme, seed=args.seed, batch_sizes=args.batches,
+        num_shards=args.shards, rebuild_threshold=args.rebuild_threshold,
+        **params)
+    print(json.dumps(report, indent=2))
+    if not report["identical"]:
+        print("error: updated index diverged from a from-scratch rebuild",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_schemes(args) -> int:
     from repro.oracle.schemes import scheme_support_matrix, schemes_markdown
 
@@ -297,6 +333,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="landmark shard count baked into a --format binary "
                         "index (layout only; answers are identical; "
                         "rejected with --format json)")
+    b.add_argument("--apply-updates", metavar="CHANGES.JSONL", default=None,
+                   help="after building, apply this edge-change stream "
+                        "(see repro.service.updates) through the "
+                        "incremental-repair path and write the updated "
+                        "sketches/index instead (centralized builds of "
+                        "updateable schemes only)")
     b.add_argument("-o", "--output", required=True)
     b.set_defaults(func=_cmd_build)
 
@@ -337,6 +379,29 @@ def build_parser() -> argparse.ArgumentParser:
                     help="assert the loaded sketch set is this scheme")
     sb.add_argument("--seed", type=int, default=0)
     sb.set_defaults(func=_cmd_serve_bench)
+
+    ub = sub.add_parser("update-bench",
+                        help="incremental index update vs full rebuild "
+                             "on edge-weight changes")
+    ub.add_argument("graph")
+    ub.add_argument("--scheme",
+                    choices=["tz", "stretch3", "cdg", "graceful"],
+                    default="tz")
+    ub.add_argument("--k", type=int, default=None)
+    ub.add_argument("--eps", type=float, default=None)
+    ub.add_argument("--seed", type=int, default=0)
+    ub.add_argument("--batches", type=int, nargs="+", default=[1, 4, 16],
+                    metavar="N",
+                    help="change-batch sizes to measure (random distinct "
+                         "edges, weights scaled by a uniform factor)")
+    ub.add_argument("--shards", type=int, default=1,
+                    help="landmark shard count of the maintained index")
+    ub.add_argument("--rebuild-threshold", type=float, default=1.0,
+                    help="dirty fraction above which apply() rebuilds "
+                         "instead of repairing (default 1.0 here so the "
+                         "benchmark always measures the repair path; the "
+                         "library default is 0.25)")
+    ub.set_defaults(func=_cmd_update_bench)
 
     sc = sub.add_parser("schemes",
                         help="the scheme capability matrix (from the "

@@ -11,7 +11,7 @@ protocol that typechecks against this surface is a legal CONGEST protocol.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 import numpy as np
 

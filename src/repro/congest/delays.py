@@ -27,7 +27,7 @@ the point is correctness under weakened timing, not a performance claim.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 from repro.congest.network import Simulator
 from repro.errors import ConfigError

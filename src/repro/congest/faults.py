@@ -26,7 +26,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-import numpy as np
 
 from repro.congest.network import Simulator
 from repro.errors import ConfigError

@@ -75,6 +75,21 @@ class Graph:
             raise GraphError(f"edge ({u}, {v}) does not exist")
         self.add_edge(u, v, weight)
 
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete the undirected edge ``{u, v}`` (it must exist).
+
+        Removal may disconnect the graph; callers that require the
+        paper's connected model must re-:meth:`validate`.
+        """
+        self._check_node(u)
+        self._check_node(v)
+        if v not in self._adj[u]:
+            raise GraphError(f"edge ({u}, {v}) does not exist")
+        del self._adj[u][v]
+        del self._adj[v][u]
+        self._m -= 1
+        self._csr_cache = None
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------

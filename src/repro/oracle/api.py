@@ -80,6 +80,59 @@ class BuiltSketches:
         answers are bit-identical to looping :meth:`query`."""
         return self.engine().dist_many(pairs)
 
+    def updateable(self, num_shards: int = 1,
+                   rebuild_threshold: Optional[float] = None):
+        """An :class:`~repro.service.updates.UpdateableIndex` over this
+        build — accepts edge-change streams and incrementally repairs
+        the index (bit-identical to a rebuild with the same artifacts).
+
+        Reuses the already-built sketches and the build's random
+        artifacts (hierarchy / density net) from ``extras``, so no
+        reconstruction happens here.  Centralized builds of ``tz`` /
+        ``stretch3`` / ``cdg`` only: distributed builds' metrics would
+        not survive a repair, and a graceful build does not record its
+        per-component nets — construct
+        :class:`~repro.service.updates.UpdateableIndex` from the graph
+        and a seed for those.
+
+        :raises ConfigError: for a distributed build or a scheme whose
+            artifacts are not recoverable from ``extras``.
+        """
+        from repro.service.updates import (REBUILD_THRESHOLD_DEFAULT,
+                                           UpdateableIndex)
+
+        if self.mode != "centralized":
+            raise ConfigError(
+                "updateable() needs a centralized build (distributed "
+                "cost metrics cannot be repaired incrementally)")
+        if not self.scheme.supports_updates:
+            raise ConfigError(
+                f"scheme {self.scheme.name!r} has no update support")
+        if rebuild_threshold is None:
+            rebuild_threshold = REBUILD_THRESHOLD_DEFAULT
+        name = self.scheme.name
+        artifacts: dict = {}
+        if name == "tz":
+            artifacts["hierarchy"] = self.extras["hierarchy"]
+        elif name == "stretch3":
+            artifacts["net"] = self.extras["net"]
+            artifacts["eps"] = self.params["eps"]
+        elif name == "cdg":
+            artifacts["net"] = self.extras["net"]
+            artifacts["hierarchy"] = self.extras["hierarchy"]
+            artifacts["eps"] = self.params["eps"]
+            artifacts["k"] = self.params["k"]
+        else:
+            raise ConfigError(
+                f"a built {name!r} set does not record the artifacts an "
+                f"updateable index needs; build "
+                f"UpdateableIndex(graph, scheme={name!r}, seed=...) "
+                f"directly instead")
+        return UpdateableIndex(self.graph, scheme=name,
+                               num_shards=num_shards,
+                               rebuild_threshold=rebuild_threshold,
+                               sketches=self.sketches, **artifacts)
+
     def sizes_words(self) -> list[int]:
         return [s.size_words() for s in self.sketches]
 

@@ -21,7 +21,6 @@ lookups (Lemma 3.2's O(k)).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Callable, Optional
 

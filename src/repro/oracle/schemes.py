@@ -42,6 +42,10 @@ class SchemeSpec:
         accepts for this scheme.
     :param supports_serialize: whether :mod:`repro.oracle.serialization`
         round-trips this scheme's sketches (and its pre-built index).
+    :param supports_updates: whether the dynamic-update subsystem
+        (:mod:`repro.service.updates`) can incrementally repair this
+        scheme's index on edge-weight changes (every built-in scheme
+        can; external schemes without a repair strategy rebuild).
     """
 
     name: str
@@ -51,6 +55,7 @@ class SchemeSpec:
     supports_batch: bool = False
     build_modes: tuple[str, ...] = ("centralized", "distributed")
     supports_serialize: bool = True
+    supports_updates: bool = False
 
     def describe(self, params: dict) -> str:
         """One-line human summary of the guarantee under ``params``."""
@@ -85,6 +90,7 @@ SCHEMES: dict[str, SchemeSpec] = {
         stretch_bound=_tz_stretch,
         slack_of=lambda p: None,
         supports_batch=True,
+        supports_updates=True,
     ),
     "stretch3": SchemeSpec(
         name="stretch3",
@@ -92,6 +98,7 @@ SCHEMES: dict[str, SchemeSpec] = {
         stretch_bound=_stretch3_stretch,
         slack_of=lambda p: p["eps"],
         supports_batch=True,
+        supports_updates=True,
     ),
     "cdg": SchemeSpec(
         name="cdg",
@@ -99,6 +106,7 @@ SCHEMES: dict[str, SchemeSpec] = {
         stretch_bound=_cdg_stretch,
         slack_of=lambda p: p["eps"],
         supports_batch=True,
+        supports_updates=True,
     ),
     "graceful": SchemeSpec(
         name="graceful",
@@ -106,6 +114,7 @@ SCHEMES: dict[str, SchemeSpec] = {
         stretch_bound=_graceful_stretch,
         slack_of=lambda p: None,  # all pairs, at the O(log n) worst case
         supports_batch=True,
+        supports_updates=True,
     ),
 }
 
@@ -135,6 +144,7 @@ def scheme_support_matrix() -> list[dict]:
         "query": True,  # every registered scheme answers single queries
         "batch": spec.supports_batch,
         "serialize": spec.supports_serialize,
+        "updates": spec.supports_updates,
     } for name, spec in sorted(SCHEMES.items())]
 
 
@@ -144,12 +154,14 @@ def schemes_markdown() -> str:
     embeds."""
     yn = {True: "yes", False: "no"}
     lines = [
-        "| scheme | build | single query | batched query | serialized |",
-        "|--------|-------|--------------|---------------|------------|",
+        "| scheme | build | single query | batched query | serialized "
+        "| incremental updates |",
+        "|--------|-------|--------------|---------------|------------"
+        "|---------------------|",
     ]
     for row in scheme_support_matrix():
         lines.append(
             f"| `{row['scheme']}` | {', '.join(row['build'])} "
             f"| {yn[row['query']]} | {yn[row['batch']]} "
-            f"| {yn[row['serialize']]} |")
+            f"| {yn[row['serialize']]} | {yn[row['updates']]} |")
     return "\n".join(lines)

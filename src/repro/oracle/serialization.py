@@ -21,7 +21,7 @@ import json
 import math
 import os
 import struct
-from typing import Any, Optional, Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -118,6 +118,38 @@ def sketch_from_dict(data: dict) -> AnySketch:
             components=tuple(sketch_from_dict(c)
                              for c in data["components"]))
     raise QueryError(f"unknown sketch type tag {t!r}")
+
+
+# ----------------------------------------------------------------------
+# edge-change streams (the dynamic-update subsystem's wire format)
+# ----------------------------------------------------------------------
+def change_to_dict(change) -> dict:
+    """Encode an :class:`~repro.service.updates.EdgeChange` with the
+    library's standard ``{"type", "v"}`` envelope (one JSON line of a
+    ``changes.jsonl`` stream, as consumed by ``repro build
+    --apply-updates`` and :meth:`~repro.service.updates.UpdateableIndex.
+    apply`).  The endpoints travel as an ``"edge": [u, v]`` pair — the
+    envelope's ``"v"`` key is the format version, as everywhere else."""
+    out = {"type": "edge_change", "v": VERSION, "op": change.op,
+           "edge": [int(change.u), int(change.v)]}
+    if change.op != "remove":
+        out["weight"] = float(change.weight)
+    return out
+
+
+def change_from_dict(data: dict):
+    """Decode a dict produced by :func:`change_to_dict`."""
+    from repro.service.updates import EdgeChange
+
+    if not isinstance(data, dict) or data.get("type") != "edge_change":
+        raise QueryError("not a serialized edge change")
+    if data.get("v") != VERSION:
+        raise QueryError(f"unsupported sketch format version {data.get('v')}")
+    edge = data.get("edge")
+    if not isinstance(edge, (list, tuple)) or len(edge) != 2:
+        raise QueryError("edge change wants an [u, v] endpoint pair")
+    return EdgeChange(op=str(data["op"]), u=int(edge[0]), v=int(edge[1]),
+                      weight=data.get("weight"))
 
 
 # ----------------------------------------------------------------------

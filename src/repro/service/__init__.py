@@ -22,11 +22,19 @@ the oracle servable at scale — for **every** scheme in the library:
   in-process fallback with the identical dataflow); ``memory="shared"``
   attaches workers to the pack zero-copy and moves requests/responses
   through preallocated shared ring buffers instead of pickles,
+* :mod:`repro.service.updates` — the dynamic-update subsystem:
+  :class:`UpdateableIndex` applies edge-change streams by repairing
+  only the dirty frontier (bit-identical to a from-scratch rebuild,
+  automatic rebuild fallback), and
+  :meth:`QueryEngine.apply_updates <repro.service.engine.QueryEngine.apply_updates>`
+  hot-swaps the resulting epochs with zero downtime,
 * :func:`~repro.service.parallel.build_tz_sketches_parallel` — the
   centralized preprocessing fanned across worker processes with a
   deterministic (byte-identical) merge,
-* :func:`~repro.service.bench.run_serve_benchmark` — the measurement
-  harness behind ``repro serve-bench`` and experiments E14/E15.
+* :func:`~repro.service.bench.run_serve_benchmark` /
+  :func:`~repro.service.updates.run_update_benchmark` — the measurement
+  harnesses behind ``repro serve-bench`` / ``repro update-bench`` and
+  experiments E14/E15/E16.
 
 Batching and parallelism are performance features only: every answer is
 bit-identical to the one-pair-at-a-time reference path, for any shard
@@ -41,14 +49,19 @@ from repro.service.index import (CDGIndex, GracefulIndex, IndexStore,
                                  Stretch3Index, TZIndex, build_index,
                                  index_class_for, index_from_handle,
                                  index_from_pack, index_to_pack,
-                                 scheme_name_of)
+                                 refresh_index, scheme_name_of)
 from repro.service.parallel import build_tz_sketches_parallel, default_jobs
+from repro.service.updates import (EdgeChange, UpdateReport, UpdateableIndex,
+                                   dirty_frontier, load_changes_jsonl,
+                                   run_update_benchmark,
+                                   sample_weight_changes, save_changes_jsonl)
 from repro.service.workers import MEMORY_MODES, PhaseTimings, ShardServer
 
 __all__ = [
     "BufferPack",
     "CDGIndex",
     "CacheStats",
+    "EdgeChange",
     "GracefulIndex",
     "IndexStore",
     "MEMORY_MODES",
@@ -59,14 +72,22 @@ __all__ = [
     "ShardServer",
     "Stretch3Index",
     "TZIndex",
+    "UpdateReport",
+    "UpdateableIndex",
     "build_index",
     "build_tz_sketches_parallel",
     "default_jobs",
+    "dirty_frontier",
     "index_class_for",
     "index_from_handle",
     "index_from_pack",
     "index_to_pack",
+    "load_changes_jsonl",
+    "refresh_index",
     "run_serve_benchmark",
+    "run_update_benchmark",
     "sample_query_pairs",
+    "sample_weight_changes",
+    "save_changes_jsonl",
     "scheme_name_of",
 ]

@@ -40,7 +40,7 @@ import mmap as _mmaplib
 import os
 import secrets
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from multiprocessing import shared_memory as _shm
 from typing import Any, Iterator, Mapping, Optional, Sequence
 

@@ -27,6 +27,17 @@ shut the pool down and release the segments.
 :meth:`QueryEngine.from_index` serves a pre-built (e.g. binary-loaded)
 store directly, without the sketch set.
 
+**Epochs.**  :meth:`QueryEngine.from_updateable` serves a live
+:class:`~repro.service.updates.UpdateableIndex`;
+:meth:`QueryEngine.apply_updates` then hot-swaps epochs: the next
+epoch's store (and, for ``jobs > 1``, its worker pool — workers attach
+to the new epoch's pack) is prepared while traffic continues, the swap
+is one pointer flip under the engine lock, and in-flight batches finish
+on the epoch they started on (the old server is closed only when its
+last batch drains).  Every batch is served by exactly one epoch — no
+torn reads — and the result cache is epoch-stamped: it is cleared at
+the swap, and a stale batch's write-backs are dropped.
+
 The LRU result cache keys on the *ordered* pair ``(u, v)``: the paper's
 level-scan query is not symmetric under swapping the endpoints (both
 directions can hit at the same level with different routes), and the
@@ -36,6 +47,7 @@ and ``(v, u)`` are cached separately.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Iterable, Optional, Sequence
@@ -130,6 +142,18 @@ class QueryEngine:
                            memory=memory)
         return self
 
+    @classmethod
+    def from_updateable(cls, updateable, cache_size: int = 65536,
+                        jobs: int = 1, memory: str = "heap",
+                        ) -> "QueryEngine":
+        """Serve a live :class:`~repro.service.updates.UpdateableIndex`,
+        enabling :meth:`apply_updates` epoch hot-swaps."""
+        self = cls.from_index(updateable.index, cache_size=cache_size,
+                              jobs=jobs, memory=memory)
+        self._updateable = updateable
+        self.epoch = updateable.epoch  # share one epoch clock
+        return self
+
     def _init_serving(self, index: Optional[IndexStore], cache_size: int,
                       jobs: int, memory: str) -> None:
         if cache_size < 0:
@@ -138,9 +162,18 @@ class QueryEngine:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
         self.cache_size = int(cache_size)
         self.jobs = int(jobs)
+        self._jobs_requested = int(jobs)
         self.memory = memory
         self.index = index
         self._server: Optional[ShardServer] = None
+        # epoch bookkeeping: dist_many snapshots (epoch, server) under
+        # the lock, and a retired epoch's server is closed only once its
+        # last in-flight batch drains
+        self._lock = threading.Lock()
+        self.epoch = 0
+        self._active: dict[int, int] = {}
+        self._retired: dict[int, ShardServer] = {}
+        self._updateable = None
         if index is not None:
             self._server = ShardServer(index, jobs=self.jobs, memory=memory)
             # the server may rebuild the store over a packed backing —
@@ -160,9 +193,31 @@ class QueryEngine:
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
-    def _compute_many(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
-        if self._server is not None:
-            return self._server.estimate_many(us, vs)
+    # epoch bookkeeping
+    # ------------------------------------------------------------------
+    def _acquire_epoch(self) -> tuple[int, Optional[ShardServer]]:
+        """Pin the current epoch for one batch (it will be served wholly
+        by this epoch's server, even if a swap lands mid-flight)."""
+        with self._lock:
+            epoch, server = self.epoch, self._server
+            self._active[epoch] = self._active.get(epoch, 0) + 1
+            return epoch, server
+
+    def _release_epoch(self, epoch: int) -> None:
+        with self._lock:
+            self._active[epoch] -= 1
+            drained = (self._active[epoch] == 0
+                       and epoch in self._retired)
+            server = self._retired.pop(epoch) if drained else None
+            if drained:
+                del self._active[epoch]
+        if server is not None:
+            server.close()
+
+    def _compute_many(self, us: np.ndarray, vs: np.ndarray,
+                      server: Optional[ShardServer]) -> np.ndarray:
+        if server is not None:
+            return server.estimate_many(us, vs)
         if us.size and (min(us.min(), vs.min()) < 0
                         or max(us.max(), vs.max()) >= self.n):
             raise QueryError(f"node id out of range [0, {self.n})")
@@ -199,42 +254,99 @@ class QueryEngine:
         returns a float64 array of length Q.  Cached answers are reused;
         the misses are computed in one vectorized pass (fanned across the
         shard workers when the engine was built with ``jobs > 1``).
+
+        The whole batch is answered by one epoch: the serving store is
+        pinned at batch start, and a concurrent :meth:`apply_updates`
+        only affects batches issued after its swap.
         """
         arr = parse_pair_array(pairs)
         if arr.size == 0:
             return np.empty(0, dtype=np.float64)
         q = arr.shape[0]
-        if self.cache_size == 0:
-            return self._compute_many(arr[:, 0], arr[:, 1])
-        if not self._cache:
-            # cold cache: skip the per-row lookup scan entirely
-            vals = self._compute_many(arr[:, 0], arr[:, 1])
-            self.stats.misses += q
-            for j in range(q):
-                self._cache_put((int(arr[j, 0]), int(arr[j, 1])),
-                                float(vals[j]))
-            return vals
+        epoch, server = self._acquire_epoch()
+        try:
+            if self.cache_size == 0:
+                return self._compute_many(arr[:, 0], arr[:, 1], server)
 
-        out = np.empty(q, dtype=np.float64)
-        cache = self._cache
-        miss_rows: list[int] = []
-        for j in range(q):
-            key = (int(arr[j, 0]), int(arr[j, 1]))
-            hit = cache.get(key)
-            if hit is not None:
-                cache.move_to_end(key)
-                out[j] = hit
-                self.stats.hits += 1
-            else:
-                miss_rows.append(j)
-                self.stats.misses += 1
-        if miss_rows:
-            rows = np.asarray(miss_rows, dtype=np.int64)
-            vals = self._compute_many(arr[rows, 0], arr[rows, 1])
-            out[rows] = vals
-            for j, val in zip(miss_rows, vals):
-                self._cache_put((int(arr[j, 0]), int(arr[j, 1])), float(val))
-        return out
+            out = np.empty(q, dtype=np.float64)
+            with self._lock:
+                # a batch pinned to a retired epoch must not read the
+                # new epoch's cache — hits are epoch-guarded just like
+                # the write-backs below, or one batch could mix epochs
+                use_cache = epoch == self.epoch and bool(self._cache)
+                miss_rows: list[int] = []
+                if not use_cache:
+                    miss_rows = list(range(q))
+                    self.stats.misses += q
+                else:
+                    cache = self._cache
+                    for j in range(q):
+                        key = (int(arr[j, 0]), int(arr[j, 1]))
+                        hit = cache.get(key)
+                        if hit is not None:
+                            cache.move_to_end(key)
+                            out[j] = hit
+                            self.stats.hits += 1
+                        else:
+                            miss_rows.append(j)
+                            self.stats.misses += 1
+            if miss_rows:
+                rows = np.asarray(miss_rows, dtype=np.int64)
+                vals = self._compute_many(arr[rows, 0], arr[rows, 1],
+                                          server)
+                out[rows] = vals
+                with self._lock:
+                    # epoch-stamped write-back: a batch that started
+                    # before a swap must not poison the new epoch's cache
+                    if epoch == self.epoch:
+                        for j, val in zip(miss_rows, vals):
+                            self._cache_put((int(arr[j, 0]),
+                                             int(arr[j, 1])), float(val))
+            return out
+        finally:
+            self._release_epoch(epoch)
+
+    # ------------------------------------------------------------------
+    def apply_updates(self, changes) -> "Any":
+        """Apply an edge-change batch to the underlying
+        :class:`~repro.service.updates.UpdateableIndex` and hot-swap to
+        the new epoch's store.
+
+        The next epoch's server (pack + worker pool; shared-memory
+        workers attach to the new epoch's segment) is built *before* the
+        swap, so traffic never pauses; in-flight batches complete on the
+        old epoch, whose server is closed when its last batch drains.
+        The result cache is cleared — cached answers are per-epoch.
+
+        :returns: the :class:`~repro.service.updates.UpdateReport`.
+        :raises ConfigError: for an engine not built with
+            :meth:`from_updateable`.
+        """
+        if self._updateable is None:
+            raise ConfigError(
+                "apply_updates needs an engine built with "
+                "QueryEngine.from_updateable")
+        report = self._updateable.apply(changes)
+        if report.mode == "noop":
+            return report
+        new_server = ShardServer(self._updateable.index,
+                                 jobs=self._jobs_requested,
+                                 memory=self.memory)
+        with self._lock:
+            old_epoch, old_server = self.epoch, self._server
+            self._server = new_server
+            self.index = new_server.index
+            self.jobs = new_server.jobs
+            self.epoch = report.epoch  # the updateable's clock
+            self._cache.clear()
+            drained = self._active.get(old_epoch, 0) == 0
+            if not drained and old_server is not None:
+                self._retired[old_epoch] = old_server
+            if drained:
+                self._active.pop(old_epoch, None)
+        if drained and old_server is not None:
+            old_server.close()
+        return report
 
     # ------------------------------------------------------------------
     def reference_query(self, u: int, v: int) -> float:
@@ -268,14 +380,20 @@ class QueryEngine:
 
     def clear_cache(self) -> None:
         """Drop all cached results and reset the hit/miss counters."""
-        self._cache.clear()
-        self.stats = CacheStats()
+        with self._lock:
+            self._cache.clear()
+            self.stats = CacheStats()
 
     def close(self) -> None:
         """Shut the shard server down — worker pool, shared segments,
-        scratch files (idempotent)."""
-        if self._server is not None:
-            self._server.close()
+        scratch files, plus any retired epochs' servers (idempotent)."""
+        with self._lock:
+            servers = list(self._retired.values())
+            self._retired.clear()
+            if self._server is not None:
+                servers.append(self._server)
+        for server in servers:
+            server.close()
 
     def __enter__(self) -> "QueryEngine":
         return self

@@ -624,6 +624,92 @@ class TZIndex(_BaseIndex):
             for s, (mask, shift) in enumerate(meta["shard_hash"])]
         return self
 
+    # ------------------------------------------------------------------
+    # incremental refresh (the dynamic-update subsystem's index hook)
+    # ------------------------------------------------------------------
+    def apply_sketch_updates(self, dirty: dict[int, TZSketch]) -> "TZIndex":
+        """A **new** index with the ``dirty`` owners' sketches replaced,
+        touching only the landmark shards their entries live in.
+
+        The clean shards' arrays (keys, distances, hash tables) are
+        shared with this index by reference — only shards holding an old
+        or new entry of a dirty owner are rebuilt, which is what makes a
+        small update batch much cheaper than ``TZIndex(sketches)`` from
+        scratch.  ``self`` is never mutated (epoch semantics: readers on
+        the old store are unaffected).
+
+        :raises ConfigError: when a replacement sketch is incompatible
+            with this index's physical layout (wrong ``k``, or an entry
+            whose level disagrees with the dense-top split — callers
+            fall back to a full rebuild).
+        """
+        n, k, S = self.n, self.k, self.num_shards
+        for u, s in dirty.items():
+            if not (0 <= u < n):
+                raise ConfigError(f"dirty owner {u} out of range [0, {n})")
+            if not isinstance(s, TZSketch) or s.k != k:
+                raise ConfigError(
+                    f"replacement sketch for {u} is not a k={k} TZSketch")
+            for w, (_, lvl) in s.bunch.items():
+                is_top = self.dense_top and self.top_col[w] >= 0
+                if is_top != (self.dense_top and lvl == k - 1):
+                    raise ConfigError(
+                        f"entry ({u}, {w}) at level {lvl} disagrees with "
+                        f"the dense-top layout (rebuild required)")
+
+        new = TZIndex.__new__(TZIndex)
+        new.n, new.k, new.num_shards = n, k, S
+        new.dense_top = self.dense_top
+        new.top_ids = self.top_ids
+        new.top_col = self.top_col
+
+        new.pivot_ids = np.array(self.pivot_ids)
+        new.pivot_dists = np.array(self.pivot_dists)
+        new.top_dist = np.array(self.top_dist)
+        per_shard: dict[int, list[tuple[int, float, int]]] = {}
+        owners = np.asarray(sorted(dirty), dtype=np.int64)
+        for u in owners:
+            s = dirty[int(u)]
+            for i, (p, d) in enumerate(s.pivots):
+                new.pivot_ids[u, i] = p
+                new.pivot_dists[u, i] = d
+            new.top_dist[u, :] = np.inf
+            for w in sorted(s.bunch):
+                d, lvl = s.bunch[w]
+                if self.top_col[w] >= 0:
+                    new.top_dist[u, self.top_col[w]] = d
+                else:
+                    per_shard.setdefault(w % S, []).append(
+                        (int(u) * n + w, d, lvl))
+        new.sentinel_pivots = bool((new.pivot_ids < 0).any())
+
+        affected = set(per_shard)
+        for sidx, sh in enumerate(self.shards):
+            if sh.keys.size and np.isin(sh.keys // n, owners).any():
+                affected.add(sidx)
+        new.shards = list(self.shards)  # clean shards shared by reference
+        for sidx in affected:
+            sh = self.shards[sidx]
+            keep = (~np.isin(sh.keys // n, owners) if sh.keys.size
+                    else np.zeros(0, dtype=bool))
+            added = per_shard.get(sidx, [])
+            keys = np.concatenate([
+                sh.keys[keep],
+                np.asarray([e[0] for e in added], dtype=np.int64)])
+            dists = np.concatenate([
+                sh.dists[keep],
+                np.asarray([e[1] for e in added], dtype=np.float64)])
+            levels = np.concatenate([
+                sh.levels[keep],
+                np.asarray([e[2] for e in added], dtype=np.int64)])
+            order = np.argsort(keys, kind="stable")
+            keys, dists, levels = keys[order], dists[order], levels[order]
+            slot_key, slot_idx, mask, shift = _build_hash(keys)
+            new.shards[sidx] = _Shard(keys=keys, dists=dists, levels=levels,
+                                      slot_key=slot_key, slot_idx=slot_idx,
+                                      mask=mask, shift=shift)
+        return new
+
     def _to_sketches(self) -> list[TZSketch]:
         """Invert the build: the per-node sketch set this index stores
         (exact — every pivot and bunch entry round-trips bitwise)."""
@@ -1212,6 +1298,32 @@ def build_index(sketches: Sequence[Any], num_shards: int = 1) -> IndexStore:
             f"indexable types: "
             f"{', '.join(t.__name__ for t in INDEX_TYPES)}")
     return cls(sketches, num_shards=num_shards)
+
+
+def refresh_index(index: IndexStore, sketches: Sequence[Any],
+                  touched: Iterable[int]) -> IndexStore:
+    """A new store serving ``sketches``, where only the ``touched``
+    owners differ from what ``index`` serves — the index-side
+    ``apply_updates`` path of the dynamic-update subsystem.
+
+    :class:`TZIndex` takes the shard-surgical route
+    (:meth:`TZIndex.apply_sketch_updates`): clean landmark shards are
+    shared with the old store by reference and only affected shards are
+    rebuilt.  Other store types (whose layouts couple owners across the
+    whole table) are rebuilt from the sketch list; either way the old
+    store object is left untouched and the result is exactly
+    ``build_index(sketches, num_shards=index.num_shards)``.
+    """
+    touched = sorted(int(u) for u in touched)
+    if not touched:
+        return index
+    if isinstance(index, TZIndex):
+        try:
+            return index.apply_sketch_updates(
+                {u: sketches[u] for u in touched})
+        except ConfigError:  # layout drifted — take the full rebuild
+            pass
+    return build_index(sketches, num_shards=index.num_shards)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,747 @@
+"""Incremental index updates on edge-weight changes.
+
+Every index the serving layer builds (:mod:`repro.service.index`) is a
+frozen snapshot of one graph.  Real networks change, so this module adds
+the **dynamic-update subsystem**: :class:`UpdateableIndex` accepts a
+stream of :class:`EdgeChange` events (``increase`` / ``decrease`` /
+``set`` weight, plus ``insert`` / ``remove`` where the scheme's
+semantics allow) and repairs the affected sketch entries in place of a
+from-scratch rebuild.
+
+The repair is organized around two frontiers:
+
+* the **dirty-source frontier** — for each changed edge ``{a, b}`` one
+  shortest-path sweep from each endpoint decides, per node ``v``,
+  whether *any* distance out of ``v`` can have moved: a weight increase
+  matters to ``v`` only if the old edge was on a near-optimal ``v``-path
+  (``d(v, a) + w_old <= d(v, b)`` or symmetrically, padded by a
+  conservative float margin), a decrease only if the new edge opens a
+  shorter route (``d(v, a) + w_new < d(v, b)`` or symmetrically).  Every
+  scheme's sketch of a *clean* node is a pure function of that node's
+  unchanged distance row (plus fixed random artifacts), so clean
+  sketches are reused byte-for-byte.
+* the **dirty-shard frontier** — only sketch entries owned by dirty
+  nodes can change, so the index refresh
+  (:func:`~repro.service.index.refresh_index`) rebuilds only the
+  landmark shards holding a dirty owner's old or new entries; every
+  clean shard's arrays and hash tables carry over to the new epoch by
+  reference.  For the Thorup–Zwick family the dirty bunches themselves
+  are recomputed from the Section 3.1 definition against the dirty
+  nodes' own Dijkstra rows (see :func:`repair_tz_sketches`), never by
+  re-growing the clean landmarks' trees.
+
+When the dirty fraction exceeds ``rebuild_threshold`` the repair is
+abandoned for an automatic **full rebuild** — localized repair only wins
+while the frontier is small, and the fallback guarantees the cost is
+never worse than a rebuild by more than the frontier sweep.
+
+**The hard invariant** (property-tested per scheme × memory backing):
+after ``apply``, the updated index answers *bit-identically* to an index
+rebuilt from scratch on the mutated graph with the same random artifacts
+(hierarchy / density nets / schedule), including
+:class:`~repro.errors.QueryError` parity when an update disconnects the
+graph.  Repairs therefore recompute with the *same primitives* the
+builders certify — ``compute_pivot_keys`` for the pivot tables, the
+definition-based bunch scan the differential tests prove equal to
+cluster growing, ``scipy``'s Dijkstra rows for the slack schemes'
+tables — never with a "close enough" shortcut.
+
+Epoch semantics: every effective ``apply`` produces a **new**
+:class:`~repro.service.index.IndexStore` (clean shards shared
+structurally, affected shards rebuilt) and bumps :attr:`epoch`; the old
+store object is never mutated, which is what lets
+:meth:`~repro.service.engine.QueryEngine.apply_updates` hot-swap epochs
+while in-flight batches finish on the old pack.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
+
+from repro.errors import ConfigError, GraphError, QueryError
+from repro.graphs.graph import Graph
+from repro.graphs.metrics import apsp
+from repro.rng import SeedLike, ensure_rng
+from repro.service.index import IndexStore, build_index, refresh_index
+from repro.slack.cdg import CDGSketch, build_cdg_centralized, _net_hierarchy
+from repro.slack.density_net import (DensityNet, nearest_in_set_centralized,
+                                     sample_density_net)
+from repro.slack.graceful import GracefulSketch, graceful_schedule
+from repro.slack.stretch3 import Stretch3Sketch, build_stretch3_centralized
+from repro.tz.centralized import (build_tz_sketches_centralized, cluster_of,
+                                  compute_pivot_keys)
+from repro.tz.hierarchy import Hierarchy, sample_hierarchy
+from repro.tz.sketch import TZSketch
+
+#: ops an :class:`EdgeChange` can carry
+CHANGE_OPS = ("set", "increase", "decrease", "insert", "remove")
+
+#: default dirty-fraction beyond which apply() falls back to a rebuild
+REBUILD_THRESHOLD_DEFAULT = 0.25
+
+#: relative pad on the dirtiness tests — float path sums computed from
+#: the two ends of a path can differ by a few ulps, so the frontier
+#: tests over-approximate by this margin (more dirty nodes, never fewer)
+_MARGIN_REL = 1e-9
+
+
+# ----------------------------------------------------------------------
+# the change stream
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EdgeChange:
+    """One edge mutation.
+
+    :param op: ``"set"`` / ``"increase"`` / ``"decrease"`` change the
+        weight of an existing edge (direction-checked for the latter
+        two); ``"insert"`` adds a new edge; ``"remove"`` deletes one.
+    :param u,v: endpoints (order irrelevant — edges are undirected).
+    :param weight: the new weight (ignored for ``"remove"``).
+    """
+
+    op: str
+    u: int
+    v: int
+    weight: Optional[float] = None
+
+    def __post_init__(self):
+        if self.op not in CHANGE_OPS:
+            raise ConfigError(f"unknown change op {self.op!r}; "
+                              f"choose from {CHANGE_OPS}")
+        if self.op != "remove":
+            w = self.weight
+            if w is None or not (float(w) > 0) or not np.isfinite(w):
+                raise ConfigError(
+                    f"{self.op} needs a positive finite weight, "
+                    f"got {self.weight!r}")
+        if self.u == self.v:
+            raise ConfigError(f"self-loop change on node {self.u}")
+
+    def as_dict(self) -> dict:
+        d = {"op": self.op, "u": self.u, "v": self.v}
+        if self.op != "remove":
+            d["weight"] = float(self.weight)
+        return d
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "EdgeChange":
+        try:
+            return cls(op=str(data["op"]), u=int(data["u"]),
+                       v=int(data["v"]), weight=data.get("weight"))
+        except KeyError as exc:
+            raise ConfigError(f"edge change missing field {exc}") from None
+
+
+def save_changes_jsonl(changes: Iterable[EdgeChange], path) -> None:
+    """Persist a change stream as JSON lines (one tagged change per
+    line; the envelope lives in :mod:`repro.oracle.serialization` with
+    the library's other wire formats)."""
+    from repro.oracle.serialization import change_to_dict
+
+    with open(path, "w", encoding="ascii") as fh:
+        for c in changes:
+            fh.write(json.dumps(change_to_dict(c), separators=(",", ":")))
+            fh.write("\n")
+
+
+def load_changes_jsonl(path) -> list[EdgeChange]:
+    """Load a change stream written by :func:`save_changes_jsonl`."""
+    from repro.oracle.serialization import change_from_dict
+
+    out = []
+    with open(path, "r", encoding="ascii") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(change_from_dict(json.loads(line)))
+    return out
+
+
+def sample_weight_changes(graph: Graph, count: int, seed: SeedLike = 0,
+                          low: float = 0.5, high: float = 2.0,
+                          ) -> list[EdgeChange]:
+    """A reproducible batch of ``count`` random weight perturbations:
+    distinct edges, each weight scaled by a uniform factor in
+    ``[low, high]`` (the workload of ``update-bench`` / E16)."""
+    if count < 1:
+        raise ConfigError(f"count must be >= 1, got {count}")
+    edges = list(graph.edges())
+    if not edges:
+        raise ConfigError("graph has no edges to perturb")
+    rng = ensure_rng(seed)
+    picks = rng.choice(len(edges), size=min(count, len(edges)),
+                       replace=False)
+    out = []
+    for j in picks:
+        u, v, w = edges[int(j)]
+        factor = float(rng.uniform(low, high))
+        out.append(EdgeChange(op="set", u=u, v=v,
+                              weight=max(w * factor, 1e-12)))
+    return out
+
+
+# ----------------------------------------------------------------------
+# the dirty-source frontier
+# ----------------------------------------------------------------------
+def _endpoint_rows(graph: Graph, a: int, b: int) -> tuple[np.ndarray,
+                                                          np.ndarray]:
+    """``(d(a, ·), d(b, ·))`` on the current graph (the frontier sweep)."""
+    if graph.n == 1:  # degenerate, no edges possible anyway
+        z = np.zeros(1)
+        return z, z
+    rows = _csgraph_dijkstra(graph.to_csr(), directed=False,
+                             indices=[a, b])
+    return rows[0], rows[1]
+
+
+def _dirty_for_change(d_a: np.ndarray, d_b: np.ndarray, w_old: float,
+                      w_new: float) -> np.ndarray:
+    """Boolean dirty mask for one weight change (``inf`` spellings cover
+    insert — ``w_old = inf`` — and remove — ``w_new = inf``).
+
+    Conservative: a node is kept *clean* only when no near-optimal path
+    out of it can touch the edge, padded by :data:`_MARGIN_REL`.
+    """
+    both_far = np.isinf(d_a) & np.isinf(d_b)
+    margin = _MARGIN_REL * (1.0 + np.where(np.isfinite(d_a), d_a, 0.0)
+                            + np.where(np.isfinite(d_b), d_b, 0.0))
+    dirty = np.zeros(d_a.shape[0], dtype=bool)
+    if w_new < w_old:  # decrease / insert: a new route may open
+        dirty |= (d_a + w_new < d_b + margin) | (d_b + w_new < d_a + margin)
+    if w_new > w_old:  # increase / remove: an old route may close
+        dirty |= (d_a + w_old <= d_b + margin) | (d_b + w_old <= d_a + margin)
+    dirty &= ~both_far
+    return dirty
+
+
+def dirty_frontier(graph: Graph, changes: Sequence[EdgeChange],
+                   ) -> np.ndarray:
+    """Apply ``changes`` to ``graph`` **in place**, returning the sorted
+    array of dirty sources — nodes whose distance row may have moved.
+
+    Each change is tested against the graph state it lands on (two
+    endpoint Dijkstra sweeps per change), so a batch composes exactly
+    like replaying the changes one by one.
+
+    :raises GraphError: for an ``insert`` of an existing edge, a
+        ``remove``/weight change of a missing one, or an ``increase`` /
+        ``decrease`` in the wrong direction — raised **before** any
+        mutation lands, so a bad stream leaves the graph untouched.
+    """
+    shadow = graph.copy()  # validate the whole stream before mutating
+    for c in changes:
+        if not (0 <= c.u < shadow.n and 0 <= c.v < shadow.n):
+            raise GraphError(f"change endpoints ({c.u}, {c.v}) out of "
+                             f"range [0, {shadow.n})")
+        if c.op == "insert":
+            if shadow.has_edge(c.u, c.v):
+                raise GraphError(
+                    f"insert: edge ({c.u}, {c.v}) already exists "
+                    f"(use set/increase/decrease)")
+            shadow.add_edge(c.u, c.v, c.weight)
+        elif c.op == "remove":
+            shadow.remove_edge(c.u, c.v)
+        else:
+            w_old = shadow.weight(c.u, c.v)
+            if c.op == "increase" and not c.weight > w_old:
+                raise GraphError(
+                    f"increase on ({c.u}, {c.v}): {c.weight} <= {w_old}")
+            if c.op == "decrease" and not c.weight < w_old:
+                raise GraphError(
+                    f"decrease on ({c.u}, {c.v}): {c.weight} >= {w_old}")
+            shadow.set_weight(c.u, c.v, c.weight)
+
+    # the shadow pass above is the single validation point; from here on
+    # every change is known to be legal against the state it lands on
+    dirty = np.zeros(graph.n, dtype=bool)
+    for c in changes:
+        if c.op == "insert":
+            w_old, w_new = np.inf, float(c.weight)
+        elif c.op == "remove":
+            w_old, w_new = graph.weight(c.u, c.v), np.inf
+        else:
+            w_old, w_new = graph.weight(c.u, c.v), float(c.weight)
+        if w_new == w_old:
+            continue
+        d_a, d_b = _endpoint_rows(graph, c.u, c.v)
+        dirty |= _dirty_for_change(d_a, d_b, w_old, w_new)
+        if c.op == "remove":
+            graph.remove_edge(c.u, c.v)
+        elif c.op == "insert":
+            graph.add_edge(c.u, c.v, w_new)
+        else:
+            graph.set_weight(c.u, c.v, w_new)
+    return np.flatnonzero(dirty)
+
+
+def _dijkstra_rows(graph: Graph, sources: Sequence[int]) -> np.ndarray:
+    """Distance rows for ``sources`` — bitwise the corresponding rows of
+    :func:`~repro.graphs.metrics.apsp` (same solver, same CSR)."""
+    if graph.n == 1:
+        return np.zeros((len(sources), 1))
+    return np.atleast_2d(_csgraph_dijkstra(graph.to_csr(), directed=False,
+                                           indices=list(sources)))
+
+
+# ----------------------------------------------------------------------
+# Thorup–Zwick repair (shared by the tz scheme and the CDG net labels)
+# ----------------------------------------------------------------------
+def repair_tz_sketches(graph: Graph, hierarchy: Hierarchy,
+                       dirty: Sequence[int],
+                       dist_rows: Optional[np.ndarray] = None,
+                       ) -> dict[int, TZSketch]:
+    """Recompute the TZ sketches of ``dirty`` nodes on the (already
+    mutated) graph, bit-identical to a full
+    :func:`~repro.tz.centralized.build_tz_sketches_centralized` rerun.
+
+    The pivot tables are recomputed with the builder's own multi-source
+    sweeps (cheap: ``k`` Dijkstras — the part of the build whose cost
+    does not scale with the dirty set).  Bunch entries are direction-
+    sensitive at the ulp level (a float path sum depends on which end
+    the Dijkstra ran from), so every stored distance is recomputed in
+    the **builder's direction — from the landmark**:
+
+    * top-level landmarks (``A_{k-1}``, whose clusters are untruncated
+      and belong to every bunch) contribute one from-landmark Dijkstra
+      row each — bitwise what the untruncated
+      :func:`~repro.tz.centralized.cluster_of` stores, at a fixed cost
+      independent of the dirty set;
+    * sub-top candidate landmarks — the only ones whose (small,
+      truncated) clusters could hold a dirty node, discovered by a
+      margin-padded threshold scan of the dirty nodes' own rows — are
+      re-grown with :func:`~repro.tz.centralized.cluster_of` itself.
+
+    The dirty nodes' from-source rows steer *which* clusters are
+    re-grown; they never supply a stored float.
+
+    :param dist_rows: optional pre-computed Dijkstra rows for ``dirty``
+        (row ``j`` is node ``dirty[j]``); computed here when omitted.
+    :returns: ``{node: new TZSketch}`` for exactly the dirty nodes.
+    """
+    dirty = sorted(int(v) for v in dirty)
+    if not dirty:
+        return {}
+    k = hierarchy.k
+    pivot_keys = compute_pivot_keys(graph, hierarchy)
+    if dist_rows is None:
+        dist_rows = _dijkstra_rows(graph, dirty)
+
+    # margin-padded discovery of the sub-top clusters that could hold a
+    # dirty node: candidate w at level i iff d(v, w) <= d(v, A_{i+1}) + pad
+    roots: set[int] = set()
+    for j, v in enumerate(dirty):
+        row = dist_rows[j]
+        for i in range(k - 1):
+            members = hierarchy.exact_level(i)
+            if members.size == 0:
+                continue
+            thr = pivot_keys[i + 1][v]
+            if thr.is_inf():
+                near = members[np.isfinite(row[members])]
+            else:
+                pad = _MARGIN_REL * (1.0 + thr.dist)
+                near = members[row[members] <= thr.dist + pad]
+            roots.update(int(w) for w in near)
+    clusters: dict[int, tuple[int, dict[int, float]]] = {}
+    for w in sorted(roots):
+        lvl = hierarchy.level_of(w)
+        clusters[w] = (lvl, cluster_of(graph, w, lvl, pivot_keys[lvl + 1]))
+
+    top = hierarchy.exact_level(k - 1)
+    top_rows = (_dijkstra_rows(graph, [int(w) for w in top])
+                if top.size else None)
+
+    out: dict[int, TZSketch] = {}
+    for j, v in enumerate(dirty):
+        # canonical (level, landmark) insertion order, matching
+        # merge_cluster_tables, so dict iteration order is reproducible
+        entries = sorted(((lvl, w, c[v])
+                          for w, (lvl, c) in clusters.items() if v in c),
+                         key=lambda e: (e[0], e[1]))
+        bunch: dict[int, tuple[float, int]] = {
+            w: (d, lvl) for lvl, w, d in entries}
+        for jj, w in enumerate(top):
+            d = top_rows[jj, v]
+            if np.isfinite(d):
+                bunch[int(w)] = (float(d), k - 1)
+        pivots = tuple((pivot_keys[i][v].node, pivot_keys[i][v].dist)
+                       for i in range(k))
+        out[v] = TZSketch(node=v, k=k, pivots=pivots, bunch=bunch)
+    return out
+
+
+# ----------------------------------------------------------------------
+# per-scheme build/repair strategies (fixed random artifacts)
+# ----------------------------------------------------------------------
+class _TZState:
+    scheme = "tz"
+
+    def __init__(self, hierarchy: Hierarchy):
+        self.hierarchy = hierarchy
+
+    def build(self, graph: Graph) -> list[TZSketch]:
+        sketches, _ = build_tz_sketches_centralized(
+            graph, hierarchy=self.hierarchy)
+        return sketches
+
+    def repair(self, graph: Graph, sketches: list, dirty: np.ndarray,
+               ) -> tuple[list, set[int]]:
+        fresh = repair_tz_sketches(graph, self.hierarchy, dirty)
+        out = list(sketches)
+        for v, s in fresh.items():
+            out[v] = s
+        return out, set(fresh)
+
+
+class _Stretch3State:
+    scheme = "stretch3"
+
+    def __init__(self, net: DensityNet, eps: float):
+        self.net = net
+        self.eps = float(eps)
+
+    def build(self, graph: Graph,
+              dist_matrix: Optional[np.ndarray] = None) -> list:
+        sketches, _ = build_stretch3_centralized(
+            graph, self.eps, net=self.net, dist_matrix=dist_matrix)
+        return sketches
+
+    def repair(self, graph: Graph, sketches: list, dirty: np.ndarray,
+               dist_rows: Optional[np.ndarray] = None,
+               ) -> tuple[list, set[int]]:
+        dirty = [int(v) for v in dirty]
+        if dist_rows is None:
+            dist_rows = _dijkstra_rows(graph, dirty)
+        members = list(self.net.members)
+        out = list(sketches)
+        for j, v in enumerate(dirty):
+            row = dist_rows[j]
+            out[v] = Stretch3Sketch(
+                node=v, eps=self.eps,
+                entries={w: float(row[w]) for w in members})
+        return out, set(dirty)
+
+
+class _CDGState:
+    scheme = "cdg"
+
+    def __init__(self, net: DensityNet, hierarchy: Hierarchy, eps: float,
+                 k: int):
+        self.net = net
+        self.hierarchy = hierarchy
+        self.eps = float(eps)
+        self.k = int(k)
+
+    def build(self, graph: Graph,
+              dist_matrix: Optional[np.ndarray] = None) -> list[CDGSketch]:
+        sketches, _, _ = build_cdg_centralized(
+            graph, self.eps, self.k, net=self.net,
+            hierarchy=self.hierarchy, dist_matrix=dist_matrix)
+        return sketches
+
+    def repair(self, graph: Graph, sketches: list, dirty: np.ndarray,
+               dist_rows: Optional[np.ndarray] = None,
+               ) -> tuple[list, set[int]]:
+        dirty = [int(v) for v in dirty]
+        if dist_rows is None:
+            dist_rows = _dijkstra_rows(graph, dirty)
+        members = list(self.net.members)
+        member_set = set(members)
+        # every net member is its own gateway (d(w, w) = 0 always wins),
+        # so member w's current label is sketches[w].label
+        labels = {w: sketches[w].label for w in members}
+        net_dirty = [v for v in dirty if v in member_set]
+        if net_dirty:
+            rows_idx = {v: j for j, v in enumerate(dirty)}
+            sub_rows = dist_rows[[rows_idx[v] for v in net_dirty]]
+            fresh = repair_tz_sketches(graph, self.hierarchy, net_dirty,
+                                       dist_rows=sub_rows)
+            labels.update(fresh)
+        gateways = nearest_in_set_centralized(dist_rows, members)
+        new_gw = {v: gateways[j] for j, v in enumerate(dirty)}
+        out = list(sketches)
+        touched: set[int] = set()
+        for u, s in enumerate(sketches):
+            if u in new_gw:
+                gd, gw = new_gw[u]
+            else:
+                gd, gw = s.gateway_dist, s.gateway
+            if gw < 0:
+                raise QueryError(
+                    f"update strands node {u} from the density net "
+                    f"(no reachable member); rebuild with a net covering "
+                    f"every component")
+            lbl = labels[gw]
+            if u in new_gw or lbl is not s.label:
+                out[u] = CDGSketch(node=u, eps=self.eps, k=self.k,
+                                   gateway=gw, gateway_dist=gd, label=lbl)
+                touched.add(u)
+        return out, touched
+
+
+class _GracefulState:
+    scheme = "graceful"
+
+    def __init__(self, schedule: list, components: list[_CDGState]):
+        self.schedule = schedule
+        self.components = components
+
+    def build(self, graph: Graph) -> list[GracefulSketch]:
+        d = apsp(graph)
+        per_level = [c.build(graph, dist_matrix=d) for c in self.components]
+        return [GracefulSketch(node=u,
+                               components=tuple(lvl[u] for lvl in per_level))
+                for u in range(graph.n)]
+
+    def repair(self, graph: Graph, sketches: list, dirty: np.ndarray,
+               ) -> tuple[list, set[int]]:
+        dirty_list = [int(v) for v in dirty]
+        rows = _dijkstra_rows(graph, dirty_list)
+        touched: set[int] = set()
+        per_level = []
+        for i, comp in enumerate(self.components):
+            comp_sketches = [s.components[i] for s in sketches]
+            repaired, comp_touched = comp.repair(graph, comp_sketches,
+                                                 dirty, dist_rows=rows)
+            per_level.append(repaired)
+            touched |= comp_touched
+        out = list(sketches)
+        for u in touched:
+            out[u] = GracefulSketch(
+                node=u, components=tuple(lvl[u] for lvl in per_level))
+        return out, touched
+
+
+def _make_state(graph: Graph, scheme: str, seed: SeedLike, params: dict):
+    """Sample the scheme's random artifacts exactly as
+    :func:`~repro.oracle.api.build_sketches` would for the same seed, and
+    wrap them in the matching repair strategy."""
+    rng = ensure_rng(seed)
+    n = graph.n
+    if scheme == "tz":
+        hierarchy = params.get("hierarchy")
+        if hierarchy is None:
+            k = params.get("k")
+            if k is None:
+                raise ConfigError("tz scheme needs k (or a hierarchy)")
+            hierarchy = sample_hierarchy(n, k, seed=rng)
+        return _TZState(hierarchy)
+    if scheme == "stretch3":
+        eps = params.get("eps")
+        if eps is None:
+            raise ConfigError("stretch3 scheme needs eps")
+        net = params.get("net") or sample_density_net(n, eps, seed=rng)
+        return _Stretch3State(net, eps)
+    if scheme == "cdg":
+        eps, k = params.get("eps"), params.get("k")
+        if eps is None or k is None:
+            raise ConfigError("cdg scheme needs eps and k")
+        net = params.get("net") or sample_density_net(n, eps, seed=rng)
+        hierarchy = (params.get("hierarchy")
+                     or _net_hierarchy(graph, net, eps, k, rng))
+        return _CDGState(net, hierarchy, eps, k)
+    if scheme == "graceful":
+        schedule = params.get("schedule") or graceful_schedule(n)
+        components = []
+        for eps, k in schedule:
+            net = sample_density_net(n, eps, seed=rng)
+            hierarchy = _net_hierarchy(graph, net, eps, k, rng)
+            components.append(_CDGState(net, hierarchy, eps, k))
+        return _GracefulState(schedule, components)
+    raise ConfigError(f"scheme {scheme!r} has no update strategy")
+
+
+# ----------------------------------------------------------------------
+# the updateable index
+# ----------------------------------------------------------------------
+@dataclass
+class UpdateReport:
+    """What one :meth:`UpdateableIndex.apply` did."""
+
+    mode: str               # "noop" | "repair" | "rebuild"
+    epoch: int              # epoch after the apply
+    changes: int            # changes applied to the graph
+    dirty: int              # dirty-source frontier size
+    touched: int            # sketches actually replaced
+    n: int
+    dirty_fraction: float
+    seconds: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {"mode": self.mode, "epoch": self.epoch,
+                "changes": self.changes, "dirty": self.dirty,
+                "touched": self.touched, "n": self.n,
+                "dirty_fraction": self.dirty_fraction,
+                "seconds": dict(self.seconds)}
+
+
+class UpdateableIndex:
+    """A live index over a mutable graph: apply edge changes, get a new
+    epoch's :class:`~repro.service.index.IndexStore`.
+
+    :param graph: the starting graph (copied; later mutations happen on
+        the copy via :meth:`apply`).
+    :param scheme: ``"tz"`` | ``"stretch3"`` | ``"cdg"`` | ``"graceful"``
+        (centralized builds only — the artifacts are sampled once from
+        ``seed`` and pinned for the index's lifetime, so a from-scratch
+        rebuild is always well defined).
+    :param num_shards: landmark shard count of every epoch's store.
+    :param rebuild_threshold: dirty fraction above which :meth:`apply`
+        falls back to a full rebuild.
+    :param sketches: optionally, the already-built sketch set for this
+        exact (graph, artifacts) pair — skips the initial build.
+    :param params: scheme parameters (``k`` / ``eps`` / ``hierarchy`` /
+        ``net`` / ``schedule``), as for
+        :func:`~repro.oracle.api.build_sketches`.
+    """
+
+    def __init__(self, graph: Graph, scheme: str = "tz",
+                 seed: SeedLike = None, num_shards: int = 1,
+                 rebuild_threshold: float = REBUILD_THRESHOLD_DEFAULT,
+                 sketches: Optional[list] = None, **params):
+        if not (0.0 <= rebuild_threshold <= 1.0):
+            raise ConfigError(f"rebuild_threshold must be in [0, 1], "
+                              f"got {rebuild_threshold}")
+        self.graph = graph.copy()
+        self.scheme = scheme
+        self.num_shards = int(num_shards)
+        self.rebuild_threshold = float(rebuild_threshold)
+        self._state = _make_state(self.graph, scheme, seed, params)
+        self.sketches = (list(sketches) if sketches is not None
+                         else self._state.build(self.graph))
+        if len(self.sketches) != self.graph.n:
+            raise ConfigError(
+                f"{len(self.sketches)} sketches for a "
+                f"{self.graph.n}-node graph")
+        self.index: IndexStore = build_index(self.sketches,
+                                             num_shards=self.num_shards)
+        self.epoch = 0
+        self.last_report: Optional[UpdateReport] = None
+
+    # ------------------------------------------------------------------
+    def apply(self, changes: Sequence[EdgeChange]) -> UpdateReport:
+        """Apply a change batch and refresh the index.
+
+        Repairs (or rebuilds, past the threshold) the sketch set and
+        installs a **new** index object — the previous epoch's store is
+        left untouched for readers still on it.  Bit-identity with a
+        from-scratch rebuild is the module invariant; see the module
+        docstring.
+
+        Atomic: the changes land on a working copy of the graph, and
+        all state (graph, sketches, index, epoch) commits together only
+        after the repair succeeds — an exception anywhere (a bad
+        change, a repair that strands a node from a density net) leaves
+        the index exactly as it was.
+        """
+        t0 = time.perf_counter()
+        changes = list(changes)
+        work = self.graph.copy()
+        dirty = dirty_frontier(work, changes)
+        t1 = time.perf_counter()
+        n = work.n
+        frac = dirty.size / n if n else 0.0
+        secs = {"frontier": t1 - t0}
+        if dirty.size == 0:
+            self.graph = work  # weights may still have moved (harmlessly)
+            secs["total"] = time.perf_counter() - t0
+            report = UpdateReport(mode="noop", epoch=self.epoch,
+                                  changes=len(changes), dirty=0, touched=0,
+                                  n=n, dirty_fraction=0.0, seconds=secs)
+            self.last_report = report
+            return report
+        if frac > self.rebuild_threshold:
+            mode = "rebuild"
+            sketches = self._state.build(work)
+            touched = set(range(n))
+            t2 = time.perf_counter()
+            index = build_index(sketches, num_shards=self.num_shards)
+        else:
+            mode = "repair"
+            sketches, touched = self._state.repair(work, self.sketches,
+                                                   dirty)
+            t2 = time.perf_counter()
+            index = refresh_index(self.index, sketches, touched)
+        t3 = time.perf_counter()
+        secs.update({"repair": t2 - t1, "index": t3 - t2, "total": t3 - t0})
+        self.graph = work
+        self.sketches = sketches
+        self.index = index
+        self.epoch += 1
+        report = UpdateReport(mode=mode, epoch=self.epoch,
+                              changes=len(changes), dirty=int(dirty.size),
+                              touched=len(touched), n=n,
+                              dirty_fraction=frac, seconds=secs)
+        self.last_report = report
+        return report
+
+    def rebuild_reference(self) -> IndexStore:
+        """A from-scratch build on the **current** graph with the same
+        pinned artifacts — the oracle the bit-identity invariant (and
+        ``update-bench``) compares against.  Does not mutate state."""
+        sketches = self._state.build(self.graph)
+        return build_index(sketches, num_shards=self.num_shards)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"UpdateableIndex({self.scheme}, n={self.graph.n}, "
+                f"epoch={self.epoch}, shards={self.num_shards})")
+
+
+# ----------------------------------------------------------------------
+# the measurement harness (update-bench / E16)
+# ----------------------------------------------------------------------
+def run_update_benchmark(graph: Graph, scheme: str = "tz",
+                         seed: SeedLike = 0,
+                         batch_sizes: Sequence[int] = (1, 4, 16),
+                         num_shards: int = 1,
+                         rebuild_threshold: float = 1.0,
+                         verify_pairs: int = 2000,
+                         **params) -> dict:
+    """Incremental update vs full rebuild, per change-batch size.
+
+    For each batch size: build a fresh :class:`UpdateableIndex`, apply a
+    reproducible batch of random weight perturbations, time the apply,
+    then time a from-scratch rebuild on the mutated graph and verify the
+    two indexes are **identical** (``==`` plus bitwise-equal estimates
+    on a sampled workload).  Returns a JSON-ready report; the
+    ``identical`` flag covers every row.
+    """
+    from repro.service.bench import sample_query_pairs
+
+    rows = []
+    identical = True
+    for size in batch_sizes:
+        upd = UpdateableIndex(graph, scheme=scheme, seed=seed,
+                              num_shards=num_shards,
+                              rebuild_threshold=rebuild_threshold, **params)
+        changes = sample_weight_changes(graph, size, seed=hash(size) % 2**31)
+        # sample_weight_changes clamps to the edge count; report what ran
+        t0 = time.perf_counter()
+        report = upd.apply(changes)
+        t_update = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        rebuilt = upd.rebuild_reference()
+        t_rebuild = time.perf_counter() - t0
+        pairs = sample_query_pairs(graph.n, min(verify_pairs, graph.n ** 2),
+                                   seed=size)
+        same = bool(upd.index == rebuilt) and bool(np.array_equal(
+            upd.index.estimate_many(pairs[:, 0], pairs[:, 1]),
+            rebuilt.estimate_many(pairs[:, 0], pairs[:, 1])))
+        identical &= same
+        rows.append({
+            "batch": int(size), "changes": len(changes),
+            "mode": report.mode,
+            "dirty": report.dirty, "touched": report.touched,
+            "update_seconds": t_update, "rebuild_seconds": t_rebuild,
+            "speedup": t_rebuild / t_update if t_update > 0 else np.inf,
+            "identical": same,
+        })
+    return {"scheme": scheme, "n": graph.n, "m": graph.m,
+            "shards": int(num_shards), "rows": rows,
+            "identical": identical}

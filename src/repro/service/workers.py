@@ -56,6 +56,14 @@ segments.
 Per-batch **phase timings** (plan / shard_answer / finish / ipc) are
 accumulated on :attr:`ShardServer.timings`; ``serve-bench`` reports
 them, which is how an IPC-bound configuration is diagnosed from one run.
+
+A server is pinned to **one epoch** of its index: the dynamic-update
+path (:meth:`~repro.service.engine.QueryEngine.apply_updates`) never
+mutates a served store — it builds the next epoch's server (whose
+workers attach to the *new* pack) while this one keeps answering, then
+swaps and closes this one once its in-flight batches drain.
+:meth:`ShardServer.data_plane` exposes which segments a server is
+actually reading, so the swap is observable.
 """
 
 from __future__ import annotations
@@ -372,6 +380,30 @@ class ShardServer:
     def reset_timings(self) -> None:
         """Zero the cumulative phase timings."""
         self.timings = PhaseTimings()
+
+    def data_plane(self) -> dict:
+        """Where this server's bytes physically live: memory mode,
+        effective worker count, the index pack's segment name / file
+        path (non-heap modes), and the live message-ring segment names.
+
+        Introspection for operators and tests — e.g. the epoch hot-swap
+        suite asserts that after
+        :meth:`~repro.service.engine.QueryEngine.apply_updates` the new
+        epoch's workers serve from a *different* shared segment and the
+        old epoch's segments are unlinked once its batches drain.
+        """
+        info: dict = {"memory": self.memory, "jobs": self.jobs}
+        if self._packed is not None:
+            pack = self._packed.pack
+            info["pack_backing"] = pack.backing
+            if pack.backing == "shared" and pack._segment is not None:
+                info["pack_segment"] = pack._segment.name
+            elif pack.backing == "mmap":
+                info["pack_path"] = pack.path
+        info["rings"] = [ring.name
+                         for ring in (self._req_ring, self._resp_ring)
+                         if ring is not None]
+        return info
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -27,7 +27,6 @@ from typing import Optional
 import numpy as np
 
 from repro.congest.metrics import RunMetrics
-from repro.distkey import DistKey
 from repro.errors import ConfigError
 from repro.graphs.graph import Graph
 from repro.graphs.metrics import apsp

@@ -45,7 +45,6 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Optional, Union
 
-import numpy as np
 
 from repro.algorithms.bfs_tree import BFSTreeProgram, TreeInfo
 from repro.algorithms.round_robin import MultiSourceEngine

@@ -1,6 +1,5 @@
 """Distributed single-source Bellman-Ford (Algorithm 1)."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,9 +1,8 @@
 """Leader election, BFS trees, and tree broadcast (Section 3.3 setup)."""
 
-import pytest
 
 from repro.algorithms import build_bfs_tree, tree_broadcast
-from repro.graphs import Graph, apsp_hops, grid2d, path_graph, ring
+from repro.graphs import Graph, apsp_hops
 
 
 def check_tree(graph, trees):

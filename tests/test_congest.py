@@ -1,6 +1,5 @@
 """The CONGEST simulator (repro.congest)."""
 
-from typing import Any
 
 import pytest
 

@@ -14,7 +14,7 @@ from repro.algorithms.bellman_ford import BellmanFordProgram
 from repro.algorithms.supersource import SuperSourceBFProgram
 from repro.congest.delays import DelayedSimulator
 from repro.errors import ConfigError
-from repro.graphs import apsp, grid2d, path_graph
+from repro.graphs import apsp
 from repro.tz import build_tz_sketches_centralized, sample_hierarchy
 from repro.tz.distributed import TZEchoProgram, TZOracleProgram
 

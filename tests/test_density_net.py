@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigError
-from repro.graphs import apsp
 from repro.slack.density_net import (
     DensityNet,
     ball_radii,

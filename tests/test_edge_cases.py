@@ -5,9 +5,7 @@ the boundaries), and cross-mode runs on pathological topologies — the
 places where off-by-one phase logic or empty-set handling would hide.
 """
 
-import math
 
-import numpy as np
 import pytest
 
 from repro import build_sketches

@@ -19,7 +19,7 @@ from repro.algorithms.reliable_bf import (
 )
 from repro.congest.faults import FaultModel, FaultySimulator
 from repro.errors import ConfigError
-from repro.graphs import apsp, erdos_renyi, path_graph, ring
+from repro.graphs import apsp, path_graph, ring
 
 
 class TestFaultModel:

@@ -1,6 +1,5 @@
 """Topology generators (repro.graphs.generators)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import GraphError

@@ -1,8 +1,6 @@
 """Gracefully degrading sketches (repro.slack.graceful, Theorem 4.8)."""
 
-import math
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigError, QueryError

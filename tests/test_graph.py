@@ -1,6 +1,5 @@
 """The Graph type (repro.graphs.graph)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import GraphError

@@ -39,7 +39,6 @@ class TestAPSP:
 
     def test_triangle_inequality(self, er_weighted):
         d = apsp(er_weighted)
-        n = d.shape[0]
         # d[u,v] <= d[u,w] + d[w,v] for all w — vectorized check
         via = d[:, :, None] + d[None, :, :]  # via[u, w, v]
         assert np.all(d[:, None, :] <= via.transpose(0, 1, 2) + 1e-9)

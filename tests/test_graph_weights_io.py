@@ -1,6 +1,5 @@
 """Weight schemes and edge-list I/O."""
 
-import numpy as np
 import pytest
 
 from repro.errors import GraphError

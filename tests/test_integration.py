@@ -1,8 +1,6 @@
 """End-to-end integration scenarios crossing all subsystems."""
 
-import math
 
-import numpy as np
 import pytest
 
 from repro import build_sketches

@@ -5,7 +5,7 @@ import pytest
 
 from repro.algorithms import distances_to_set, k_source_shortest_paths
 from repro.errors import ConfigError
-from repro.graphs import Graph, apsp, path_graph, ring, shortest_path_diameter
+from repro.graphs import apsp, path_graph, ring, shortest_path_diameter
 from repro.slack.density_net import nearest_in_set_centralized
 
 

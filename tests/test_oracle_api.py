@@ -4,7 +4,6 @@ import pytest
 
 from repro import build_sketches
 from repro.errors import ConfigError
-from repro.graphs import apsp
 from repro.oracle.schemes import SCHEMES, get_scheme
 
 

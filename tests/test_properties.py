@@ -8,10 +8,8 @@ clusters, hierarchies nest, nets cover.
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -184,8 +182,7 @@ class TestSlackProperties:
     @given(g=connected_graphs(max_n=10),
            seed=st.integers(min_value=0, max_value=10**6))
     def test_graceful_worst_case(self, g, seed):
-        from repro.slack.graceful import (build_graceful_centralized,
-                                          graceful_schedule)
+        from repro.slack.graceful import build_graceful_centralized
 
         d = apsp(g)
         sketches, schedule = build_graceful_centralized(g, seed=seed,

@@ -1,15 +1,13 @@
 """The round-robin multi-source engine (heart of Algorithm 2)."""
 
-import math
 
-import numpy as np
 import pytest
 
 from repro.algorithms.round_robin import (EngineListener, MultiSourceEngine,
                                           RoundRobinBFProgram)
 from repro.congest import Simulator
 from repro.distkey import DistKey, INF_KEY
-from repro.graphs import Graph, apsp, path_graph
+from repro.graphs import apsp, path_graph
 
 
 class RecordingListener(EngineListener):

@@ -1,7 +1,6 @@
 """Fine-grained simulator semantics: clocks, quiescence callbacks,
 finished(), and the errors module."""
 
-from typing import Any
 
 import pytest
 
@@ -14,7 +13,7 @@ from repro.errors import (
     ReproError,
     SimulationError,
 )
-from repro.graphs import Graph, path_graph
+from repro.graphs import path_graph
 
 
 class TestErrorsHierarchy:
@@ -93,7 +92,7 @@ class TestQuiescenceCallbacks:
 
         g = path_graph(2)
         progs = {0: PhaseHopper(2), 1: PhaseHopper(0)}
-        res = Simulator(g, lambda u: progs[u]).run()
+        Simulator(g, lambda u: progs[u]).run()
         assert progs[0].advances == 2
 
 

@@ -1,6 +1,5 @@
 """Stretch-3 ε-slack sketches (repro.slack.stretch3, Theorem 4.3)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import QueryError

@@ -1,13 +1,12 @@
 """Centralized Thorup-Zwick (repro.tz.centralized)."""
 
-import math
 
 import numpy as np
 import pytest
 
 from repro.distkey import DistKey, INF_KEY
 from repro.errors import ConfigError
-from repro.graphs import Graph, apsp, path_graph
+from repro.graphs import apsp, path_graph
 from repro.tz import (
     brute_force_bunches,
     build_tz_sketches_centralized,

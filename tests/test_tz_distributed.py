@@ -5,7 +5,6 @@ the distributed protocol computes *exactly* the sketches the centralized
 [TZ05] construction does, under every synchronization mode.
 """
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """The TZ label and query algorithms (repro.tz.sketch, Lemma 3.2)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import QueryError

@@ -5,7 +5,7 @@ import pytest
 
 from repro.baselines import build_vivaldi
 from repro.errors import ConfigError
-from repro.graphs import apsp, path_graph, random_geometric
+from repro.graphs import apsp, path_graph
 
 
 class TestEmbedding:
