@@ -1,18 +1,24 @@
 #!/usr/bin/env python
-"""Batched serving: parallel sketch construction + vectorized queries.
+"""Batched serving: parallel sketch construction + sessions over
+pluggable transports.
 
 The serving-layer walkthrough (repro.service):
 
 1. build Thorup-Zwick sketches with the construction fanned across worker
    processes (byte-identical output for any worker count),
-2. stand up a :class:`~repro.service.QueryEngine` — sketch entries
-   pre-indexed into flat landmark tables with an LRU result cache,
+2. open an ``inproc://`` session with :func:`repro.service.connect` —
+   sketch entries pre-indexed into flat landmark tables with an LRU
+   result cache,
 3. answer a 10,000-query batch in one vectorized pass and check it agrees
    exactly with the single-query reference path,
 4. replay the workload to show the cache absorbing repeated traffic,
 5. persist the pre-built index and reload it without rebuilding,
-6. put worker processes behind the landmark shards (same bytes out),
-7. serve a slack scheme (stretch3) through its own vectorized index.
+6. put worker processes behind the landmark shards (``proc://`` — same
+   bytes out), and pipeline a streaming workload through the
+   double-buffered dispatch,
+7. serve the same oracle over TCP (``tcp://``) and over a loopback
+   client, bit-identical again,
+8. serve a slack scheme (stretch3) through its own vectorized index.
 
 The prose version of this walkthrough, with the knob-picking guidance,
 is docs/serving.md.
@@ -28,8 +34,8 @@ import numpy as np
 
 from repro.graphs import assign_uniform_weights, erdos_renyi
 from repro.oracle.serialization import load_index, save_index
-from repro.service import (QueryEngine, build_tz_sketches_parallel,
-                           sample_query_pairs)
+from repro.service import (OracleServer, build_tz_sketches_parallel,
+                           connect, sample_query_pairs)
 
 
 def main() -> None:
@@ -41,18 +47,23 @@ def main() -> None:
     print(f"built {len(sketches)} sketches (k={hierarchy.k}, 2 workers) "
           f"in {time.perf_counter() - t0:.2f}s")
 
-    # 2. the batched engine ----------------------------------------------
-    engine = QueryEngine(sketches, cache_size=0, num_shards=4)
-    print(engine)
+    def reference(u: int, v: int) -> float:
+        from repro.tz.sketch import estimate_distance
+
+        return estimate_distance(sketches[u], sketches[v])
+
+    # 2. an in-process session -------------------------------------------
+    session = connect("inproc://shards=4;cache=0", sketches)
+    print(session)
 
     # 3. one vectorized pass over 10k queries ----------------------------
     pairs = sample_query_pairs(g.n, 10_000, seed=7)
-    estimates = engine.dist_many(pairs)  # warm-up
+    estimates = session.dist_many(pairs)  # warm-up
     t0 = time.perf_counter()
-    estimates = engine.dist_many(pairs)
+    estimates = session.dist_many(pairs)
     dt = time.perf_counter() - t0
     t0 = time.perf_counter()
-    single = [engine.reference_query(int(u), int(v)) for u, v in pairs]
+    single = [reference(int(u), int(v)) for u, v in pairs]
     dt_single = time.perf_counter() - t0
     print(f"batch of {len(pairs)} queries in {dt * 1e3:.1f} ms "
           f"({len(pairs) / dt:,.0f} queries/s); single-query loop "
@@ -62,40 +73,63 @@ def main() -> None:
     print("batched answers identical to the single-query path")
 
     # 4. repeated traffic hits the LRU result cache ----------------------
-    cached = QueryEngine(sketches, cache_size=50_000, num_shards=4)
-    cached.dist_many(pairs)
-    cached.dist_many(pairs)
-    print(f"replay with cache: {cached.stats.hits} hits, "
-          f"{cached.stats.misses} misses "
-          f"({100 * cached.stats.hit_rate():.0f}% hit rate)")
+    with connect("inproc://shards=4;cache=50000", sketches) as cached:
+        cached.dist_many(pairs)
+        cached.dist_many(pairs)
+        counters = cached.stats()["cache"]
+        total = counters["hits"] + counters["misses"]
+        print(f"replay with cache: {counters['hits']} hits, "
+              f"{counters['misses']} misses "
+              f"({100 * counters['hits'] / total:.0f}% hit rate)")
 
     # 5. persist the pre-built index -------------------------------------
+    index = session.fetch_index()  # the live store behind the session
     with tempfile.TemporaryDirectory() as tmp:
         path = os.path.join(tmp, "index.json")
-        save_index(engine.index, path)
+        save_index(index, path)
         reloaded = load_index(path)
     check = sample_query_pairs(g.n, 500, seed=9)
     assert np.array_equal(reloaded.estimate_many(check[:, 0], check[:, 1]),
-                          engine.index.estimate_many(check[:, 0], check[:, 1]))
+                          index.estimate_many(check[:, 0], check[:, 1]))
     print("index round-trip: reloaded store answers identically")
 
     # 6. worker processes behind the landmark shards ---------------------
-    with QueryEngine(sketches, cache_size=0, num_shards=4, jobs=4) as fleet:
+    with connect("proc://jobs=4;memory=shared;cache=0", sketches) as fleet:
         fanned = fleet.dist_many(pairs)
-    assert np.array_equal(fanned, estimates), "workers changed answers?!"
-    print("4 shard workers: answers bit-identical to the in-process path")
+        assert np.array_equal(fanned, estimates), "workers changed answers?!"
+        print("4 shard workers: answers bit-identical to the in-process "
+              "path")
+        # the pipelined stream: batch k+1's encode overlaps batch k's
+        # probes; same bytes, and the hidden seconds are reported
+        chunks = [pairs[lo:lo + 2000] for lo in range(0, len(pairs), 2000)]
+        streamed = np.concatenate(list(fleet.dist_stream(chunks)))
+        assert np.array_equal(streamed, estimates)
+        overlap = fleet.stats()["phases"]["overlap_seconds"]
+        print(f"pipelined stream identical too "
+              f"({overlap * 1e3:.2f} ms of encode hidden behind probes)")
 
-    # 7. a slack scheme through its own index ----------------------------
+    # 7. the same oracle over TCP ----------------------------------------
+    with OracleServer(sketches, num_shards=4, cache_size=0) as server:
+        host, port = server.serve("127.0.0.1:0", block=False)
+        with connect(f"tcp://{host}:{port}") as remote:
+            over_tcp = remote.dist_many(pairs[:1000])
+    assert np.array_equal(over_tcp, estimates[:1000])
+    print("tcp-loopback session: answers bit-identical to inproc "
+          "(python -m repro serve hosts the same thing as a daemon)")
+
+    # 8. a slack scheme through its own index ----------------------------
     from repro import build_sketches
 
     s3 = build_sketches(g, scheme="stretch3", eps=0.25, seed=11)
-    slack = QueryEngine(s3.sketches, cache_size=0)
-    small = pairs[:1000]
-    batched = slack.dist_many(small)
-    assert batched.tolist() == [slack.reference_query(int(u), int(v))
-                                for u, v in small]
-    print(f"stretch3 via {type(slack.index).__name__}: "
-          f"{len(small)} batched answers identical to the single path")
+    with s3.connect("inproc://cache=0") as slack:
+        small = pairs[:1000]
+        batched = slack.dist_many(small)
+        assert batched.tolist() == [s3.query(int(u), int(v))
+                                    for u, v in small]
+        print(f"stretch3 via its own index: {len(small)} batched answers "
+              f"identical to the single path")
+
+    session.close()
 
 
 if __name__ == "__main__":

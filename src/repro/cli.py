@@ -1,4 +1,4 @@
-"""Command-line interface: generate → build → query → evaluate.
+"""Command-line interface: generate → build → query → serve → evaluate.
 
 A downstream user can drive the whole pipeline without writing Python::
 
@@ -14,6 +14,11 @@ A downstream user can drive the whole pipeline without writing Python::
     python -m repro build net.edges --scheme tz --k 3 --format binary \
         --shards 4 -o index.rpix
     python -m repro serve-bench index.rpix --memory mmap --queries 10000
+    python -m repro serve index.rpix --addr 0.0.0.0:7111 --jobs 4 --memory mmap
+    python -m repro query --connect tcp://serving-box:7111 --pairs 0:100 5:17
+    python -m repro serve-bench --connect tcp://serving-box:7111 --queries 10000
+    python -m repro serve net.edges --updateable --scheme tz --k 3 --seed 2 \
+        --addr 127.0.0.1:7111
     python -m repro build net.edges --scheme tz --k 3 --seed 2 \
         --apply-updates changes.jsonl -o sketches.jsonl
     python -m repro update-bench net.edges --scheme tz --k 2 --batches 1 4 16
@@ -167,21 +172,86 @@ def _query_fn(sketches):
 
 def _cmd_query(args) -> int:
     from repro.graphs import apsp, read_edgelist
-    from repro.oracle.serialization import load_sketch_set
 
-    sketches = load_sketch_set(args.sketches)
-    query = _query_fn(sketches)
+    client = None
+    if args.connect is not None:
+        if args.sketches is not None:
+            raise ReproError(
+                "--connect queries a live server; drop the sketches "
+                "argument (the server owns the index)")
+        from repro.service.transport import connect
+
+        client = connect(args.connect)
+        query = client.dist
+    else:
+        if args.graph is None or args.sketches is None:
+            raise ReproError(
+                "query wants GRAPH and SKETCHES files, or --connect SPEC")
+        from repro.oracle.serialization import load_sketch_set
+
+        query = _query_fn(load_sketch_set(args.sketches))
     d = None
     if args.exact:
+        if args.graph is None:
+            raise ReproError("--exact needs the GRAPH argument")
         d = apsp(read_edgelist(args.graph))
-    for text in args.pairs:
-        u, v = _parse_pair(text)
-        est = query(u, v)
-        if d is not None:
-            print(f"{u}:{v} estimate={est:g} exact={d[u, v]:g} "
-                  f"stretch={est / d[u, v] if d[u, v] else 1.0:.3f}")
+    try:
+        for text in args.pairs:
+            u, v = _parse_pair(text)
+            est = query(u, v)
+            if d is not None:
+                print(f"{u}:{v} estimate={est:g} exact={d[u, v]:g} "
+                      f"stretch={est / d[u, v] if d[u, v] else 1.0:.3f}")
+            else:
+                print(f"{u}:{v} estimate={est:g}")
+    finally:
+        if client is not None:
+            client.close()
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service.transport import OracleServer
+
+    if args.updateable:
+        from repro.graphs import read_edgelist
+        from repro.service.updates import UpdateableIndex
+
+        params = {}
+        if args.k is not None:
+            params["k"] = args.k
+        if args.eps is not None:
+            params["eps"] = args.eps
+        source = UpdateableIndex(read_edgelist(args.source),
+                                 scheme=args.scheme, seed=args.seed,
+                                 num_shards=(args.shards or 1), **params)
+        shards = None  # baked into the updateable's stores
+    else:
+        from repro.oracle.serialization import (is_binary_index,
+                                                load_index_binary,
+                                                load_sketch_set)
+
+        if is_binary_index(args.source):
+            backing = "mmap" if args.memory == "mmap" else "heap"
+            source = load_index_binary(args.source, backing=backing)
+            shards = args.shards  # validated against the baked layout
         else:
-            print(f"{u}:{v} estimate={est:g}")
+            source = load_sketch_set(args.source)
+            shards = args.shards or max(args.jobs, 1)
+    server = OracleServer(source, jobs=args.jobs, memory=args.memory,
+                          num_shards=shards, cache_size=args.cache_size)
+    host, port = server.serve(args.addr, block=False)
+    print(f"serving {server.scheme or '?'} n={server.n} "
+          f"shards={server.num_shards} jobs={server.jobs} "
+          f"memory={args.memory} epoch={server.epoch} "
+          f"updateable={'yes' if server.updateable else 'no'} "
+          f"on tcp://{host}:{port}", flush=True)
+    try:
+        server.wait()
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        pass
+    finally:
+        server.close()
     return 0
 
 
@@ -192,6 +262,29 @@ def _cmd_serve_bench(args) -> int:
     from repro.service import run_serve_benchmark, scheme_name_of
     from repro.service.bench import scheme_name_of_index
 
+    if args.connect is not None:
+        if args.sketches is not None:
+            raise ReproError(
+                "--connect benchmarks a live server; drop the sketches "
+                "argument (the server owns the index)")
+        from repro.service.bench import run_connect_benchmark
+
+        report = run_connect_benchmark(args.connect, queries=args.queries,
+                                       batch=args.batch, seed=args.seed,
+                                       repeats=args.repeats)
+        if args.scheme is not None and report["scheme"] != args.scheme:
+            raise ReproError(
+                f"server serves {report['scheme'] or 'unrecognized'}, "
+                f"not {args.scheme}")
+        print(json.dumps(report, indent=2))
+        if not report["identical"]:
+            print("error: batched answers diverged from the per-pair "
+                  "path", file=sys.stderr)
+            return 1
+        return 0
+    if args.sketches is None:
+        raise ReproError(
+            "serve-bench wants a SKETCHES/index file, or --connect SPEC")
     if is_binary_index(args.sketches):
         # a pre-built binary index: mmap-attach when the memory plane is
         # mmap (no blob parsing), plain read otherwise
@@ -342,17 +435,63 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("-o", "--output", required=True)
     b.set_defaults(func=_cmd_build)
 
-    q = sub.add_parser("query", help="estimate distances from sketches")
-    q.add_argument("graph")
-    q.add_argument("sketches")
+    q = sub.add_parser("query", help="estimate distances from sketches "
+                                     "or a live server")
+    q.add_argument("graph", nargs="?", default=None)
+    q.add_argument("sketches", nargs="?", default=None)
+    q.add_argument("--connect", metavar="SPEC", default=None,
+                   help="query a live server instead of local sketch "
+                        "files (e.g. tcp://host:port)")
     q.add_argument("--pairs", nargs="+", required=True, metavar="u:v")
     q.add_argument("--exact", action="store_true",
-                   help="also compute exact distances for comparison")
+                   help="also compute exact distances for comparison "
+                        "(needs the GRAPH argument)")
     q.set_defaults(func=_cmd_query)
+
+    sv = sub.add_parser("serve",
+                        help="host an oracle over TCP (the frame-protocol "
+                             "daemon repro.service.transport clients "
+                             "connect to)")
+    sv.add_argument("source",
+                    help="what to serve: a sketch set (.jsonl), a binary "
+                         "index (.rpix), or — with --updateable — a "
+                         "graph edge list to build a live index from")
+    sv.add_argument("--addr", default="127.0.0.1:0", metavar="HOST:PORT",
+                    help="listen address (port 0 picks a free one; the "
+                         "bound address is printed on startup)")
+    sv.add_argument("--jobs", type=int, default=1,
+                    help="worker processes behind the landmark shards")
+    sv.add_argument("--memory", choices=["heap", "shared", "mmap"],
+                    default="heap",
+                    help="serving data plane (a binary index with "
+                         "--memory mmap is attached zero-parse)")
+    sv.add_argument("--shards", type=int, default=None,
+                    help="landmark shard count when building from "
+                         "sketches or a graph (a binary index bakes "
+                         "its own in)")
+    sv.add_argument("--cache-size", type=int, default=65536,
+                    help="LRU result-cache capacity (0 disables)")
+    sv.add_argument("--updateable", action="store_true",
+                    help="treat SOURCE as a graph edge list and serve a "
+                         "live UpdateableIndex — clients can push edge "
+                         "changes (apply_updates) and every connected "
+                         "session hot-swaps epochs without reconnecting")
+    sv.add_argument("--scheme",
+                    choices=["tz", "stretch3", "cdg", "graceful"],
+                    default="tz",
+                    help="scheme for --updateable builds")
+    sv.add_argument("--k", type=int, default=None)
+    sv.add_argument("--eps", type=float, default=None)
+    sv.add_argument("--seed", type=int, default=None)
+    sv.set_defaults(func=_cmd_serve)
 
     sb = sub.add_parser("serve-bench",
                         help="batched vs single-query serving throughput")
-    sb.add_argument("sketches")
+    sb.add_argument("sketches", nargs="?", default=None)
+    sb.add_argument("--connect", metavar="SPEC", default=None,
+                    help="benchmark a live endpoint (inproc://... needs "
+                         "a local file, so this is for tcp://host:port) "
+                         "instead of serving local files")
     sb.add_argument("--queries", type=int, default=10_000)
     sb.add_argument("--batch", type=int, default=None,
                     help="batch size (default: one batch for all queries)")

@@ -47,12 +47,30 @@ class BuiltSketches:
             return estimate_distance(su, sv, **kwargs)
         return su.estimate_to(sv)
 
+    def connect(self, spec: str = "inproc://", *,
+                cache_size: Optional[int] = None):
+        """A serving session over this build —
+        ``built.connect("proc://jobs=4;memory=shared")`` is shorthand
+        for :func:`repro.service.transport.connect` with this sketch set
+        as the source.  Returns an
+        :class:`~repro.service.transport.OracleClient`; close it (or use
+        it as a context manager) when done.
+        """
+        from repro.service.transport import connect as _connect
+
+        return _connect(spec, self.sketches, cache_size=cache_size)
+
     def engine(self, cache_size: int = 65536, num_shards: int = 1,
                jobs: int = 1, memory: str = "heap"):
         """The batched :class:`~repro.service.engine.QueryEngine` over this
         sketch set (built on first use, then cached in ``extras``; asking
         for a different configuration rebuilds it — closing the previous
         engine's worker pool and shared segments, if it had any).
+
+        .. deprecated::
+            Open a session with :meth:`connect` (or
+            :func:`repro.service.transport.connect`) instead; this path
+            emits a single :class:`DeprecationWarning`.
 
         :param cache_size: LRU result-cache capacity.
         :param num_shards: landmark shard count for the index.
@@ -62,6 +80,14 @@ class BuiltSketches:
             (zero-copy worker attach + shared ring buffers), or
             ``"mmap"``; answers are identical in every mode.
         """
+        from repro.service.engine import _warn_deprecated
+
+        _warn_deprecated("BuiltSketches.engine")
+        return self._engine(cache_size=cache_size, num_shards=num_shards,
+                            jobs=jobs, memory=memory)
+
+    def _engine(self, cache_size: int = 65536, num_shards: int = 1,
+                jobs: int = 1, memory: str = "heap"):
         config = (cache_size, num_shards, jobs, memory)
         cached = self.extras.get("_engine")
         if cached is not None:
@@ -71,14 +97,15 @@ class BuiltSketches:
         from repro.service.engine import QueryEngine
         eng = QueryEngine(self.sketches, cache_size=cache_size,
                           num_shards=num_shards, jobs=jobs, memory=memory,
-                          use_index=self.scheme.supports_batch)
+                          use_index=self.scheme.supports_batch,
+                          _deprecation=False)
         self.extras["_engine"] = (config, eng)
         return eng
 
     def query_many(self, pairs):
         """Batched estimates for an iterable/array of ``(u, v)`` pairs —
         answers are bit-identical to looping :meth:`query`."""
-        return self.engine().dist_many(pairs)
+        return self._engine().dist_many(pairs)
 
     def updateable(self, num_shards: int = 1,
                    rebuild_threshold: Optional[float] = None):

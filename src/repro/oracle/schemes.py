@@ -57,6 +57,17 @@ class SchemeSpec:
     supports_serialize: bool = True
     supports_updates: bool = False
 
+    @property
+    def transports(self) -> tuple[str, ...]:
+        """Which serving transports (:mod:`repro.service.transport`) can
+        host this scheme.  ``inproc`` always works (the generic
+        single-pair loop needs no index); ``proc`` and ``tcp`` route
+        through the shard-decomposed batched index, so they require
+        :attr:`supports_batch`."""
+        if self.supports_batch:
+            return ("inproc", "proc", "tcp")
+        return ("inproc",)
+
     def describe(self, params: dict) -> str:
         """One-line human summary of the guarantee under ``params``."""
         slack = self.slack_of(params)
@@ -145,6 +156,7 @@ def scheme_support_matrix() -> list[dict]:
         "batch": spec.supports_batch,
         "serialize": spec.supports_serialize,
         "updates": spec.supports_updates,
+        "transports": list(spec.transports),
     } for name, spec in sorted(SCHEMES.items())]
 
 
@@ -155,13 +167,14 @@ def schemes_markdown() -> str:
     yn = {True: "yes", False: "no"}
     lines = [
         "| scheme | build | single query | batched query | serialized "
-        "| incremental updates |",
+        "| incremental updates | transports |",
         "|--------|-------|--------------|---------------|------------"
-        "|---------------------|",
+        "|---------------------|------------|",
     ]
     for row in scheme_support_matrix():
         lines.append(
             f"| `{row['scheme']}` | {', '.join(row['build'])} "
             f"| {yn[row['query']]} | {yn[row['batch']]} "
-            f"| {yn[row['serialize']]} | {yn[row['updates']]} |")
+            f"| {yn[row['serialize']]} | {yn[row['updates']]} "
+            f"| {', '.join(row['transports'])} |")
     return "\n".join(lines)

@@ -17,6 +17,7 @@ by strict parsers; the decoder accepts both spellings.
 
 from __future__ import annotations
 
+import io
 import json
 import math
 import os
@@ -347,9 +348,15 @@ def load_index(path):
 # the only parsing is the (small) JSON header.  The JSON format above
 # stays the canonical interchange form; this container is the fast path
 # for serving boxes.
-def save_index_binary(index, path) -> None:
-    """Persist any pre-built store as a binary container: a small JSON
-    header plus the store's contiguous arrays as raw aligned blobs."""
+def write_index_binary(index, fh) -> None:
+    """Write the binary container to an open binary file object.
+
+    The streamable core of :func:`save_index_binary` — also what the
+    TCP transport's index-fetch frame serializes into, so a remote
+    worker downloads byte-for-byte the container ``repro build
+    --format binary`` would have written and attaches/mmaps it
+    unchanged (zero-parse on the wire).
+    """
     from repro.service.buffers import plan_layout
     from repro.service.index import INDEX_TAGS
 
@@ -371,20 +378,33 @@ def save_index_binary(index, path) -> None:
     base = (base + 63) & ~63
     header_json = json.dumps({**header, "base": base},
                              separators=(",", ":")).encode("ascii")
+    fh.write(BINARY_MAGIC)
+    fh.write(struct.pack("<HHI", BINARY_VERSION, 0, len(header_json)))
+    fh.write(header_json)
+    fh.write(b"\0" * (base - 12 - len(header_json)))
+    cursor = 0
+    values = list(arrays.values())
+    for (name, dt, shape, off), arr in zip(manifest, values):
+        if off > cursor:
+            fh.write(b"\0" * (off - cursor))
+            cursor = off
+        blob = np.ascontiguousarray(arr).tobytes()
+        fh.write(blob)
+        cursor += len(blob)
+
+
+def index_binary_bytes(index) -> bytes:
+    """The binary container as one byte string (the TCP index blob)."""
+    buf = io.BytesIO()
+    write_index_binary(index, buf)
+    return buf.getvalue()
+
+
+def save_index_binary(index, path) -> None:
+    """Persist any pre-built store as a binary container: a small JSON
+    header plus the store's contiguous arrays as raw aligned blobs."""
     with open(path, "wb") as fh:
-        fh.write(BINARY_MAGIC)
-        fh.write(struct.pack("<HHI", BINARY_VERSION, 0, len(header_json)))
-        fh.write(header_json)
-        fh.write(b"\0" * (base - 12 - len(header_json)))
-        cursor = 0
-        values = list(arrays.values())
-        for (name, dt, shape, off), arr in zip(manifest, values):
-            if off > cursor:
-                fh.write(b"\0" * (off - cursor))
-                cursor = off
-            blob = np.ascontiguousarray(arr).tobytes()
-            fh.write(blob)
-            cursor += len(blob)
+        write_index_binary(index, fh)
 
 
 def _read_binary_header(fh) -> dict:

@@ -1,9 +1,25 @@
-"""The serving layer: batched queries, shard workers, parallel builds.
+"""The serving layer: sessions over pluggable transports, shard
+workers, parallel builds.
 
 The paper's end product is a distance *oracle*: preprocess once, then
 answer ``dist(u, v)`` queries with a bounded stretch.  This package makes
-the oracle servable at scale — for **every** scheme in the library:
+the oracle servable at scale — for **every** scheme in the library.
+The front door is :func:`~repro.service.transport.connect`::
 
+    from repro.service import connect
+
+    with connect("proc://jobs=4;memory=shared", built) as client:
+        answers = client.dist_many(pairs)
+
+* :mod:`repro.service.transport` — the session API:
+  :class:`OracleClient` (``dist`` / ``dist_many`` / ``dist_stream`` /
+  ``apply_updates`` / ``stats``) over ``inproc://`` (this process),
+  ``proc://jobs=N;memory=shared`` (a local worker pool), or
+  ``tcp://host:port`` (a remote :class:`OracleServer` — the
+  ``python -m repro serve`` daemon — speaking a length-prefixed binary
+  frame protocol built on the array-tree codec).  Answers are
+  bit-identical across transports, and epoch hot swaps propagate to
+  connected TCP clients without a reconnect,
 * :mod:`repro.service.buffers` — the zero-copy memory plane:
   :class:`BufferPack` lays every store's arrays out in one contiguous
   buffer backed by heap memory, a shared-memory segment, or a
@@ -15,8 +31,9 @@ the oracle servable at scale — for **every** scheme in the library:
   each decomposing a batch into per-landmark-shard probe tasks and
   splitting into a pure-logic view over packed arrays
   (:func:`index_to_pack` / :func:`index_from_pack`),
-* :class:`~repro.service.engine.QueryEngine` — ``dist`` / ``dist_many``
-  with an LRU result cache over whichever store fits the sketch set,
+* :class:`~repro.service.engine.QueryEngine` — the engine every session
+  hosts (LRU result cache, epoch pinning); constructing one directly is
+  the deprecated legacy path,
 * :class:`~repro.service.workers.ShardServer` — a persistent
   ``multiprocessing`` pool running the shard probes (``jobs=1`` is an
   in-process fallback with the identical dataflow); ``memory="shared"``
@@ -42,15 +59,19 @@ count and any worker count.  See ``docs/architecture.md`` for the layer
 map and ``docs/serving.md`` for the operator's guide.
 """
 
-from repro.service.bench import run_serve_benchmark, sample_query_pairs
+from repro.service.bench import (run_connect_benchmark, run_serve_benchmark,
+                                 sample_query_pairs)
 from repro.service.buffers import BufferPack, PackedIndex, PackHandle
 from repro.service.engine import CacheStats, QueryEngine
 from repro.service.index import (CDGIndex, GracefulIndex, IndexStore,
                                  Stretch3Index, TZIndex, build_index,
                                  index_class_for, index_from_handle,
                                  index_from_pack, index_to_pack,
-                                 refresh_index, scheme_name_of)
+                                 refresh_index, scheme_name_of,
+                                 scheme_name_of_index)
 from repro.service.parallel import build_tz_sketches_parallel, default_jobs
+from repro.service.transport import (TRANSPORTS, Endpoint, OracleClient,
+                                     OracleServer, connect, parse_endpoint)
 from repro.service.updates import (EdgeChange, UpdateReport, UpdateableIndex,
                                    dirty_frontier, load_changes_jsonl,
                                    run_update_benchmark,
@@ -59,6 +80,14 @@ from repro.service.workers import MEMORY_MODES, PhaseTimings, ShardServer
 
 __all__ = [
     "BufferPack",
+    "Endpoint",
+    "OracleClient",
+    "OracleServer",
+    "TRANSPORTS",
+    "connect",
+    "parse_endpoint",
+    "run_connect_benchmark",
+    "scheme_name_of_index",
     "CDGIndex",
     "CacheStats",
     "EdgeChange",

@@ -25,7 +25,8 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.rng import SeedLike, ensure_rng
 from repro.service.engine import QueryEngine
-from repro.service.index import IndexStore, scheme_name_of
+from repro.service.index import (IndexStore, scheme_name_of,
+                                 scheme_name_of_index)
 
 
 def sample_query_pairs(n: int, queries: int, seed: SeedLike = 0) -> np.ndarray:
@@ -80,12 +81,13 @@ def run_serve_benchmark(sketches: Optional[Sequence[Any]] = None,
             "run_serve_benchmark wants exactly one of sketches= or index=")
     if index is not None:
         engine = QueryEngine.from_index(index, cache_size=cache_size,
-                                        jobs=jobs, memory=memory)
+                                        jobs=jobs, memory=memory,
+                                        _deprecation=False)
         scheme = (scheme_name_of_index(index) or "?")
     else:
         engine = QueryEngine(sketches, cache_size=cache_size,
                              num_shards=num_shards, jobs=jobs,
-                             memory=memory)
+                             memory=memory, _deprecation=False)
         scheme = scheme_name_of(sketches)
     try:
         pairs = sample_query_pairs(engine.n, queries, seed=seed)
@@ -139,9 +141,84 @@ def run_serve_benchmark(sketches: Optional[Sequence[Any]] = None,
         engine.close()
 
 
-def scheme_name_of_index(index: IndexStore) -> Optional[str]:
-    """The registry name (``"tz"`` …) behind a built store, or ``None``."""
-    from repro.service.index import INDEX_TAGS
+def run_connect_benchmark(spec: str, source=None, queries: int = 1000,
+                          batch: Optional[int] = None, seed: SeedLike = 0,
+                          repeats: int = 3) -> dict:
+    """Time a query workload through a transport session — the
+    ``serve-bench --connect`` harness and the E17 experiment.
 
-    tag = INDEX_TAGS.get(type(index))
-    return tag[: -len("_index")] if tag else None
+    Opens one :class:`~repro.service.transport.OracleClient` with
+    :func:`~repro.service.transport.connect` and measures three paths
+    over the same session: the per-pair loop (``client.dist``), the
+    batched path (``client.dist_many`` per batch), and the pipelined
+    stream (``client.dist_stream`` over all batches — the
+    double-buffered dispatch on local pooled transports).  Batched and
+    streamed answers are cross-checked bitwise against the per-pair
+    loop before any throughput is reported.
+
+    :param spec: endpoint spec (``inproc://…``, ``proc://…``,
+        ``tcp://host:port``).
+    :param source: what the session serves — required for local
+        transports, forbidden for ``tcp://`` (the server owns the
+        index).
+    """
+    from repro.service.transport import connect
+
+    if queries < 1:
+        raise ConfigError(f"queries must be >= 1, got {queries}")
+    client = connect(spec, source)
+    try:
+        pairs = sample_query_pairs(client.n, queries, seed=seed)
+        if batch is None or batch > queries:
+            batch = queries
+        if batch < 1:
+            raise ConfigError(f"batch must be >= 1, got {batch}")
+        chunks = [pairs[lo:lo + batch] for lo in range(0, queries, batch)]
+
+        ref = np.asarray([client.dist(int(u), int(v)) for u, v in pairs])
+
+        def single_loop():
+            for u, v in pairs:
+                client.dist(int(u), int(v))
+
+        def batched_loop():
+            return np.concatenate([client.dist_many(chunk)
+                                   for chunk in chunks])
+
+        def streamed_loop():
+            return np.concatenate(list(client.dist_stream(chunks)))
+
+        batched = batched_loop()
+        streamed = streamed_loop()
+        t_single = _best_of(repeats, single_loop)
+        t_batched = _best_of(repeats, batched_loop)
+        t_streamed = _best_of(repeats, streamed_loop)
+        stats = client.stats()
+        # the session's result cache is server-side configuration this
+        # harness cannot reset over tcp; the reference loop above warms
+        # it, so a cache-enabled server reports lookup throughput — the
+        # cache block below makes that visible in the report (benchmark
+        # against a cache_size=0 server, as E17 does, for serving cost)
+        return {
+            "endpoint": spec,
+            "transport": client.transport,
+            "n": client.n,
+            "scheme": client.scheme,
+            "epoch": client.epoch,
+            "queries": int(queries),
+            "batch": int(batch),
+            "single_seconds": t_single,
+            "batched_seconds": t_batched,
+            "streamed_seconds": t_streamed,
+            "single_qps": queries / t_single,
+            "batched_qps": queries / t_batched,
+            "streamed_qps": queries / t_streamed,
+            "speedup": t_single / t_batched,
+            "server_cache_size": stats.get("cache_size"),
+            "server_cache": stats.get("cache"),
+            "phases": stats.get("phases"),
+            "identical": bool(np.array_equal(ref, batched)
+                              and np.array_equal(ref, streamed)),
+        }
+    finally:
+        client.close()

@@ -36,9 +36,11 @@ benchmark runs cannot leak ``/dev/shm`` segments even on unclean exits.
 from __future__ import annotations
 
 import atexit
+import json
 import mmap as _mmaplib
 import os
 import secrets
+import struct
 import threading
 from dataclasses import dataclass
 from multiprocessing import shared_memory as _shm
@@ -490,6 +492,58 @@ def read_tree(buffer, base: int, spec: Any, manifest: Sequence) -> Any:
     """Rebuild an array tree as read-only views over ``buffer``."""
     return build_tree(spec, [_view_array(buffer, dt, shape, base + off)
                              for dt, shape, off in manifest])
+
+
+def _spec_from_json(node):
+    """Invert JSON's tuple->list coercion on a :func:`flatten_tree` spec."""
+    if isinstance(node, list):
+        return tuple(_spec_from_json(child) for child in node)
+    return int(node)
+
+
+def tree_to_bytes(tree: Any) -> bytes:
+    """Encode an array tree as one self-contained byte string.
+
+    Layout: ``u32 head_len | head JSON (spec + manifest) | pad to
+    ALIGNMENT | raw leaf blobs`` — the leaves are laid out exactly as
+    :func:`plan_tree`/:func:`write_tree` lay them into a ring slot, so
+    this is the array-tree codec with the descriptor glued on instead of
+    travelling out of band.  The wire form of the TCP transport's query/
+    result frames (:mod:`repro.service.transport`).
+    """
+    spec, leaves = flatten_tree(tree)
+    manifest, total = plan_tree(leaves)
+    head = json.dumps({"spec": spec, "manifest": manifest},
+                      separators=(",", ":")).encode("ascii")
+    base = _align(4 + len(head))
+    buf = bytearray(base + total)
+    struct.pack_into("<I", buf, 0, len(head))
+    buf[4:4 + len(head)] = head
+    write_tree(memoryview(buf), base, manifest, leaves)
+    return bytes(buf)
+
+
+def tree_from_bytes(data) -> Any:
+    """Decode :func:`tree_to_bytes` output back into an array tree.
+
+    The leaves are read-only ndarray views over ``data`` — no blob
+    copy; callers that need to outlive the buffer copy explicitly.
+    """
+    view = memoryview(data)
+    if len(view) < 4:
+        raise ConfigError("truncated array-tree message")
+    (head_len,) = struct.unpack_from("<I", view, 0)
+    if 4 + head_len > len(view):
+        raise ConfigError("truncated array-tree message")
+    try:
+        head = json.loads(bytes(view[4:4 + head_len]).decode("ascii"))
+        spec = _spec_from_json(head["spec"])
+        manifest = tuple((str(dt), tuple(int(d) for d in shape), int(off))
+                         for dt, shape, off in head["manifest"])
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+        raise ConfigError("corrupt array-tree message header") from None
+    base = _align(4 + head_len)
+    return read_tree(view, base, spec, manifest)
 
 
 class SharedArea:

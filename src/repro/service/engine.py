@@ -48,9 +48,10 @@ and ``(v, u)`` are cached separately.
 from __future__ import annotations
 
 import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, Iterable, Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -59,6 +60,18 @@ from repro.service.index import (IndexStore, build_index, index_class_for,
                                  parse_pair_array)
 from repro.service.workers import ShardServer
 from repro.tz.sketch import TZSketch, estimate_distance
+
+
+def _warn_deprecated(what: str) -> None:
+    """The one deprecation funnel for the legacy engine construction
+    paths — each public entry point fires it exactly once per call (the
+    layered classmethods pass ``_deprecation=False`` internally, so a
+    ``from_updateable`` never double-warns through ``from_index``)."""
+    warnings.warn(
+        f"{what} is deprecated; open a serving session with "
+        f"repro.service.transport.connect('inproc://', source) "
+        f"(or proc:// / tcp://) instead",
+        DeprecationWarning, stacklevel=3)
 
 
 @dataclass
@@ -76,6 +89,16 @@ class CacheStats:
 
 class QueryEngine:
     """Answer distance queries — singly or in batches — from one sketch set.
+
+    .. deprecated::
+        ``QueryEngine`` (and its ``from_index`` / ``from_updateable``
+        constructors) is the legacy session surface.  New code opens a
+        session with :func:`repro.service.transport.connect` — the same
+        engine mechanics behind a transport-agnostic
+        :class:`~repro.service.transport.OracleClient` (``inproc://``,
+        ``proc://``, ``tcp://``).  Constructing one directly emits a
+        single :class:`DeprecationWarning`; the transport layer builds
+        its engines through the internal non-warning path.
 
     :param sketches: one sketch per node.  Any homogeneous set of a
         library scheme gets its vectorized index; mixed or unknown sets
@@ -104,7 +127,10 @@ class QueryEngine:
 
     def __init__(self, sketches: Sequence[Any], cache_size: int = 65536,
                  num_shards: int = 1, use_index: Optional[bool] = None,
-                 jobs: int = 1, memory: str = "heap"):
+                 jobs: int = 1, memory: str = "heap", *,
+                 _deprecation: bool = True):
+        if _deprecation:
+            _warn_deprecated("QueryEngine(sketches=...)")
         if not sketches:
             raise ConfigError("cannot serve an empty sketch set")
         # scalar parameter errors must not cost an index build first
@@ -127,7 +153,8 @@ class QueryEngine:
 
     @classmethod
     def from_index(cls, index: IndexStore, cache_size: int = 65536,
-                   jobs: int = 1, memory: str = "heap") -> "QueryEngine":
+                   jobs: int = 1, memory: str = "heap", *,
+                   _deprecation: bool = True) -> "QueryEngine":
         """Serve a pre-built store directly (no sketch set needed — e.g.
         an index loaded from a binary container, possibly mmap-backed).
 
@@ -135,6 +162,8 @@ class QueryEngine:
         single-pair path, so the bench harness's identity cross-check
         still compares batch-of-Q against one-at-a-time answers.
         """
+        if _deprecation:
+            _warn_deprecated("QueryEngine.from_index")
         self = cls.__new__(cls)
         self.sketches = None
         self.n = index.n
@@ -144,12 +173,14 @@ class QueryEngine:
 
     @classmethod
     def from_updateable(cls, updateable, cache_size: int = 65536,
-                        jobs: int = 1, memory: str = "heap",
-                        ) -> "QueryEngine":
+                        jobs: int = 1, memory: str = "heap", *,
+                        _deprecation: bool = True) -> "QueryEngine":
         """Serve a live :class:`~repro.service.updates.UpdateableIndex`,
         enabling :meth:`apply_updates` epoch hot-swaps."""
+        if _deprecation:
+            _warn_deprecated("QueryEngine.from_updateable")
         self = cls.from_index(updateable.index, cache_size=cache_size,
-                              jobs=jobs, memory=memory)
+                              jobs=jobs, memory=memory, _deprecation=False)
         self._updateable = updateable
         self.epoch = updateable.epoch  # share one epoch clock
         return self
@@ -195,6 +226,16 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # epoch bookkeeping
     # ------------------------------------------------------------------
+    def index_snapshot(self) -> tuple[Optional[IndexStore], int]:
+        """The ``(store, epoch)`` pair currently serving, read
+        atomically — a hot swap installs both under the same lock, so
+        the pair is always consistent, and stores are never mutated, so
+        the returned store stays valid even after a subsequent swap
+        (how the transport layer labels an index blob with the epoch
+        that actually produced it)."""
+        with self._lock:
+            return self.index, self.epoch
+
     def _acquire_epoch(self) -> tuple[int, Optional[ShardServer]]:
         """Pin the current epoch for one batch (it will be served wholly
         by this epoch's server, even if a swap lands mid-flight)."""
@@ -259,14 +300,27 @@ class QueryEngine:
         pinned at batch start, and a concurrent :meth:`apply_updates`
         only affects batches issued after its swap.
         """
+        return self.dist_many_pinned(pairs)[0]
+
+    def dist_many_pinned(self, pairs: Iterable[tuple[int, int]] | np.ndarray,
+                         ) -> tuple[np.ndarray, int]:
+        """:meth:`dist_many` plus the epoch that served the batch —
+        ``(answers, epoch)``.
+
+        The transport layer's result frames carry this epoch, so a
+        remote client can re-pin a mid-swap batch to the epoch that
+        actually answered it rather than guessing from the server's
+        current clock.
+        """
         arr = parse_pair_array(pairs)
         if arr.size == 0:
-            return np.empty(0, dtype=np.float64)
+            return np.empty(0, dtype=np.float64), self.epoch
         q = arr.shape[0]
         epoch, server = self._acquire_epoch()
         try:
             if self.cache_size == 0:
-                return self._compute_many(arr[:, 0], arr[:, 1], server)
+                return (self._compute_many(arr[:, 0], arr[:, 1], server),
+                        epoch)
 
             out = np.empty(q, dtype=np.float64)
             with self._lock:
@@ -302,7 +356,44 @@ class QueryEngine:
                         for j, val in zip(miss_rows, vals):
                             self._cache_put((int(arr[j, 0]),
                                              int(arr[j, 1])), float(val))
-            return out
+            return out, epoch
+        finally:
+            self._release_epoch(epoch)
+
+    def dist_stream(self, batches: Iterable) -> Iterator[np.ndarray]:
+        """Pipelined batched serving: a generator over an iterable of
+        pair batches, yielding one float64 answer array per batch, in
+        order.
+
+        With a worker pool behind the engine this is the
+        double-buffered path (:meth:`ShardServer.estimate_stream
+        <repro.service.workers.ShardServer.estimate_stream>`): batch
+        *k+1*'s plan and request encode overlap batch *k*'s shard
+        probes, and the hidden seconds show up as ``overlap_seconds``
+        in :meth:`phase_timings`.  The result cache is bypassed (a
+        streaming sweep is the cold-cache workload) and the **whole
+        stream** is pinned to one epoch — a concurrent
+        :meth:`apply_updates` only affects streams opened after its
+        swap.  Answers are bit-identical to calling :meth:`dist_many`
+        per batch on a cold cache.
+        """
+        epoch, server = self._acquire_epoch()
+        try:
+            if server is None:
+                for pairs in batches:
+                    arr = parse_pair_array(pairs)
+                    if arr.size == 0:
+                        yield np.empty(0, dtype=np.float64)
+                    else:
+                        yield self._compute_many(arr[:, 0], arr[:, 1], None)
+                return
+
+            def split(feed):
+                for pairs in feed:
+                    arr = parse_pair_array(pairs)
+                    yield arr[:, 0], arr[:, 1]
+
+            yield from server.estimate_stream(split(batches))
         finally:
             self._release_epoch(epoch)
 

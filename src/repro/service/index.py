@@ -1284,6 +1284,12 @@ def scheme_name_of(sketches: Sequence[Any]) -> Optional[str]:
     return INDEX_TYPES[type(sketches[0])][0]
 
 
+def scheme_name_of_index(index: IndexStore) -> Optional[str]:
+    """The registry name (``"tz"`` …) behind a built store, or ``None``."""
+    tag = INDEX_TAGS.get(type(index))
+    return tag[: -len("_index")] if tag else None
+
+
 def build_index(sketches: Sequence[Any], num_shards: int = 1) -> IndexStore:
     """Build the right :class:`IndexStore` for a homogeneous sketch set.
 

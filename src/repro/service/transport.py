@@ -1,0 +1,902 @@
+"""One session-oriented serving API over pluggable transports.
+
+The SarmaDP12 oracle is a distributed system: preprocess once, then
+answer ``dist(u, v)`` under heavy traffic.  This module re-centers the
+serving surface on two objects and one factory:
+
+* :class:`OracleServer` — hosts one :class:`~repro.service.index.IndexStore`
+  epoch (optionally a live :class:`~repro.service.updates.UpdateableIndex`)
+  behind a transport listener.  :meth:`OracleServer.local` wraps today's
+  in-process/pooled :class:`~repro.service.workers.ShardServer`;
+  :meth:`OracleServer.serve` listens on TCP with a length-prefixed
+  binary frame protocol that reuses the
+  :mod:`~repro.service.buffers` array-tree codec for query/result
+  payloads.
+* :class:`OracleClient` — the session handle every caller holds:
+  ``dist`` / ``dist_many`` / ``dist_stream`` / ``apply_updates`` /
+  ``stats`` / ``close``, identical across transports.
+* :func:`connect` — the single entry point, taking a URL-style endpoint
+  spec::
+
+      connect("inproc://", source)                   # this process, jobs=1
+      connect("proc://jobs=4;memory=shared", source) # local worker pool
+      connect("tcp://host:port")                     # a remote OracleServer
+
+  ``source`` is whatever the local transports should serve (a sketch
+  list, a :class:`~repro.oracle.api.BuiltSketches`, a pre-built store,
+  or an :class:`~repro.service.updates.UpdateableIndex`); a ``tcp://``
+  session carries no data — the server owns the index.
+
+One dataflow contract, many executors: the plan / shard_answer / finish
+decomposition (and the engine's epoch pinning, caching, and hot-swap
+mechanics) is the same code for every transport, so answers are
+**bit-identical** across ``inproc`` / ``proc`` / ``tcp`` — including
+:class:`~repro.errors.QueryError` parity on disconnected graphs — and
+an :meth:`OracleClient.apply_updates` hot swap propagates to every
+connected TCP client without a reconnect (the server pushes an
+epoch-bump frame; in-flight batches stay pinned to the epoch that
+served them, which every result frame names).
+
+Wire protocol (version 1).  A frame is ``u32 frame_len | u32 head_len |
+head JSON | body``; the body is :func:`~repro.service.buffers.tree_to_bytes`
+output for query/result frames, the raw ``RPIX`` binary index container
+for the index-fetch frame, and empty otherwise.  The server greets each
+connection with a ``hello`` frame (n, scheme, epoch, shards); ``epoch``
+frames are pushed to every connection after a hot swap; errors travel
+as typed frames and re-raise client-side as the same
+:mod:`repro.errors` class.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import struct
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError, QueryError, ReproError
+from repro.service.buffers import tree_from_bytes, tree_to_bytes
+from repro.service.engine import QueryEngine
+from repro.service.index import (parse_pair_array, scheme_name_of,
+                                 scheme_name_of_index)
+from repro.service.updates import UpdateReport
+
+#: transports :func:`connect` understands
+TRANSPORTS = ("inproc", "proc", "tcp")
+
+#: frame protocol version (carried by the hello frame)
+PROTOCOL_VERSION = 1
+
+#: options each local transport accepts in its endpoint spec
+_ENDPOINT_OPTIONS = {
+    "inproc": ("memory", "shards", "cache"),
+    "proc": ("jobs", "memory", "shards", "cache"),
+}
+
+_FRAME_PREFIX = struct.Struct("<II")
+
+#: frames larger than this are rejected before allocation (a corrupt
+#: length prefix must not look like a 4 GB read)
+MAX_FRAME_BYTES = 1 << 31
+
+
+# ----------------------------------------------------------------------
+# endpoint specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Endpoint:
+    """A parsed endpoint spec (see :func:`parse_endpoint`)."""
+
+    transport: str
+    host: Optional[str] = None
+    port: Optional[int] = None
+    options: dict = field(default_factory=dict)
+
+    def describe(self) -> str:
+        if self.transport == "tcp":
+            return f"tcp://{self.host}:{self.port}"
+        opts = ";".join(f"{k}={v}" for k, v in sorted(self.options.items()))
+        return f"{self.transport}://{opts}"
+
+
+def parse_endpoint(spec: str) -> Endpoint:
+    """Parse a URL-style endpoint spec.
+
+    Grammar::
+
+        spec    := transport "://" rest
+        rest    := host ":" port          (tcp)
+                 | [option (";" option)*] (inproc, proc)
+        option  := key "=" value
+
+    ``inproc`` accepts ``memory`` / ``shards`` / ``cache``; ``proc``
+    additionally ``jobs``.  Integer-valued options are validated here,
+    so a typo fails at :func:`connect` time, not mid-serve.
+
+    :raises ConfigError: on an unknown transport, malformed address, or
+        unknown/malformed option.
+    """
+    if not isinstance(spec, str) or "://" not in spec:
+        raise ConfigError(
+            f"endpoint spec must look like 'transport://...', got {spec!r}")
+    transport, _, rest = spec.partition("://")
+    if transport not in TRANSPORTS:
+        raise ConfigError(f"unknown transport {transport!r}; "
+                          f"choose from {TRANSPORTS}")
+    if transport == "tcp":
+        host, sep, port = rest.rpartition(":")
+        if not sep or not host or not port.lstrip("-").isdigit():
+            raise ConfigError(
+                f"tcp endpoint wants tcp://host:port, got {spec!r}")
+        port_num = int(port)
+        if not (0 <= port_num <= 65535):
+            raise ConfigError(f"tcp port out of range in {spec!r}")
+        return Endpoint("tcp", host=host, port=port_num)
+    options: dict = {}
+    allowed = _ENDPOINT_OPTIONS[transport]
+    for item in rest.split(";") if rest else ():
+        if not item:
+            continue
+        key, sep, value = item.partition("=")
+        if not sep or not key or not value:
+            raise ConfigError(
+                f"bad endpoint option {item!r} in {spec!r} "
+                f"(want key=value)")
+        if key not in allowed:
+            raise ConfigError(
+                f"{transport}:// does not take option {key!r}; "
+                f"allowed: {', '.join(allowed)}")
+        if key in ("jobs", "shards", "cache"):
+            try:
+                options[key] = int(value)
+            except ValueError:
+                raise ConfigError(
+                    f"endpoint option {key}={value!r} is not an "
+                    f"integer") from None
+        else:
+            options[key] = value
+    return Endpoint(transport, options=options)
+
+
+def _parse_addr(addr: str) -> tuple[str, int]:
+    """A listen address is a tcp endpoint without the scheme — same
+    validation (including the port range), same failure class."""
+    try:
+        endpoint = parse_endpoint(f"tcp://{addr}")
+    except ConfigError:
+        raise ConfigError(
+            f"listen address wants 'host:port', got {addr!r}") from None
+    return endpoint.host, endpoint.port
+
+
+# ----------------------------------------------------------------------
+# frame plumbing
+# ----------------------------------------------------------------------
+def _send_frame(sock: socket.socket, head: dict, body: bytes = b"") -> None:
+    head_json = json.dumps(head, separators=(",", ":")).encode("utf-8")
+    frame_len = 4 + len(head_json) + len(body)
+    sock.sendall(_FRAME_PREFIX.pack(frame_len, len(head_json))
+                 + head_json + body)
+
+
+def _recv_exact(sock: socket.socket, nbytes: int) -> bytes:
+    chunks = []
+    remaining = nbytes
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError("oracle connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(sock: socket.socket) -> tuple[dict, bytes]:
+    frame_len, head_len = _FRAME_PREFIX.unpack(_recv_exact(sock, 8))
+    if not (4 + head_len <= frame_len <= MAX_FRAME_BYTES):
+        raise ConnectionError(f"corrupt frame header "
+                              f"({frame_len}/{head_len} bytes)")
+    data = _recv_exact(sock, frame_len - 4)
+    try:
+        head = json.loads(data[:head_len].decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        raise ConnectionError("corrupt frame head") from None
+    return head, data[head_len:]
+
+
+#: error classes that cross the wire as themselves; anything else
+#: arrives as the base ReproError
+_WIRE_ERRORS = {cls.__name__: cls for cls in (QueryError, ConfigError)}
+
+
+def _error_to_frame(exc: BaseException) -> dict:
+    return {"kind": "error", "etype": type(exc).__name__,
+            "message": str(exc)}
+
+
+def _error_from_frame(head: dict) -> ReproError:
+    cls = _WIRE_ERRORS.get(head.get("etype"), ReproError)
+    return cls(str(head.get("message", "remote error")))
+
+
+# ----------------------------------------------------------------------
+# the server
+# ----------------------------------------------------------------------
+class _Connection:
+    """One accepted TCP connection: the socket plus a write lock so
+    pushed epoch frames never interleave with a handler's reply."""
+
+    __slots__ = ("sock", "lock")
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.lock = threading.Lock()
+
+
+class OracleServer:
+    """Host one index epoch behind a transport.
+
+    :param source: what to serve —
+
+        * a per-node sketch list (or a
+          :class:`~repro.oracle.api.BuiltSketches`): the index is built
+          here with ``num_shards`` shards;
+        * a pre-built :class:`~repro.service.index.IndexStore` (e.g.
+          loaded from a binary container): served as-is, shard layout
+          baked in;
+        * an :class:`~repro.service.updates.UpdateableIndex`: serves the
+          live epoch and enables :meth:`apply_updates` hot swaps.
+
+    :param jobs: worker processes behind the landmark shards (``1`` =
+        in-process) — exactly
+        :class:`~repro.service.workers.ShardServer`'s knob.
+    :param memory: the data plane (``"heap"`` / ``"shared"`` /
+        ``"mmap"``).
+    :param num_shards: landmark shard count when building from
+        sketches; must match (or be omitted for) a pre-built source.
+    :param cache_size: LRU result-cache capacity of the hosted engine.
+
+    The same server object backs every transport: :meth:`client` hands
+    out in-process sessions (what ``inproc://`` / ``proc://`` bind to),
+    :meth:`serve` adds a TCP listener speaking the frame protocol.  Use
+    as a context manager or :meth:`close` to release the pool, shared
+    segments, listener, and connections.
+    """
+
+    def __init__(self, source: Any, *, jobs: int = 1, memory: str = "heap",
+                 num_shards: Optional[int] = None, cache_size: int = 65536):
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conns: set[_Connection] = set()
+        self._conn_lock = threading.Lock()
+        # ring-mode dispatch rotates through shared slots and is not
+        # re-entrant — remote connections serialize their queries here
+        self._query_lock = threading.Lock()
+        self._closed = False
+        self.address: Optional[tuple[str, int]] = None
+
+        kind, payload = self._normalize_source(source)
+        if num_shards is not None and num_shards < 1:
+            raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
+        if kind == "updateable":
+            self._engine = QueryEngine.from_updateable(
+                payload, cache_size=cache_size, jobs=jobs, memory=memory,
+                _deprecation=False)
+        elif kind == "index":
+            self._engine = QueryEngine.from_index(
+                payload, cache_size=cache_size, jobs=jobs, memory=memory,
+                _deprecation=False)
+        else:
+            self._engine = QueryEngine(
+                payload, cache_size=cache_size,
+                num_shards=num_shards or max(int(jobs), 1),
+                jobs=jobs, memory=memory, _deprecation=False)
+        if (kind in ("updateable", "index") and num_shards is not None
+                and self._engine.index is not None
+                and num_shards != self._engine.index.num_shards):
+            shards = self._engine.index.num_shards
+            self._engine.close()
+            raise ConfigError(
+                f"this source bakes its shard layout in ({shards} "
+                f"shards); drop num_shards or pass {shards}")
+        self.scheme = self._scheme_of(kind, payload)
+        self.updateable = kind == "updateable"
+
+    @staticmethod
+    def _normalize_source(source: Any) -> tuple[str, Any]:
+        from repro.oracle.api import BuiltSketches
+        from repro.service.updates import UpdateableIndex
+
+        if isinstance(source, UpdateableIndex):
+            return "updateable", source
+        if isinstance(source, BuiltSketches):
+            return "sketches", source.sketches
+        if isinstance(source, (list, tuple)):
+            return "sketches", list(source)
+        if hasattr(source, "plan") and hasattr(source, "estimate_many"):
+            return "index", source
+        raise ConfigError(
+            f"cannot serve a {type(source).__name__}: want a sketch "
+            f"list, BuiltSketches, IndexStore, or UpdateableIndex")
+
+    @staticmethod
+    def _scheme_of(kind: str, payload: Any) -> Optional[str]:
+        if kind == "updateable":
+            return payload.scheme
+        if kind == "index":
+            return scheme_name_of_index(payload)
+        return scheme_name_of(payload)
+
+    @classmethod
+    def local(cls, source: Any, *, jobs: int = 1, memory: str = "heap",
+              num_shards: Optional[int] = None,
+              cache_size: int = 65536) -> "OracleServer":
+        """A server wrapping today's in-process/pooled
+        :class:`~repro.service.workers.ShardServer` — the host behind
+        ``inproc://`` (``jobs=1``) and ``proc://`` endpoints.  Identical
+        to the constructor; the name states the topology."""
+        return cls(source, jobs=jobs, memory=memory, num_shards=num_shards,
+                   cache_size=cache_size)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self._engine.n
+
+    @property
+    def epoch(self) -> int:
+        return self._engine.epoch
+
+    @property
+    def num_shards(self) -> int:
+        index = self._engine.index
+        return index.num_shards if index is not None else 1
+
+    @property
+    def jobs(self) -> int:
+        """Effective worker count (clamped to the shard count)."""
+        return self._engine.jobs
+
+    def client(self, endpoint: str = "inproc://",
+               owns_server: bool = False) -> "OracleClient":
+        """An in-process session over this server (no serialization, no
+        socket — the ``inproc``/``proc`` data path)."""
+        return OracleClient(_LocalTransport(self, owns_server=owns_server),
+                            endpoint=endpoint)
+
+    def apply_updates(self, changes) -> UpdateReport:
+        """Apply an edge-change batch to the hosted
+        :class:`~repro.service.updates.UpdateableIndex`, hot-swap the
+        epoch (in-flight batches finish on the epoch they started on),
+        and push an epoch-bump frame to every connected TCP client.
+
+        :raises ConfigError: when the server hosts a static source.
+        """
+        report = self._engine.apply_updates(changes)
+        if report.mode != "noop":
+            self._broadcast({"kind": "epoch", "epoch": report.epoch})
+        return report
+
+    def stats(self) -> dict:
+        """A JSON-ready snapshot: size, scheme, epoch, worker/memory
+        configuration, cache counters, cumulative phase timings, and the
+        number of live TCP connections."""
+        engine = self._engine
+        cache = engine.stats
+        with self._conn_lock:
+            connections = len(self._conns)
+        return {
+            "n": engine.n,
+            "scheme": self.scheme,
+            "epoch": engine.epoch,
+            "updateable": self.updateable,
+            "shards": self.num_shards,
+            "jobs": engine.jobs,
+            "memory": engine.memory,
+            "cache_size": engine.cache_size,
+            "cache": {"hits": cache.hits, "misses": cache.misses,
+                      "evictions": cache.evictions},
+            "phases": engine.phase_timings(),
+            "connections": connections,
+        }
+
+    # ------------------------------------------------------------------
+    # the TCP listener
+    # ------------------------------------------------------------------
+    def serve(self, addr: str = "127.0.0.1:0", *, block: bool = True,
+              backlog: int = 16) -> tuple[str, int]:
+        """Listen for frame-protocol clients on ``addr`` (``host:port``;
+        port ``0`` picks a free one).
+
+        Returns the bound ``(host, port)``.  With ``block=True`` (the
+        daemon mode ``python -m repro serve`` runs) the call accepts
+        until :meth:`close`; ``block=False`` accepts on a background
+        thread and returns immediately — the in-test topology.
+        """
+        if self._closed:
+            raise ConfigError("server is closed")
+        if self._listener is not None:
+            raise ConfigError(
+                f"server is already listening on "
+                f"{self.address[0]}:{self.address[1]}")
+        host, port = _parse_addr(addr)
+        listener = socket.create_server((host, port), backlog=backlog)
+        self._listener = listener
+        self.address = listener.getsockname()[:2]
+        if block:
+            try:
+                self._accept_loop(listener)
+            finally:
+                self.close()
+        else:
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, args=(listener,), daemon=True,
+                name="oracle-accept")
+            self._accept_thread.start()
+        return self.address
+
+    def wait(self) -> None:
+        """Block until the background accept loop exits (daemon use)."""
+        if self._accept_thread is not None:
+            self._accept_thread.join()
+
+    def _accept_loop(self, listener: socket.socket) -> None:
+        while True:
+            try:
+                sock, _ = listener.accept()
+            except OSError:  # listener closed — clean shutdown
+                return
+            threading.Thread(target=self._serve_connection, args=(sock,),
+                             daemon=True, name="oracle-conn").start()
+
+    def _serve_connection(self, sock: socket.socket) -> None:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        conn = _Connection(sock)
+        try:
+            # hello goes out before the connection can receive epoch
+            # broadcasts — a client's first frame must be the hello, and
+            # the hello already carries the current epoch
+            self._send(conn, {
+                "kind": "hello", "v": PROTOCOL_VERSION, "n": self.n,
+                "scheme": self.scheme, "epoch": self.epoch,
+                "shards": self.num_shards, "updateable": self.updateable})
+            with self._conn_lock:
+                self._conns.add(conn)
+            if self._closed:  # lost the race with close(): bail out
+                raise ConnectionError("server closed")
+            while True:
+                head, body = _recv_frame(sock)
+                if head.get("kind") == "close":
+                    return
+                try:
+                    reply_head, reply_body = self._handle(head, body)
+                except Exception as exc:
+                    reply_head, reply_body = _error_to_frame(exc), b""
+                self._send(conn, reply_head, reply_body)
+        except (ConnectionError, OSError):
+            pass  # client went away; nothing to answer
+        finally:
+            with self._conn_lock:
+                self._conns.discard(conn)
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+
+    def _handle(self, head: dict, body: bytes) -> tuple[dict, bytes]:
+        kind = head.get("kind")
+        if kind == "query":
+            pairs = np.asarray(tree_from_bytes(body))
+            with self._query_lock:
+                answers, epoch = self._engine.dist_many_pinned(pairs)
+            return ({"kind": "result", "epoch": int(epoch)},
+                    tree_to_bytes(answers))
+        if kind == "apply":
+            from repro.oracle.serialization import change_from_dict
+
+            changes = [change_from_dict(item)
+                       for item in head.get("changes", ())]
+            report = self.apply_updates(changes)
+            return {"kind": "report", "report": report.as_dict()}, b""
+        if kind == "stats":
+            return {"kind": "stats_reply", "stats": self.stats()}, b""
+        if kind == "fetch_index":
+            from repro.oracle.serialization import index_binary_bytes
+
+            # snapshot (store, epoch) atomically — a concurrent hot
+            # swap must not label the old epoch's bytes with the new
+            # epoch number; the old store is immutable, so serializing
+            # it outside any lock is safe
+            index, epoch = self._engine.index_snapshot()
+            if index is None:  # pragma: no cover - generic sketch set
+                raise ConfigError("server has no index to fetch")
+            return ({"kind": "index_blob", "epoch": int(epoch)},
+                    index_binary_bytes(index))
+        raise ConfigError(f"unknown frame kind {kind!r}")
+
+    def _send(self, conn: _Connection, head: dict,
+              body: bytes = b"") -> None:
+        with conn.lock:
+            _send_frame(conn.sock, head, body)
+
+    def _broadcast(self, head: dict) -> None:
+        with self._conn_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                self._send(conn, head)
+            except OSError:
+                pass  # its reader thread will reap the connection
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop listening, drop every connection, and shut the hosted
+        engine down — pool, shared segments, scratch files (idempotent)."""
+        self._closed = True
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        with self._conn_lock:
+            conns, self._conns = list(self._conns), set()
+        for conn in conns:
+            try:
+                conn.sock.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        self._engine.close()
+
+    def __enter__(self) -> "OracleServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        where = (f"tcp://{self.address[0]}:{self.address[1]}"
+                 if self.address else "local")
+        return (f"OracleServer({self.scheme or '?'}, n={self.n}, "
+                f"epoch={self.epoch}, {where})")
+
+
+# ----------------------------------------------------------------------
+# transports (the client side)
+# ----------------------------------------------------------------------
+class _LocalTransport:
+    """In-process binding to an :class:`OracleServer` — the ``inproc``
+    and ``proc`` data path (no serialization at all)."""
+
+    name = "local"
+
+    def __init__(self, server: OracleServer, owns_server: bool):
+        self._server = server
+        self._owns_server = owns_server
+
+    @property
+    def n(self) -> int:
+        return self._server.n
+
+    @property
+    def scheme(self) -> Optional[str]:
+        return self._server.scheme
+
+    @property
+    def epoch(self) -> int:
+        return self._server.epoch
+
+    def dist_many(self, pairs) -> np.ndarray:
+        return self._server._engine.dist_many(pairs)
+
+    def dist_stream(self, batches) -> Iterator[np.ndarray]:
+        return self._server._engine.dist_stream(batches)
+
+    def apply_updates(self, changes) -> UpdateReport:
+        return self._server.apply_updates(changes)
+
+    def stats(self) -> dict:
+        return self._server.stats()
+
+    def fetch_index(self, path: Optional[str]):
+        index = self._server._engine.index
+        if index is None:
+            raise ConfigError("session has no index to fetch")
+        if path is not None:
+            from repro.oracle.serialization import save_index_binary
+
+            save_index_binary(index, path)
+        return index
+
+    def close(self) -> None:
+        if self._owns_server:
+            self._server.close()
+
+
+class _TcpTransport:
+    """Frame-protocol client: one socket, synchronous request/reply,
+    pushed ``epoch`` frames folded into the session state whenever they
+    arrive."""
+
+    name = "tcp"
+
+    def __init__(self, endpoint: Endpoint,
+                 timeout: Optional[float] = None):
+        try:
+            self._sock = socket.create_connection(
+                (endpoint.host, endpoint.port), timeout=timeout)
+        except OSError as exc:
+            raise ConfigError(
+                f"cannot connect to {endpoint.describe()}: {exc}") from exc
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._lock = threading.Lock()
+        self._closed = False
+        head, _ = _recv_frame(self._sock)
+        if head.get("kind") != "hello":
+            self._sock.close()
+            raise ConfigError(f"{endpoint.describe()} is not an oracle "
+                              f"server (no hello frame)")
+        if head.get("v") != PROTOCOL_VERSION:
+            self._sock.close()
+            raise ConfigError(
+                f"protocol version mismatch: server speaks "
+                f"{head.get('v')}, client {PROTOCOL_VERSION}")
+        self.n = int(head["n"])
+        self.scheme = head.get("scheme")
+        self.epoch = int(head["epoch"])
+        self.num_shards = int(head["shards"])
+        self.updateable = bool(head["updateable"])
+
+    def _request(self, head: dict, body: bytes = b"") -> tuple[dict, bytes]:
+        with self._lock:
+            _send_frame(self._sock, head, body)
+            while True:
+                reply, payload = _recv_frame(self._sock)
+                kind = reply.get("kind")
+                if kind == "epoch":  # pushed hot-swap notification
+                    self.epoch = int(reply["epoch"])
+                    continue
+                if kind == "error":
+                    raise _error_from_frame(reply)
+                return reply, payload
+
+    def dist_many(self, pairs) -> np.ndarray:
+        arr = parse_pair_array(pairs)
+        if arr.size == 0:
+            return np.empty(0, dtype=np.float64)
+        head, body = self._request({"kind": "query"}, tree_to_bytes(arr))
+        if head.get("kind") != "result":
+            raise ReproError(f"unexpected reply frame {head.get('kind')!r}")
+        # the batch is pinned to the epoch that served it, even when an
+        # epoch push for a newer one arrived while it was in flight
+        self.epoch = int(head["epoch"])
+        return np.array(tree_from_bytes(body), dtype=np.float64)
+
+    def dist_stream(self, batches) -> Iterator[np.ndarray]:
+        for pairs in batches:
+            yield self.dist_many(pairs)
+
+    def apply_updates(self, changes) -> UpdateReport:
+        from repro.oracle.serialization import change_to_dict
+
+        head, _ = self._request({
+            "kind": "apply",
+            "changes": [change_to_dict(c) for c in changes]})
+        if head.get("kind") != "report":
+            raise ReproError(f"unexpected reply frame {head.get('kind')!r}")
+        report = UpdateReport(**head["report"])
+        self.epoch = report.epoch
+        return report
+
+    def stats(self) -> dict:
+        head, _ = self._request({"kind": "stats"})
+        if head.get("kind") != "stats_reply":
+            raise ReproError(f"unexpected reply frame {head.get('kind')!r}")
+        return head["stats"]
+
+    def fetch_index(self, path: Optional[str]):
+        from repro.oracle.serialization import load_index_binary
+
+        head, blob = self._request({"kind": "fetch_index"})
+        if head.get("kind") != "index_blob":
+            raise ReproError(f"unexpected reply frame {head.get('kind')!r}")
+        if path is None:
+            # no attach target: materialize in memory via a scratch file
+            fd, tmp = tempfile.mkstemp(prefix="repro-fetch-", suffix=".rpix")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(blob)
+                return load_index_binary(tmp, backing="heap")
+            finally:
+                os.unlink(tmp)
+        with open(path, "wb") as fh:
+            fh.write(blob)
+        return load_index_binary(path, backing="mmap")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            _send_frame(self._sock, {"kind": "close"})
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+# ----------------------------------------------------------------------
+# the session handle
+# ----------------------------------------------------------------------
+class OracleClient:
+    """A serving session — the one handle callers hold, whatever the
+    transport behind it.
+
+    Obtained from :func:`connect` (or :meth:`OracleServer.client`).
+    ``dist`` / ``dist_many`` / ``dist_stream`` answers are bit-identical
+    across transports, including :class:`~repro.errors.QueryError`
+    parity on disconnected graphs; :meth:`apply_updates` hot-swaps the
+    served epoch with zero downtime wherever the session's server hosts
+    an :class:`~repro.service.updates.UpdateableIndex`.  Sessions are
+    context managers; :meth:`close` releases whatever the transport
+    holds (an owned local server, or the socket).
+    """
+
+    def __init__(self, transport, endpoint: str):
+        self._transport = transport
+        self.endpoint = endpoint
+
+    # -- identity ------------------------------------------------------
+    @property
+    def transport(self) -> str:
+        """``"local"`` (inproc/proc) or ``"tcp"``."""
+        return self._transport.name
+
+    @property
+    def n(self) -> int:
+        """Node count of the served index."""
+        return self._transport.n
+
+    @property
+    def scheme(self) -> Optional[str]:
+        """Registry name of the served scheme (``"tz"`` …)."""
+        return self._transport.scheme
+
+    @property
+    def epoch(self) -> int:
+        """The last epoch this session observed — updated by every
+        result frame and by server-pushed epoch bumps."""
+        return self._transport.epoch
+
+    # -- queries -------------------------------------------------------
+    def dist(self, u: int, v: int) -> float:
+        """One distance estimate."""
+        return float(self.dist_many([(u, v)])[0])
+
+    def dist_many(self, pairs: Iterable[tuple[int, int]] | np.ndarray,
+                  ) -> np.ndarray:
+        """Estimates for a batch of ``(u, v)`` pairs, in input order —
+        one epoch answers the whole batch."""
+        return self._transport.dist_many(pairs)
+
+    def dist_stream(self, batches: Iterable) -> Iterator[np.ndarray]:
+        """Pipelined serving over an iterable of pair batches (the
+        double-buffered dispatch on pooled local transports); yields one
+        answer array per batch, in order, bit-identical to per-batch
+        :meth:`dist_many` on a cold cache."""
+        return self._transport.dist_stream(batches)
+
+    # -- control plane -------------------------------------------------
+    def apply_updates(self, changes) -> UpdateReport:
+        """Apply an edge-change batch to the session's server and
+        hot-swap its epoch (propagated to every other connected client
+        without a reconnect).  Needs an updateable server."""
+        return self._transport.apply_updates(changes)
+
+    def stats(self) -> dict:
+        """Server-side statistics plus this session's transport and
+        endpoint."""
+        return {"transport": self.transport, "endpoint": self.endpoint,
+                **self._transport.stats()}
+
+    def fetch_index(self, path: Optional[str] = None):
+        """The served epoch's pre-built store.
+
+        Local sessions return the live store.  TCP sessions download
+        the ``RPIX`` binary container through the session's own channel:
+        with ``path`` the blob is written there and attached
+        ``backing="mmap"`` — byte-identical to a ``repro build --format
+        binary`` artifact, zero blob parsing — which is how a remote
+        worker box warms up; without ``path`` it is materialized in
+        memory.
+        """
+        return self._transport.fetch_index(path)
+
+    def close(self) -> None:
+        """End the session (idempotent via the transport)."""
+        self._transport.close()
+
+    def __enter__(self) -> "OracleClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"OracleClient({self.endpoint!r}, n={self.n}, "
+                f"scheme={self.scheme}, epoch={self.epoch})")
+
+
+# ----------------------------------------------------------------------
+# the factory
+# ----------------------------------------------------------------------
+def connect(spec: str, source: Any = None, *,
+            cache_size: Optional[int] = None,
+            timeout: Optional[float] = None) -> OracleClient:
+    """Open a serving session on an endpoint spec — the one front door
+    of the serving layer.
+
+    * ``connect("inproc://", source)`` — everything in this process,
+      ``jobs=1``, heap memory (options: ``memory`` / ``shards`` /
+      ``cache``);
+    * ``connect("proc://jobs=4;memory=shared", source)`` — a local
+      worker pool behind the landmark shards (``jobs`` defaults to the
+      CPU count, ``memory`` to ``shared``, ``shards`` to ``jobs``);
+    * ``connect("tcp://host:port")`` — a remote
+      :class:`OracleServer`; no ``source`` (the server owns the index).
+
+    ``source`` for local transports: a sketch list,
+    :class:`~repro.oracle.api.BuiltSketches`, pre-built store, or
+    :class:`~repro.service.updates.UpdateableIndex` (which enables
+    :meth:`OracleClient.apply_updates`).  ``cache_size`` overrides the
+    spec's ``cache`` option; ``timeout`` bounds the TCP connect.
+
+    :raises ConfigError: on a bad spec, a missing/forbidden ``source``,
+        or an unreachable server.
+    """
+    endpoint = parse_endpoint(spec)
+    if endpoint.transport == "tcp":
+        if source is not None:
+            raise ConfigError(
+                "a tcp:// session carries no data — the server owns the "
+                "index (drop source=)")
+        if cache_size is not None:
+            raise ConfigError(
+                "cache_size is a server-side knob for tcp:// sessions")
+        return OracleClient(_TcpTransport(endpoint, timeout=timeout),
+                            endpoint=endpoint.describe())
+    if source is None:
+        raise ConfigError(
+            f"{endpoint.transport}:// serves in this process and needs "
+            f"source= (a sketch list, BuiltSketches, IndexStore, or "
+            f"UpdateableIndex)")
+    options = dict(endpoint.options)
+    # an explicit shards= option is enforced; otherwise OracleServer
+    # defaults sketch sources to one shard per worker and leaves
+    # pre-built sources on their baked layout
+    shards = options.get("shards")
+    if endpoint.transport == "inproc":
+        jobs = 1
+        memory = options.get("memory", "heap")
+    else:
+        from repro.service.parallel import default_jobs
+
+        jobs = options.get("jobs")
+        if jobs is None:
+            jobs = default_jobs()
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        memory = options.get("memory", "shared")
+    cache = cache_size if cache_size is not None \
+        else options.get("cache", 65536)
+    server = OracleServer.local(source, jobs=jobs, memory=memory,
+                                num_shards=shards, cache_size=cache)
+    return server.client(endpoint=endpoint.describe(), owns_server=True)

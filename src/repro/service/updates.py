@@ -49,9 +49,14 @@ tables — never with a "close enough" shortcut.
 Epoch semantics: every effective ``apply`` produces a **new**
 :class:`~repro.service.index.IndexStore` (clean shards shared
 structurally, affected shards rebuilt) and bumps :attr:`epoch`; the old
-store object is never mutated, which is what lets
-:meth:`~repro.service.engine.QueryEngine.apply_updates` hot-swap epochs
-while in-flight batches finish on the old pack.
+store object is never mutated, which is what lets a serving session
+hot-swap epochs while in-flight batches finish on the old pack.  Serve
+a live index by passing it as the source of
+:func:`repro.service.transport.connect` (any transport) or of an
+:class:`~repro.service.transport.OracleServer` —
+``client.apply_updates(changes)`` then swaps with zero downtime, and a
+TCP server pushes the epoch bump to every connected session
+(``python -m repro serve GRAPH --updateable`` is the daemon form).
 """
 
 from __future__ import annotations

@@ -165,12 +165,18 @@ class PhaseTimings:
     compute: message encode/decode plus pool dispatch, minus the
     parallel critical path (the slowest shard's compute).  In-process
     serving has ``ipc == 0`` by construction.
+
+    ``overlap`` is the double-buffering win of the pipelined path
+    (:meth:`ShardServer.estimate_stream`): master-side seconds — batch
+    *k+1*'s plan and request encode — spent while batch *k*'s shard
+    probes were still in flight.  Sequential serving leaves it 0.
     """
 
     plan: float = 0.0
     shard_answer: float = 0.0
     finish: float = 0.0
     ipc: float = 0.0
+    overlap: float = 0.0
     batches: int = 0
 
     def as_dict(self) -> dict:
@@ -178,6 +184,7 @@ class PhaseTimings:
                 "shard_answer_seconds": self.shard_answer,
                 "finish_seconds": self.finish,
                 "ipc_seconds": self.ipc,
+                "overlap_seconds": self.overlap,
                 "batches": self.batches}
 
 
@@ -209,6 +216,21 @@ class ShardServer:
 
     def __init__(self, index: IndexStore, jobs: int = 1,
                  memory: str = "heap", ring_slots: int = 2):
+        # every attribute close() releases exists before anything that
+        # can raise: a failed construction (bad argument, failed pack or
+        # pool spawn) still reaches __del__, and the GC backstop must
+        # release whatever was allocated instead of tripping over a
+        # missing attribute and silently leaking the pack segment
+        self._pool = None
+        self._req_ring: Optional[SharedArea] = None
+        self._resp_ring: Optional[SharedArea] = None
+        self._packed = None
+        self._owns_pack = False
+        self._resp_capacity = 0  # per-shard slice of a response slot
+        self._resp_grow = 0      # deferred response-ring growth (bytes)
+        self._inflight = 0       # submitted-but-uncollected batches
+        self._tick = 0
+        self.timings = PhaseTimings()
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
         if memory not in MEMORY_MODES:
@@ -219,9 +241,6 @@ class ShardServer:
         self.memory = memory
         self.jobs = min(int(jobs), index.num_shards)
         self.ring_slots = int(ring_slots)
-        self._packed = None
-        self._owns_pack = False
-        self.timings = PhaseTimings()
 
         if memory == "heap":
             self.index = index
@@ -246,11 +265,6 @@ class ShardServer:
                 # the workers attach to
                 self.index = index_from_pack(self._packed)
 
-        self._pool = None
-        self._req_ring: Optional[SharedArea] = None
-        self._resp_ring: Optional[SharedArea] = None
-        self._resp_capacity = 0  # per-shard slice of a response slot
-        self._tick = 0
         if self.jobs > 1:
             ctx = multiprocessing.get_context()
             if memory == "heap":
@@ -285,25 +299,32 @@ class ShardServer:
         return self._resp_ring
 
     # ------------------------------------------------------------------
-    def _dispatch(self, requests: list) -> tuple[list, float, float]:
-        """Run the per-shard probes; returns ``(responses,
-        sum_of_shard_seconds, max_shard_seconds)``."""
+    # dispatch: submit (start the probes) / collect (gather responses)
+    # ------------------------------------------------------------------
+    def _submit(self, requests: list) -> tuple:
+        """Start the per-shard probes; returns an opaque handle for
+        :meth:`_collect`.  In-process servers defer the actual compute to
+        collect time (there is nothing to overlap with)."""
         if self._pool is None:
-            responses, total = [], 0.0
-            for s, r in enumerate(requests):
-                t0 = time.perf_counter()
-                responses.append(self.index.shard_answer(s, r))
-                total += time.perf_counter() - t0
-            return responses, total, total
+            return ("sync", requests)
         if self.memory == "heap":
-            raw = self._pool.map(_serve_shard, list(enumerate(requests)))
-            seconds = [dt for dt, _ in raw]
-            return [resp for _, resp in raw], sum(seconds), max(seconds)
-        return self._dispatch_rings(requests)
+            handle = ("heap", self._pool.map_async(
+                _serve_shard, list(enumerate(requests))))
+        else:
+            handle = self._submit_rings(requests)
+        self._inflight += 1
+        return handle
 
-    def _dispatch_rings(self, requests: list) -> tuple[list, float, float]:
-        """The shared-ring transport: memcpy request trees in, descriptors
-        through the pool, response trees memcpy'd back."""
+    def _submit_rings(self, requests: list) -> tuple:
+        """Ring-transport submit: memcpy request trees into this batch's
+        ring slot, hand descriptors to the pool.
+
+        Ring (re)allocation is only safe while no other batch is in
+        flight — a grow unlinks the segment workers may still be
+        reading — so deferred response growth is applied here only when
+        idle, and the pipelined caller flushes its pending batch first
+        whenever :meth:`_ring_growth_needed` says a grow is coming.
+        """
         encoded = []
         need = 0
         for request in requests:
@@ -311,6 +332,9 @@ class ShardServer:
             manifest, total = plan_tree(leaves)
             encoded.append((spec, leaves, manifest, total))
             need += buffers._align(total)
+        if self._inflight == 0 and self._resp_grow:
+            self._ensure_resp_ring(self._resp_grow)
+            self._resp_grow = 0
         req_ring = self._ensure_req_ring(need)
         resp_ring = self._ensure_resp_ring(self._resp_capacity
                                            or _MIN_RING_BYTES)
@@ -329,13 +353,46 @@ class ShardServer:
                       self._resp_capacity)
             tasks.append((s, (req_ring.name, offset, spec, manifest),
                           target))
-        raw = self._pool.map(_serve_shard_shm, tasks)
+        return ("rings", self._pool.map_async(_serve_shard_shm, tasks),
+                resp_base, self._resp_capacity)
+
+    def _ring_growth_needed(self, requests: list) -> bool:
+        """Would submitting these requests reallocate a message ring?
+        (Layout planning only — no blob copies.)"""
+        if self._resp_grow:
+            return True
+        need = 0
+        for request in requests:
+            _, leaves = flatten_tree(request)
+            _, total = plan_tree(leaves)
+            need += buffers._align(total)
+        return self._req_ring is None or self._req_ring.slot_bytes < need
+
+    def _collect(self, handle: tuple) -> tuple[list, float, float]:
+        """Gather one submitted batch; returns ``(responses,
+        sum_of_shard_seconds, max_shard_seconds)``."""
+        kind = handle[0]
+        if kind == "sync":
+            responses, total = [], 0.0
+            for s, r in enumerate(handle[1]):
+                t0 = time.perf_counter()
+                responses.append(self.index.shard_answer(s, r))
+                total += time.perf_counter() - t0
+            return responses, total, total
+        self._inflight -= 1
+        if kind == "heap":
+            raw = handle[1].get()
+            seconds = [dt for dt, _ in raw]
+            return [resp for _, resp in raw], sum(seconds), max(seconds)
+        _, async_result, resp_base, capacity = handle
+        raw = async_result.get()
+        resp_ring = self._resp_ring
         responses, seconds, grow = [], [], 0
         for s, reply in enumerate(raw):
             if reply[0] == "shm":
                 _, dt, resp_spec, manifest = reply
                 responses.append(read_tree(
-                    resp_ring.buffer, resp_base + s * self._resp_capacity,
+                    resp_ring.buffer, resp_base + s * capacity,
                     resp_spec, manifest))
             else:  # response outgrew its slice; pickled fallback this once
                 _, dt, response, needed = reply
@@ -343,8 +400,15 @@ class ShardServer:
                 grow = max(grow, needed)
             seconds.append(dt)
         if grow:
-            self._ensure_resp_ring(grow)
+            # grown at the next idle submit — reallocating right here
+            # would unlink a ring a pipelined batch may still be using
+            self._resp_grow = max(self._resp_grow, grow)
         return responses, sum(seconds), max(seconds)
+
+    def _dispatch(self, requests: list) -> tuple[list, float, float]:
+        """Run the per-shard probes start to finish (the sequential
+        path: submit immediately followed by collect)."""
+        return self._collect(self._submit(requests))
 
     # ------------------------------------------------------------------
     def estimate_many(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
@@ -365,6 +429,87 @@ class ShardServer:
             tm.finish += t3 - t2
             if self._pool is not None:
                 tm.ipc += max(0.0, (t2 - t1) - shard_max)
+            tm.batches += 1
+        return answers
+
+    def estimate_stream(self, batches) -> "Iterable[np.ndarray]":
+        """Double-buffered pipelined serving: a generator over an
+        iterable of ``(us, vs)`` batches, yielding one float64 answer
+        array per batch, in order.
+
+        While batch *k*'s shard probes run on the pool, the master
+        plans and encodes batch *k+1* into the other ring slot — the
+        dispatch overlap E15 showed was missing.  The hidden master
+        seconds accumulate in :attr:`PhaseTimings.overlap`.  Answers
+        are bit-identical to calling :meth:`estimate_many` per batch
+        (the test suite asserts it); an in-process server (``jobs=1``)
+        degenerates to exactly that.
+        """
+        # `pending` always names the one batch whose probes may be in
+        # flight and uncollected — it is reassigned *before* any yield
+        # or finish call, so the finally block (abandoned generator, or
+        # a QueryError escaping finish) drains exactly the right handle
+        pending = None  # (state, handle, t_submitted)
+        try:
+            for us, vs in batches:
+                t0 = time.perf_counter()
+                if us.shape[0] == 0:
+                    state, handle = None, ("empty",)
+                    t1 = t0
+                else:
+                    state, requests = self.index.plan(us, vs)
+                    t1 = time.perf_counter()
+                    if (pending is not None and self._pool is not None
+                            and self.memory != "heap"
+                            and (self.ring_slots < 2
+                                 or self._ring_growth_needed(requests))):
+                        # overlapping needs a slot per in-flight batch,
+                        # and a grow would unlink a ring the in-flight
+                        # batch still reads — drain it first, forgoing
+                        # overlap for this one batch
+                        prev, pending = pending, None
+                        yield self._finish_pending(prev)
+                    handle = self._submit(requests)
+                t2 = time.perf_counter()
+                self.timings.plan += t1 - t0
+                prev, pending = pending, (state, handle, t2)
+                if prev is not None:
+                    if self._pool is not None:
+                        # this batch's plan+encode ran while the previous
+                        # batch's probes were in flight: the overlap window
+                        # (in-process "submit" defers the compute, so
+                        # there is nothing to overlap with)
+                        self.timings.overlap += t2 - t0
+                    yield self._finish_pending(prev)
+            if pending is not None:
+                prev, pending = pending, None
+                yield self._finish_pending(prev)
+        finally:
+            if pending is not None:  # abandoned mid-stream: drain the
+                _, handle, _ = pending  # in-flight probes, drop results
+                if handle[0] != "empty":
+                    try:
+                        self._collect(handle)
+                    except Exception:  # pragma: no cover - best effort
+                        pass
+
+    def _finish_pending(self, pending: tuple) -> np.ndarray:
+        state, handle, t_submitted = pending
+        tm = self.timings
+        if handle[0] == "empty":
+            tm.batches += 1
+            return np.empty(0, dtype=np.float64)
+        t0 = time.perf_counter()
+        responses, shard_sum, shard_max = self._collect(handle)
+        t1 = time.perf_counter()
+        try:
+            answers = self.index.finish(state, responses)
+        finally:
+            t2 = time.perf_counter()
+            tm.shard_answer += shard_sum
+            tm.finish += t2 - t1
+            if self._pool is not None:
+                tm.ipc += max(0.0, (t1 - t_submitted) - shard_max)
             tm.batches += 1
         return answers
 
@@ -408,17 +553,26 @@ class ShardServer:
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Shut the worker pool down, then release every shared segment
-        and scratch file this server created (idempotent)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
+        and scratch file this server created (idempotent).
+
+        Reads its attributes defensively (``getattr`` with defaults):
+        the ``__del__`` GC backstop funnels here even for an instance
+        whose construction failed partway, and a missing attribute must
+        not abort the cleanup before the pack segment is released.
+        """
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            pool.terminate()
+            pool.join()
             self._pool = None
-        for ring in (self._req_ring, self._resp_ring):
+        for name in ("_req_ring", "_resp_ring"):
+            ring = getattr(self, name, None)
             if ring is not None:
                 ring.close()
-        self._req_ring = self._resp_ring = None
-        if self._packed is not None and self._owns_pack:
-            self._packed.close()
+                setattr(self, name, None)
+        packed = getattr(self, "_packed", None)
+        if packed is not None and getattr(self, "_owns_pack", False):
+            packed.close()
         self._packed = None
 
     def __enter__(self) -> "ShardServer":

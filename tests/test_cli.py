@@ -202,6 +202,68 @@ class TestServeBenchJobsAndScheme:
         assert report["identical"] is True
 
 
+class TestConnectFlows:
+    """`query --connect` / `serve-bench --connect` against a live
+    transport endpoint (the `serve` daemon itself is exercised
+    end-to-end in tests/test_service_transport.py)."""
+
+    @pytest.fixture()
+    def live_server(self, sketch_file):
+        from repro.oracle.serialization import load_sketch_set
+        from repro.service.transport import OracleServer
+
+        server = OracleServer(load_sketch_set(sketch_file), cache_size=0)
+        host, port = server.serve("127.0.0.1:0", block=False)
+        try:
+            yield f"tcp://{host}:{port}", server
+        finally:
+            server.close()
+
+    def test_query_connect(self, live_server, sketch_file, capsys):
+        spec, server = live_server
+        rc = main(["query", "--connect", spec, "--pairs", "0:31", "5:9"])
+        assert rc == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2 and lines[0].startswith("0:31 estimate=")
+
+    def test_query_connect_rejects_sketch_file_too(self, live_server,
+                                                   graph_file, sketch_file,
+                                                   capsys):
+        spec, _ = live_server
+        rc = main(["query", str(graph_file), str(sketch_file),
+                   "--connect", spec, "--pairs", "0:1"])
+        assert rc == 2
+        assert "server owns the index" in capsys.readouterr().err
+
+    def test_query_without_files_or_connect(self, capsys):
+        rc = main(["query", "--pairs", "0:1"])
+        assert rc == 2
+        assert "--connect" in capsys.readouterr().err
+
+    def test_serve_bench_connect(self, live_server, capsys):
+        spec, _ = live_server
+        rc = main(["serve-bench", "--connect", spec, "--queries", "200",
+                   "--batch", "50", "--repeats", "1", "--scheme", "tz"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["identical"] is True
+        assert report["transport"] == "tcp" and report["scheme"] == "tz"
+        assert report["streamed_qps"] > 0
+
+    def test_serve_bench_connect_scheme_mismatch(self, live_server,
+                                                 capsys):
+        spec, _ = live_server
+        rc = main(["serve-bench", "--connect", spec, "--queries", "50",
+                   "--repeats", "1", "--scheme", "graceful"])
+        assert rc == 2
+        assert "not graceful" in capsys.readouterr().err
+
+    def test_serve_bench_without_source(self, capsys):
+        rc = main(["serve-bench"])
+        assert rc == 2
+        assert "--connect" in capsys.readouterr().err
+
+
 class TestSchemesCommand:
     def test_json_matrix(self, capsys):
         assert main(["schemes"]) == 0

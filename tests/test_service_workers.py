@@ -111,6 +111,149 @@ class TestShardServerLifecycle:
         engine.close()
 
 
+class TestEstimateStream:
+    """The double-buffered pipelined path: batch k+1's plan/encode
+    overlaps batch k's probes — and never changes a single byte."""
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("memory", ["heap", "shared"])
+    def test_stream_equals_per_batch_estimates(self, built_sets, scheme,
+                                               memory):
+        sketches = built_sets[scheme]
+        index = build_index(sketches, num_shards=4)
+        pairs = sample_query_pairs(len(sketches), 600, seed=13)
+        batches = [(pairs[lo:lo + 150, 0], pairs[lo:lo + 150, 1])
+                   for lo in range(0, 600, 150)]
+        with ShardServer(index, jobs=4, memory=memory) as srv:
+            want = [srv.estimate_many(us, vs).tolist()
+                    for us, vs in batches]
+            srv.reset_timings()
+            got = [out.tolist() for out in srv.estimate_stream(batches)]
+            timings = srv.timings
+        assert got == want  # exact floats, exact batch order
+        assert timings.batches == len(batches)
+        # batches 2..k planned while a predecessor was in flight
+        assert timings.overlap > 0.0
+
+    def test_stream_handles_empty_batches_in_order(self, built_sets):
+        index = build_index(built_sets["tz"], num_shards=2)
+        empty = np.empty(0, dtype=np.int64)
+        batches = [(np.array([0, 5]), np.array([5, 0])), (empty, empty),
+                   (np.array([3]), np.array([4]))]
+        with ShardServer(index, jobs=2, memory="shared") as srv:
+            sizes = [out.size for out in srv.estimate_stream(batches)]
+        assert sizes == [2, 0, 1]
+
+    def test_stream_in_process_has_no_overlap(self, built_sets):
+        index = build_index(built_sets["tz"], num_shards=2)
+        pairs = sample_query_pairs(index.n, 100, seed=3)
+        batches = [(pairs[:50, 0], pairs[:50, 1]),
+                   (pairs[50:, 0], pairs[50:, 1])]
+        with ShardServer(index, jobs=1) as srv:
+            want = np.concatenate([srv.estimate_many(us, vs)
+                                   for us, vs in batches])
+            srv.reset_timings()
+            got = np.concatenate(list(srv.estimate_stream(batches)))
+            assert srv.timings.overlap == 0.0
+        assert got.tolist() == want.tolist()
+
+    def test_stream_survives_ring_growth(self, built_sets):
+        # a tiny batch first (small rings), then a much bigger one that
+        # forces a request-ring grow mid-stream: the server must drain
+        # the in-flight batch before reallocating, never corrupt answers
+        index = build_index(built_sets["stretch3"], num_shards=4)
+        big = sample_query_pairs(index.n, 4096, seed=5)
+        batches = [(np.array([0, 1]), np.array([1, 0])),
+                   (big[:, 0], big[:, 1]),
+                   (np.array([2]), np.array([3]))]
+        with ShardServer(index, jobs=4, memory="shared",
+                         ring_slots=2) as srv:
+            want = [srv.estimate_many(us, vs).tolist()
+                    for us, vs in batches]
+            got = [out.tolist() for out in srv.estimate_stream(batches)]
+        assert got == want
+
+    def test_stream_abandoned_midway_drains_cleanly(self, built_sets):
+        # a consumer that breaks out of the stream leaves one submitted
+        # batch in flight; the generator's cleanup must collect exactly
+        # that batch (not re-collect the yielded one) so the server
+        # stays balanced and keeps answering
+        index = build_index(built_sets["tz"], num_shards=2)
+        pairs = sample_query_pairs(index.n, 300, seed=9)
+        batches = [(pairs[i * 100:(i + 1) * 100, 0],
+                    pairs[i * 100:(i + 1) * 100, 1]) for i in range(3)]
+        with ShardServer(index, jobs=2, memory="shared") as srv:
+            want = [srv.estimate_many(us, vs).tolist()
+                    for us, vs in batches]
+            stream = srv.estimate_stream(batches)
+            first = next(stream)
+            stream.close()  # abandon with batch 1 submitted, uncollected
+            assert srv._inflight == 0
+            assert first.tolist() == want[0]
+            # the server still serves, sequentially and streamed
+            assert srv.estimate_many(*batches[2]).tolist() == want[2]
+            again = [out.tolist()
+                     for out in srv.estimate_stream(batches)]
+            assert again == want
+
+    def test_engine_dist_stream_matches_dist_many(self, built_sets):
+        pairs = sample_query_pairs(len(built_sets["cdg"]), 300, seed=21)
+        chunks = [pairs[lo:lo + 100] for lo in range(0, 300, 100)]
+        with QueryEngine(built_sets["cdg"], cache_size=0, num_shards=3,
+                         jobs=3, memory="shared") as engine:
+            want = np.concatenate([engine.dist_many(c) for c in chunks])
+            got = np.concatenate(list(engine.dist_stream(chunks)))
+            phases = engine.phase_timings()
+        assert got.tolist() == want.tolist()
+        assert "overlap_seconds" in phases
+
+
+class TestGCBackstop:
+    """ShardServer.__del__ must release everything close() would — even
+    for a server that was never dispatched, or whose construction
+    failed halfway (the pack-segment leak the attribute-existence
+    ordering used to cause)."""
+
+    def test_drop_without_dispatch_releases_segments(self, built_sets):
+        import gc
+
+        from repro.service.buffers import live_segment_names
+
+        index = build_index(built_sets["tz"], num_shards=2)
+        srv = ShardServer(index, jobs=2, memory="shared")
+        seg = srv.data_plane()["pack_segment"]
+        assert seg in live_segment_names()
+        del srv  # no dispatch ever happened: rings were never allocated
+        gc.collect()
+        assert seg not in live_segment_names()
+
+    def test_failed_construction_releases_the_pack(self, built_sets,
+                                                   monkeypatch):
+        import gc
+
+        from repro.service.buffers import live_segment_names
+
+        index = build_index(built_sets["tz"], num_shards=2)
+        before = set(live_segment_names())
+
+        def boom(_packed):
+            raise RuntimeError("attach exploded")
+
+        monkeypatch.setattr("repro.service.workers.index_from_pack", boom)
+        with pytest.raises(RuntimeError, match="attach exploded"):
+            ShardServer(index, jobs=2, memory="shared")
+        gc.collect()
+        # the half-built server's pack segment was unlinked by __del__
+        assert set(live_segment_names()) == before
+
+    def test_close_after_close_after_del_path(self, built_sets):
+        index = build_index(built_sets["tz"], num_shards=2)
+        srv = ShardServer(index, jobs=1, memory="shared")
+        srv.close()
+        srv.close()  # idempotent
+        srv.__del__()  # and safe after close
+
+
 class TestShardServerErrors:
     def test_query_error_propagates_through_workers(self):
         from repro.graphs import Graph
