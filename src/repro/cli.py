@@ -240,7 +240,8 @@ def _cmd_serve(args) -> int:
             shards = args.shards or max(args.jobs, 1)
     server = OracleServer(source, jobs=args.jobs, memory=args.memory,
                           num_shards=shards, cache_size=args.cache_size)
-    host, port = server.serve(args.addr, block=False)
+    host, port = server.serve(args.addr, block=False,
+                              handlers=args.handlers)
     print(f"serving {server.scheme or '?'} n={server.n} "
           f"shards={server.num_shards} jobs={server.jobs} "
           f"memory={args.memory} epoch={server.epoch} "
@@ -262,11 +263,28 @@ def _cmd_serve_bench(args) -> int:
     from repro.service import run_serve_benchmark, scheme_name_of
     from repro.service.bench import scheme_name_of_index
 
+    if args.clients is not None and args.connect is None:
+        raise ReproError(
+            "--clients drives concurrent sessions against a live server; "
+            "it needs --connect tcp://host:port")
     if args.connect is not None:
         if args.sketches is not None:
             raise ReproError(
                 "--connect benchmarks a live server; drop the sketches "
                 "argument (the server owns the index)")
+        if args.clients is not None:
+            from repro.service.bench import run_load_benchmark
+
+            report = run_load_benchmark(args.connect, clients=args.clients,
+                                        queries=args.queries,
+                                        batch=args.batch, seed=args.seed,
+                                        depth=args.depth)
+            print(json.dumps(report, indent=2))
+            if not report["identical"]:
+                print("error: pipelined answers diverged from the "
+                      "sequential pass", file=sys.stderr)
+                return 1
+            return 0
         from repro.service.bench import run_connect_benchmark
 
         report = run_connect_benchmark(args.connect, queries=args.queries,
@@ -471,6 +489,10 @@ def build_parser() -> argparse.ArgumentParser:
                          "its own in)")
     sv.add_argument("--cache-size", type=int, default=65536,
                     help="LRU result-cache capacity (0 disables)")
+    sv.add_argument("--handlers", type=int, default=None,
+                    help="request-handler threads multiplexing the "
+                         "connections (default: sized to the engine, "
+                         "max(2, jobs))")
     sv.add_argument("--updateable", action="store_true",
                     help="treat SOURCE as a graph edge list and serve a "
                          "live UpdateableIndex — clients can push edge "
@@ -492,6 +514,14 @@ def build_parser() -> argparse.ArgumentParser:
                     help="benchmark a live endpoint (inproc://... needs "
                          "a local file, so this is for tcp://host:port) "
                          "instead of serving local files")
+    sb.add_argument("--clients", type=int, default=None,
+                    help="with --connect: closed-loop load generator — N "
+                         "concurrent sessions each measuring a "
+                         "sequential and a pipelined pass (p50/p99 "
+                         "latency and qps per client)")
+    sb.add_argument("--depth", type=int, default=None,
+                    help="with --clients: dist_stream pipelining window "
+                         "per session (default 4)")
     sb.add_argument("--queries", type=int, default=10_000)
     sb.add_argument("--batch", type=int, default=None,
                     help="batch size (default: one batch for all queries)")

@@ -59,8 +59,8 @@ count and any worker count.  See ``docs/architecture.md`` for the layer
 map and ``docs/serving.md`` for the operator's guide.
 """
 
-from repro.service.bench import (run_connect_benchmark, run_serve_benchmark,
-                                 sample_query_pairs)
+from repro.service.bench import (run_connect_benchmark, run_load_benchmark,
+                                 run_serve_benchmark, sample_query_pairs)
 from repro.service.buffers import BufferPack, PackedIndex, PackHandle
 from repro.service.engine import CacheStats, QueryEngine
 from repro.service.index import (CDGIndex, GracefulIndex, IndexStore,
@@ -71,7 +71,8 @@ from repro.service.index import (CDGIndex, GracefulIndex, IndexStore,
                                  scheme_name_of_index)
 from repro.service.parallel import build_tz_sketches_parallel, default_jobs
 from repro.service.transport import (TRANSPORTS, Endpoint, OracleClient,
-                                     OracleServer, connect, parse_endpoint)
+                                     OracleServer, PipelineStats, connect,
+                                     parse_endpoint)
 from repro.service.updates import (EdgeChange, UpdateReport, UpdateableIndex,
                                    dirty_frontier, load_changes_jsonl,
                                    run_update_benchmark,
@@ -97,6 +98,7 @@ __all__ = [
     "PackHandle",
     "PackedIndex",
     "PhaseTimings",
+    "PipelineStats",
     "QueryEngine",
     "ShardServer",
     "Stretch3Index",
@@ -113,6 +115,7 @@ __all__ = [
     "index_to_pack",
     "load_changes_jsonl",
     "refresh_index",
+    "run_load_benchmark",
     "run_serve_benchmark",
     "run_update_benchmark",
     "sample_query_pairs",

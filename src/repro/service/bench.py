@@ -17,12 +17,13 @@ is diagnosable from a single run: if ``ipc_seconds`` dominates
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ReproError
 from repro.rng import SeedLike, ensure_rng
 from repro.service.engine import QueryEngine
 from repro.service.index import (IndexStore, scheme_name_of,
@@ -222,3 +223,156 @@ def run_connect_benchmark(spec: str, source=None, queries: int = 1000,
         }
     finally:
         client.close()
+
+
+def _percentiles_ms(latencies: Sequence[float]) -> dict:
+    arr = np.asarray(list(latencies), dtype=np.float64)
+    if arr.size == 0:
+        return {"p50_ms": None, "p99_ms": None}
+    return {"p50_ms": float(np.percentile(arr, 50) * 1e3),
+            "p99_ms": float(np.percentile(arr, 99) * 1e3)}
+
+
+def run_load_benchmark(spec: str, clients: int = 4, queries: int = 1000,
+                       batch: Optional[int] = None, seed: SeedLike = 0,
+                       depth: Optional[int] = None) -> dict:
+    """Closed-loop multi-client load generator — the ``serve-bench
+    --clients N --connect`` harness and the E18 experiment.
+
+    ``clients`` threads each open their **own** tcp session against the
+    server at ``spec`` and push a distinct seeded workload of
+    ``queries`` pairs through it twice, barrier-synchronized so every
+    client runs each mode at the same time:
+
+    1. **sequential** — one ``dist_many`` per batch, one request in
+       flight per connection (the protocol-v1 behaviour, the baseline);
+    2. **pipelined** — one ``dist_stream`` over all batches with a
+       ``depth``-deep request-id window.
+
+    Answers from the two passes are cross-checked bitwise per client
+    (distinct per-client workloads also catch cross-request reply
+    mixups under multiplexing).  The report carries per-client rows
+    (qps per mode, ``max_inflight``, ``overlap_seconds``, p50/p99 ms
+    per mode) plus aggregate percentiles and total throughput — the
+    numbers ``BENCH_E18-load.json`` tracks.
+
+    :param spec: a ``tcp://host:port`` endpoint (the load generator
+        measures the wire; local transports have no wire to pipeline).
+    :param depth: pipelining window per session (default: the
+        transport's default, 4).
+    """
+    from repro.service.transport import connect, parse_endpoint
+
+    if parse_endpoint(spec).transport != "tcp":
+        raise ConfigError(
+            f"the load benchmark drives tcp:// sessions, got {spec!r}")
+    if clients < 1:
+        raise ConfigError(f"clients must be >= 1, got {clients}")
+    if queries < 1:
+        raise ConfigError(f"queries must be >= 1, got {queries}")
+
+    # three sync points: all sessions up / sequential pass / pipelined
+    # pass; the main thread participates to time each phase's wall
+    barrier = threading.Barrier(clients + 1)
+    rows: list = [None] * clients
+    errors: list = []
+
+    def worker(cid: int) -> None:
+        try:
+            client = connect(spec, pipeline_depth=depth)
+        except Exception as exc:  # noqa: BLE001 - reported, then re-raised
+            errors.append((cid, exc))
+            barrier.abort()
+            return
+        try:
+            pairs = sample_query_pairs(client.n, queries,
+                                       seed=seed + 7919 * (cid + 1))
+            size = batch
+            if size is None or size > queries:
+                size = max(1, queries // 8)
+            chunks = [pairs[lo:lo + size]
+                      for lo in range(0, queries, size)]
+
+            barrier.wait()  # sessions up
+            seq_lat = []
+            t0 = time.perf_counter()
+            seq_answers = []
+            for chunk in chunks:
+                t_req = time.perf_counter()
+                seq_answers.append(client.dist_many(chunk))
+                seq_lat.append(time.perf_counter() - t_req)
+            t_seq = time.perf_counter() - t0
+            seq = np.concatenate(seq_answers)
+
+            barrier.wait()  # sequential done everywhere
+            client.pipeline_stats(reset=True)
+            t0 = time.perf_counter()
+            piped = np.concatenate(list(client.dist_stream(chunks)))
+            t_pipe = time.perf_counter() - t0
+            pstats = client.pipeline_stats(reset=True)
+
+            barrier.wait()  # pipelined done everywhere
+            rows[cid] = {
+                "client": cid,
+                "queries": int(queries),
+                "batch": int(size),
+                "seq_seconds": t_seq,
+                "pipe_seconds": t_pipe,
+                "seq_qps": queries / t_seq,
+                "pipe_qps": queries / t_pipe,
+                "max_inflight": pstats["max_inflight"],
+                "overlap_seconds": pstats["overlap_seconds"],
+                "seq": _percentiles_ms(seq_lat),
+                "pipe": _percentiles_ms(pstats["latencies"]),
+                "_seq_lat": seq_lat,
+                "_pipe_lat": pstats["latencies"],
+                "identical": bool(np.array_equal(seq, piped)),
+            }
+        except threading.BrokenBarrierError:
+            pass  # another client failed; its error is recorded
+        except Exception as exc:  # noqa: BLE001 - reported to the caller
+            errors.append((cid, exc))
+            barrier.abort()
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=worker, args=(cid,), daemon=True,
+                                name=f"load-client-{cid}")
+               for cid in range(clients)]
+    for t in threads:
+        t.start()
+    walls = {}
+    try:
+        barrier.wait()
+        t0 = time.perf_counter()
+        barrier.wait()
+        walls["seq_wall_seconds"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        barrier.wait()
+        walls["pipe_wall_seconds"] = time.perf_counter() - t0
+    except threading.BrokenBarrierError:
+        pass
+    for t in threads:
+        t.join()
+    if errors:
+        cid, exc = errors[0]
+        raise ReproError(f"load client {cid} failed: {exc}") from exc
+
+    seq_lat = [x for row in rows for x in row["_seq_lat"]]
+    pipe_lat = [x for row in rows for x in row["_pipe_lat"]]
+    for row in rows:
+        del row["_seq_lat"], row["_pipe_lat"]
+    total = clients * queries
+    return {
+        "endpoint": spec,
+        "clients": int(clients),
+        "queries_per_client": int(queries),
+        "depth": int(depth) if depth is not None else None,
+        **walls,
+        "seq_total_qps": total / walls["seq_wall_seconds"],
+        "pipe_total_qps": total / walls["pipe_wall_seconds"],
+        "seq": _percentiles_ms(seq_lat),
+        "pipe": _percentiles_ms(pipe_lat),
+        "per_client": rows,
+        "identical": all(row["identical"] for row in rows),
+    }

@@ -223,6 +223,16 @@ class QueryEngine:
         self._cache: OrderedDict[tuple[int, int], float] = OrderedDict()
         self.stats = CacheStats()
 
+    @property
+    def serial_dispatch(self) -> bool:
+        """True when concurrent ``dist_many`` calls must be serialized
+        by the caller: ring-mode shard dispatch (shared/mmap pool) is
+        single-producer.  Heap-pool and in-process engines answer
+        concurrent batches safely — the engine lock already guards the
+        cache and epoch bookkeeping."""
+        server = self._server
+        return server is not None and server.ring_dispatch
+
     # ------------------------------------------------------------------
     # epoch bookkeeping
     # ------------------------------------------------------------------

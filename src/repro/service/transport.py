@@ -37,7 +37,7 @@ connected TCP client without a reconnect (the server pushes an
 epoch-bump frame; in-flight batches stay pinned to the epoch that
 served them, which every result frame names).
 
-Wire protocol (version 1).  A frame is ``u32 frame_len | u32 head_len |
+Wire protocol (version 2).  A frame is ``u32 frame_len | u32 head_len |
 head JSON | body``; the body is :func:`~repro.service.buffers.tree_to_bytes`
 output for query/result frames, the raw ``RPIX`` binary index container
 for the index-fetch frame, and empty otherwise.  The server greets each
@@ -45,16 +45,39 @@ connection with a ``hello`` frame (n, scheme, epoch, shards); ``epoch``
 frames are pushed to every connection after a hot swap; errors travel
 as typed frames and re-raise client-side as the same
 :mod:`repro.errors` class.
+
+Version 2 made the wire **multiplexed**: every request frame carries a
+client-assigned ``id`` and every reply echoes it, so a connection may
+keep many requests in flight and consume replies out of order.  The
+client exploits that in :meth:`OracleClient.dist_stream` — a window of
+``pipeline_depth`` batches (≥ 2) stays submitted per connection, so
+batch *k+1*'s encode and the wire round-trip overlap batch *k*'s
+server-side probes (the PR 5 submit/collect double-buffering, extended
+over TCP).  The server exploits it too: :meth:`OracleServer.serve` runs
+one :mod:`selectors` event loop that multiplexes every connection
+(accept, frame reassembly, write flushing) on a single IO thread and
+fans decoded requests across a handler thread pool sized to the
+engine.  Per-connection **backpressure**: while a connection's write
+buffer or in-flight handler count is over its cap, the loop stops
+reading (and dispatching) that connection until it drains, so one slow
+consumer cannot balloon server memory.  Ring-mode shard dispatch (a
+worker pool over shared message rings) is the one engine path that is
+not re-entrant; only that path serializes behind the server's query
+lock — heap and in-process dispatch run handlers concurrently.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import selectors
 import socket
 import struct
 import tempfile
 import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Optional
 
@@ -70,8 +93,14 @@ from repro.service.updates import UpdateReport
 #: transports :func:`connect` understands
 TRANSPORTS = ("inproc", "proc", "tcp")
 
-#: frame protocol version (carried by the hello frame)
-PROTOCOL_VERSION = 1
+#: frame protocol version (carried by the hello frame).  Version 2
+#: added request-id multiplexing: request frames carry ``id``, replies
+#: echo it, and replies may arrive out of order.
+PROTOCOL_VERSION = 2
+
+#: how many batches a tcp ``dist_stream`` keeps in flight per
+#: connection (the pipelining window; ≥ 2 hides the wire round-trip)
+DEFAULT_PIPELINE_DEPTH = 4
 
 #: options each local transport accepts in its endpoint spec
 _ENDPOINT_OPTIONS = {
@@ -84,6 +113,10 @@ _FRAME_PREFIX = struct.Struct("<II")
 #: frames larger than this are rejected before allocation (a corrupt
 #: length prefix must not look like a 4 GB read)
 MAX_FRAME_BYTES = 1 << 31
+
+#: per-connection write-buffer high-water mark: above this the event
+#: loop stops reading (and dispatching) the connection until it drains
+_OUTBUF_HIGH = 1 << 20
 
 
 # ----------------------------------------------------------------------
@@ -178,11 +211,14 @@ def _parse_addr(addr: str) -> tuple[str, int]:
 # ----------------------------------------------------------------------
 # frame plumbing
 # ----------------------------------------------------------------------
-def _send_frame(sock: socket.socket, head: dict, body: bytes = b"") -> None:
+def _frame_bytes(head: dict, body: bytes = b"") -> bytes:
     head_json = json.dumps(head, separators=(",", ":")).encode("utf-8")
-    frame_len = 4 + len(head_json) + len(body)
-    sock.sendall(_FRAME_PREFIX.pack(frame_len, len(head_json))
-                 + head_json + body)
+    return (_FRAME_PREFIX.pack(4 + len(head_json) + len(body),
+                               len(head_json)) + head_json + body)
+
+
+def _send_frame(sock: socket.socket, head: dict, body: bytes = b"") -> None:
+    sock.sendall(_frame_bytes(head, body))
 
 
 def _recv_exact(sock: socket.socket, nbytes: int) -> bytes:
@@ -229,14 +265,23 @@ def _error_from_frame(head: dict) -> ReproError:
 # the server
 # ----------------------------------------------------------------------
 class _Connection:
-    """One accepted TCP connection: the socket plus a write lock so
-    pushed epoch frames never interleave with a handler's reply."""
+    """One accepted TCP connection and its event-loop state.
 
-    __slots__ = ("sock", "lock")
+    ``outbuf`` / ``inflight`` / ``closed`` are shared between the IO
+    loop and the handler threads and guarded by ``lock``; ``inbuf`` and
+    ``registered`` are touched only by the IO loop."""
+
+    __slots__ = ("sock", "lock", "inbuf", "outbuf", "inflight", "closed",
+                 "registered")
 
     def __init__(self, sock: socket.socket):
         self.sock = sock
         self.lock = threading.Lock()
+        self.inbuf = bytearray()
+        self.outbuf = bytearray()
+        self.inflight = 0       # requests dispatched, reply not yet queued
+        self.closed = False
+        self.registered = False
 
 
 class OracleServer:
@@ -264,20 +309,36 @@ class OracleServer:
 
     The same server object backs every transport: :meth:`client` hands
     out in-process sessions (what ``inproc://`` / ``proc://`` bind to),
-    :meth:`serve` adds a TCP listener speaking the frame protocol.  Use
-    as a context manager or :meth:`close` to release the pool, shared
-    segments, listener, and connections.
+    :meth:`serve` adds a TCP listener speaking the frame protocol on a
+    :mod:`selectors` event loop.  Use as a context manager or
+    :meth:`close` to release the pool, shared segments, listener,
+    connections, and serving threads (close joins them with a bounded
+    deadline — no thread outlives the server).
     """
 
     def __init__(self, source: Any, *, jobs: int = 1, memory: str = "heap",
                  num_shards: Optional[int] = None, cache_size: int = 65536):
         self._listener: Optional[socket.socket] = None
-        self._accept_thread: Optional[threading.Thread] = None
+        self._io_thread: Optional[threading.Thread] = None
+        self._selector: Optional[selectors.BaseSelector] = None
+        self._handlers: Optional[ThreadPoolExecutor] = None
+        self._handler_count = 0
+        self._max_pending = 4   # per-connection in-flight request cap
+        self._wake_r: Optional[socket.socket] = None
+        self._wake_w: Optional[socket.socket] = None
         self._conns: set[_Connection] = set()
         self._conn_lock = threading.Lock()
+        #: connections with freshly queued output (handler threads flag
+        #: them here; the IO loop picks them up after each select)
+        self._dirty: set[_Connection] = set()
+        self._dirty_lock = threading.Lock()
         # ring-mode dispatch rotates through shared slots and is not
-        # re-entrant — remote connections serialize their queries here
+        # re-entrant — only that engine path serializes remote queries
+        # here (heap / in-process dispatch runs handlers concurrently)
         self._query_lock = threading.Lock()
+        # UpdateableIndex.apply is not re-entrant either: concurrent
+        # apply frames (or an apply racing a local one) serialize here
+        self._apply_lock = threading.Lock()
         self._closed = False
         self.address: Optional[tuple[str, int]] = None
 
@@ -378,7 +439,8 @@ class OracleServer:
 
         :raises ConfigError: when the server hosts a static source.
         """
-        report = self._engine.apply_updates(changes)
+        with self._apply_lock:
+            report = self._engine.apply_updates(changes)
         if report.mode != "noop":
             self._broadcast({"kind": "epoch", "epoch": report.epoch})
         return report
@@ -403,21 +465,30 @@ class OracleServer:
             "cache": {"hits": cache.hits, "misses": cache.misses,
                       "evictions": cache.evictions},
             "phases": engine.phase_timings(),
+            "handlers": self._handler_count,
             "connections": connections,
         }
 
     # ------------------------------------------------------------------
-    # the TCP listener
+    # the TCP listener (selectors event loop + handler pool)
     # ------------------------------------------------------------------
     def serve(self, addr: str = "127.0.0.1:0", *, block: bool = True,
-              backlog: int = 16) -> tuple[str, int]:
+              backlog: int = 128,
+              handlers: Optional[int] = None) -> tuple[str, int]:
         """Listen for frame-protocol clients on ``addr`` (``host:port``;
         port ``0`` picks a free one).
 
+        One :mod:`selectors` event loop owns every socket — accepts,
+        frame reassembly, reply flushing — and decoded requests fan out
+        across a pool of ``handlers`` threads (default: sized to the
+        engine, ``max(2, jobs)``), so many concurrent sessions multiplex
+        over a fixed thread count instead of a thread per connection.
+
         Returns the bound ``(host, port)``.  With ``block=True`` (the
-        daemon mode ``python -m repro serve`` runs) the call accepts
-        until :meth:`close`; ``block=False`` accepts on a background
-        thread and returns immediately — the in-test topology.
+        daemon mode ``python -m repro serve`` runs) the calling thread
+        runs the event loop until :meth:`close`; ``block=False`` runs it
+        on a background thread and returns immediately — the in-test
+        topology.
         """
         if self._closed:
             raise ConfigError("server is closed")
@@ -426,74 +497,321 @@ class OracleServer:
                 f"server is already listening on "
                 f"{self.address[0]}:{self.address[1]}")
         host, port = _parse_addr(addr)
+        if handlers is None:
+            handlers = max(2, self.jobs)
+        if handlers < 1:
+            raise ConfigError(f"handlers must be >= 1, got {handlers}")
         listener = socket.create_server((host, port), backlog=backlog)
+        listener.setblocking(False)
         self._listener = listener
         self.address = listener.getsockname()[:2]
+        self._handler_count = int(handlers)
+        self._max_pending = max(4, 2 * self._handler_count)
+        self._handlers = ThreadPoolExecutor(
+            max_workers=self._handler_count,
+            thread_name_prefix="oracle-handler")
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._wake_w.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._wake_r, selectors.EVENT_READ, "wake")
+        self._selector.register(listener, selectors.EVENT_READ, "accept")
         if block:
             try:
-                self._accept_loop(listener)
+                self._event_loop()
             finally:
                 self.close()
         else:
-            self._accept_thread = threading.Thread(
-                target=self._accept_loop, args=(listener,), daemon=True,
-                name="oracle-accept")
-            self._accept_thread.start()
+            self._io_thread = threading.Thread(
+                target=self._event_loop, daemon=True, name="oracle-io")
+            self._io_thread.start()
         return self.address
 
     def wait(self) -> None:
-        """Block until the background accept loop exits (daemon use)."""
-        if self._accept_thread is not None:
-            self._accept_thread.join()
+        """Block until the background event loop exits (daemon use)."""
+        if self._io_thread is not None:
+            self._io_thread.join()
 
-    def _accept_loop(self, listener: socket.socket) -> None:
+    def _event_loop(self) -> None:
+        """The IO loop: one thread multiplexing the listener, the wake
+        pipe, and every connection through the selector."""
+        try:
+            while not self._closed:
+                try:
+                    events = self._selector.select(timeout=0.5)
+                except OSError:  # selector torn down under us
+                    return
+                for key, mask in events:
+                    tag = key.data
+                    if tag == "wake":
+                        self._drain_wake()
+                    elif tag == "accept":
+                        self._accept_ready()
+                    else:
+                        if mask & selectors.EVENT_WRITE:
+                            self._flush(tag)
+                        if (mask & selectors.EVENT_READ) and not tag.closed:
+                            self._read_ready(tag)
+                self._apply_dirty()
+        finally:
+            self._teardown_io()
+
+    def _wake(self) -> None:
+        """Nudge the event loop from another thread (handler reply,
+        broadcast, close).  A full pipe means a wake is already
+        pending — that is exactly the desired state."""
+        sock = self._wake_w
+        if sock is None:
+            return
+        try:
+            sock.send(b"\0")
+        except (BlockingIOError, InterruptedError):
+            pass
+        except OSError:
+            pass  # loop already torn down
+
+    def _drain_wake(self) -> None:
+        sock = self._wake_r
+        while sock is not None:
+            try:
+                if not sock.recv(4096):
+                    return
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+
+    def _accept_ready(self) -> None:
         while True:
             try:
-                sock, _ = listener.accept()
+                sock, _ = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
             except OSError:  # listener closed — clean shutdown
                 return
-            threading.Thread(target=self._serve_connection, args=(sock,),
-                             daemon=True, name="oracle-conn").start()
-
-    def _serve_connection(self, sock: socket.socket) -> None:
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        conn = _Connection(sock)
-        try:
-            # hello goes out before the connection can receive epoch
-            # broadcasts — a client's first frame must be the hello, and
-            # the hello already carries the current epoch
-            self._send(conn, {
+            sock.setblocking(False)
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover - exotic stacks
+                pass
+            conn = _Connection(sock)
+            # hello is queued before the connection becomes visible to
+            # broadcasts, so it is always the first frame on the wire
+            # (and already carries the current epoch)
+            self._queue_frame(conn, {
                 "kind": "hello", "v": PROTOCOL_VERSION, "n": self.n,
                 "scheme": self.scheme, "epoch": self.epoch,
                 "shards": self.num_shards, "updateable": self.updateable})
             with self._conn_lock:
                 self._conns.add(conn)
-            if self._closed:  # lost the race with close(): bail out
-                raise ConnectionError("server closed")
+            self._update_interest(conn)
+
+    def _read_ready(self, conn: _Connection) -> None:
+        try:
             while True:
-                head, body = _recv_frame(sock)
-                if head.get("kind") == "close":
-                    return
                 try:
-                    reply_head, reply_body = self._handle(head, body)
-                except Exception as exc:
-                    reply_head, reply_body = _error_to_frame(exc), b""
-                self._send(conn, reply_head, reply_body)
-        except (ConnectionError, OSError):
-            pass  # client went away; nothing to answer
-        finally:
-            with self._conn_lock:
-                self._conns.discard(conn)
+                    chunk = conn.sock.recv(1 << 16)
+                except (BlockingIOError, InterruptedError):
+                    break
+                if not chunk:  # EOF: client went away
+                    self._drop(conn)
+                    return
+                conn.inbuf += chunk
+        except OSError:
+            self._drop(conn)
+            return
+        if self._parse_frames(conn):
+            self._update_interest(conn)
+
+    def _parse_frames(self, conn: _Connection) -> bool:
+        """Dispatch every complete frame in ``conn.inbuf`` to the
+        handler pool; returns False when the connection was dropped.
+        Stops dispatching (bytes stay buffered) while the connection is
+        backpressured."""
+        buf = conn.inbuf
+        while True:
+            if self._paused(conn) or len(buf) < 8:
+                return True
+            frame_len, head_len = _FRAME_PREFIX.unpack_from(buf)
+            if not (4 + head_len <= frame_len <= MAX_FRAME_BYTES):
+                self._drop(conn)
+                return False
+            end = 4 + frame_len
+            if len(buf) < end:
+                return True
             try:
-                sock.close()
-            except OSError:  # pragma: no cover - already torn down
+                head = json.loads(bytes(buf[8:8 + head_len]).decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                self._drop(conn)
+                return False
+            body = bytes(buf[8 + head_len:end])
+            del buf[:end]
+            if head.get("kind") == "close":
+                self._drop(conn)
+                return False
+            with conn.lock:
+                conn.inflight += 1
+            self._handlers.submit(self._run_handler, conn, head, body)
+
+    def _run_handler(self, conn: _Connection, head: dict,
+                     body: bytes) -> None:
+        """Handler-pool entry: compute one reply and queue it.  Replies
+        may be queued out of request order — the echoed ``id`` is the
+        client's matching key."""
+        rid = head.get("id")
+        try:
+            reply_head, reply_body = self._handle(head, body)
+        except Exception as exc:
+            reply_head, reply_body = _error_to_frame(exc), b""
+        if rid is not None:
+            reply_head["id"] = rid
+        with conn.lock:
+            conn.inflight -= 1
+        self._enqueue(conn, reply_head, reply_body)
+
+    def _paused(self, conn: _Connection) -> bool:
+        with conn.lock:
+            return (len(conn.outbuf) >= _OUTBUF_HIGH
+                    or conn.inflight >= self._max_pending)
+
+    def _flush(self, conn: _Connection) -> None:
+        err = False
+        with conn.lock:
+            if conn.outbuf:
+                try:
+                    sent = conn.sock.send(conn.outbuf)
+                    del conn.outbuf[:sent]
+                except (BlockingIOError, InterruptedError):
+                    pass
+                except OSError:
+                    err = True
+        if err:
+            self._drop(conn)
+        else:
+            self._update_interest(conn)
+
+    def _update_interest(self, conn: _Connection) -> None:
+        """Recompute the selector interest set from the connection's
+        state (IO-loop thread only): read unless backpressured, write
+        while output is queued, nothing while fully stalled (a handler
+        completion re-flags the connection through the dirty set)."""
+        if conn.closed:
+            return
+        with conn.lock:
+            has_out = bool(conn.outbuf)
+            paused = (len(conn.outbuf) >= _OUTBUF_HIGH
+                      or conn.inflight >= self._max_pending)
+        events = 0
+        if not paused:
+            events |= selectors.EVENT_READ
+        if has_out:
+            events |= selectors.EVENT_WRITE
+        try:
+            if events and conn.registered:
+                self._selector.modify(conn.sock, events, conn)
+            elif events:
+                self._selector.register(conn.sock, events, conn)
+                conn.registered = True
+            elif conn.registered:
+                self._selector.unregister(conn.sock)
+                conn.registered = False
+        except (KeyError, ValueError, OSError):
+            self._drop(conn)
+
+    def _apply_dirty(self) -> None:
+        """Pick up connections flagged by handler threads: flush their
+        fresh output, and resume dispatching any frames that were parked
+        in ``inbuf`` while the connection was backpressured."""
+        with self._dirty_lock:
+            dirty, self._dirty = self._dirty, set()
+        for conn in dirty:
+            if conn.closed:
+                continue
+            self._flush(conn)
+            if (not conn.closed and conn.inbuf
+                    and not self._paused(conn)):
+                if self._parse_frames(conn):
+                    self._update_interest(conn)
+
+    def _queue_frame(self, conn: _Connection, head: dict,
+                     body: bytes = b"") -> None:
+        frame = _frame_bytes(head, body)
+        with conn.lock:
+            if conn.closed:
+                return  # reply to a vanished client: drop silently
+            conn.outbuf += frame
+
+    def _enqueue(self, conn: _Connection, head: dict,
+                 body: bytes = b"") -> None:
+        """Thread-safe reply/push entry point: queue the frame and nudge
+        the event loop to flush it."""
+        self._queue_frame(conn, head, body)
+        with self._dirty_lock:
+            self._dirty.add(conn)
+        self._wake()
+
+    def _drop(self, conn: _Connection) -> None:
+        """Tear one connection down (IO-loop thread only)."""
+        with conn.lock:
+            conn.closed = True
+            conn.outbuf.clear()
+        if conn.registered:
+            try:
+                self._selector.unregister(conn.sock)
+            except (KeyError, ValueError, OSError):  # pragma: no cover
                 pass
+            conn.registered = False
+        try:
+            conn.sock.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+        with self._conn_lock:
+            self._conns.discard(conn)
+
+    def _teardown_io(self) -> None:
+        """Release every IO-loop resource (idempotent; runs in the loop
+        thread's ``finally`` and again from :meth:`close` as a backstop
+        for a loop that never ran)."""
+        with self._conn_lock:
+            conns, self._conns = list(self._conns), set()
+        for conn in conns:
+            with conn.lock:
+                conn.closed = True
+            try:
+                conn.sock.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        selector, self._selector = self._selector, None
+        if selector is not None:
+            try:
+                selector.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for name in ("_wake_r", "_wake_w"):
+            sock = getattr(self, name)
+            setattr(self, name, None)
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
 
     def _handle(self, head: dict, body: bytes) -> tuple[dict, bytes]:
         kind = head.get("kind")
         if kind == "query":
             pairs = np.asarray(tree_from_bytes(body))
-            with self._query_lock:
+            if self._engine.serial_dispatch:
+                # shared ring slots rotate assuming one batch in flight:
+                # only this dispatch mode serializes concurrent handlers
+                with self._query_lock:
+                    answers, epoch = self._engine.dist_many_pinned(pairs)
+            else:
                 answers, epoch = self._engine.dist_many_pinned(pairs)
             return ({"kind": "result", "epoch": int(epoch)},
                     tree_to_bytes(answers))
@@ -520,38 +838,27 @@ class OracleServer:
                     index_binary_bytes(index))
         raise ConfigError(f"unknown frame kind {kind!r}")
 
-    def _send(self, conn: _Connection, head: dict,
-              body: bytes = b"") -> None:
-        with conn.lock:
-            _send_frame(conn.sock, head, body)
-
     def _broadcast(self, head: dict) -> None:
         with self._conn_lock:
             conns = list(self._conns)
         for conn in conns:
-            try:
-                self._send(conn, head)
-            except OSError:
-                pass  # its reader thread will reap the connection
+            self._enqueue(conn, head)
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Stop listening, drop every connection, and shut the hosted
-        engine down — pool, shared segments, scratch files (idempotent)."""
+        """Stop listening, drop every connection, join the serving
+        threads (event loop and handler pool, bounded deadline), and
+        shut the hosted engine down — pool, shared segments, scratch
+        files (idempotent)."""
         self._closed = True
-        listener, self._listener = self._listener, None
-        if listener is not None:
-            try:
-                listener.close()
-            except OSError:  # pragma: no cover - already closed
-                pass
-        with self._conn_lock:
-            conns, self._conns = list(self._conns), set()
-        for conn in conns:
-            try:
-                conn.sock.close()
-            except OSError:  # pragma: no cover - already closed
-                pass
+        self._wake()
+        thread, self._io_thread = self._io_thread, None
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=5.0)
+        self._teardown_io()
+        handlers, self._handlers = self._handlers, None
+        if handlers is not None:
+            handlers.shutdown(wait=True, cancel_futures=True)
         self._engine.close()
 
     def __enter__(self) -> "OracleServer":
@@ -619,15 +926,46 @@ class _LocalTransport:
             self._server.close()
 
 
+@dataclass
+class PipelineStats:
+    """Client-side telemetry of the pipelined ``dist_stream`` path.
+
+    ``overlap_seconds`` is the submit-side time (encode + send) spent
+    while at least one earlier request was still in flight — the wire
+    analogue of :attr:`~repro.service.workers.PhaseTimings.overlap`;
+    sequential one-in-flight serving leaves it 0.  ``latencies`` holds
+    one submit-to-reply second count per streamed batch (what the E18
+    load generator turns into p50/p99)."""
+
+    requests: int = 0
+    max_inflight: int = 0
+    overlap_seconds: float = 0.0
+    latencies: list = field(default_factory=list)
+
+    def summary(self) -> dict:
+        return {"requests": self.requests,
+                "max_inflight": self.max_inflight,
+                "overlap_seconds": self.overlap_seconds}
+
+
 class _TcpTransport:
-    """Frame-protocol client: one socket, synchronous request/reply,
-    pushed ``epoch`` frames folded into the session state whenever they
-    arrive."""
+    """Frame-protocol client: one socket, multiplexed request/reply
+    matched by request id, pushed ``epoch`` frames folded into the
+    session state whenever they arrive.
+
+    A mid-frame failure (peer gone, corrupt frame) leaves the byte
+    stream unrecoverable, so the transport marks itself **dead**: the
+    failing call raises :class:`ConnectionError`, and every later
+    request fails fast with the original cause instead of reading
+    garbage from a desynchronized stream."""
 
     name = "tcp"
 
-    def __init__(self, endpoint: Endpoint,
-                 timeout: Optional[float] = None):
+    def __init__(self, endpoint: Endpoint, timeout: Optional[float] = None,
+                 pipeline_depth: int = DEFAULT_PIPELINE_DEPTH):
+        if pipeline_depth < 1:
+            raise ConfigError(
+                f"pipeline_depth must be >= 1, got {pipeline_depth}")
         try:
             self._sock = socket.create_connection(
                 (endpoint.host, endpoint.port), timeout=timeout)
@@ -635,9 +973,20 @@ class _TcpTransport:
             raise ConfigError(
                 f"cannot connect to {endpoint.describe()}: {exc}") from exc
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._lock = threading.Lock()
+        self._send_lock = threading.Lock()
+        self._recv_lock = threading.Lock()
         self._closed = False
-        head, _ = _recv_frame(self._sock)
+        self._dead: Optional[str] = None
+        self._next_id = 0
+        self._replies: dict[int, tuple[dict, bytes]] = {}
+        self.pipeline_depth = int(pipeline_depth)
+        self.pipeline = PipelineStats()
+        try:
+            head, _ = _recv_frame(self._sock)
+        except OSError as exc:  # includes socket.timeout on a mute peer
+            self._sock.close()
+            raise ConfigError(
+                f"no hello from {endpoint.describe()}: {exc}") from exc
         if head.get("kind") != "hello":
             self._sock.close()
             raise ConfigError(f"{endpoint.describe()} is not an oracle "
@@ -652,20 +1001,75 @@ class _TcpTransport:
         self.epoch = int(head["epoch"])
         self.num_shards = int(head["shards"])
         self.updateable = bool(head["updateable"])
+        # the connect timeout must not linger on the session socket: a
+        # slow large-batch reply would raise socket.timeout mid-frame
+        # and leave the stream misaligned forever
+        self._sock.settimeout(None)
+
+    # -- liveness ------------------------------------------------------
+    def _check_alive(self) -> None:
+        if self._dead is not None:
+            raise ConnectionError(
+                f"oracle session is dead ({self._dead}); open a new "
+                f"connection to continue")
+
+    def _mark_dead(self, why: str) -> None:
+        if self._dead is None:
+            self._dead = why
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    # -- the multiplexed request/reply core ----------------------------
+    def _post(self, head: dict, body: bytes = b"") -> int:
+        """Send one request frame; returns its id (collect the reply
+        with :meth:`_await`)."""
+        with self._send_lock:
+            self._check_alive()
+            rid = self._next_id
+            self._next_id += 1
+            try:
+                _send_frame(self._sock, dict(head, id=rid), body)
+            except OSError as exc:
+                self._mark_dead(f"send failed: {exc}")
+                raise ConnectionError(
+                    f"oracle connection lost: {exc}") from None
+            return rid
+
+    def _await(self, rid: int) -> tuple[dict, bytes]:
+        """Collect the reply for ``rid``, folding pushed epoch bumps
+        into the session and stashing out-of-order replies for their
+        own awaiters."""
+        while True:
+            hit = None
+            with self._recv_lock:
+                hit = self._replies.pop(rid, None)
+                if hit is None:
+                    self._check_alive()
+                    try:
+                        head, payload = _recv_frame(self._sock)
+                    except (ConnectionError, OSError) as exc:
+                        self._mark_dead(f"receive failed: {exc}")
+                        raise ConnectionError(
+                            f"oracle connection lost: {exc}") from None
+                    if "id" not in head:
+                        if head.get("kind") == "epoch":
+                            self.epoch = int(head["epoch"])
+                        continue  # pushed frame; keep reading
+                    if head["id"] != rid:
+                        self._replies[head["id"]] = (head, payload)
+                        continue
+                    hit = (head, payload)
+            head, payload = hit
+            if head.get("kind") == "error":
+                raise _error_from_frame(head)
+            return head, payload
 
     def _request(self, head: dict, body: bytes = b"") -> tuple[dict, bytes]:
-        with self._lock:
-            _send_frame(self._sock, head, body)
-            while True:
-                reply, payload = _recv_frame(self._sock)
-                kind = reply.get("kind")
-                if kind == "epoch":  # pushed hot-swap notification
-                    self.epoch = int(reply["epoch"])
-                    continue
-                if kind == "error":
-                    raise _error_from_frame(reply)
-                return reply, payload
+        return self._await(self._post(head, body))
 
+    # -- the session surface -------------------------------------------
     def dist_many(self, pairs) -> np.ndarray:
         arr = parse_pair_array(pairs)
         if arr.size == 0:
@@ -679,8 +1083,68 @@ class _TcpTransport:
         return np.array(tree_from_bytes(body), dtype=np.float64)
 
     def dist_stream(self, batches) -> Iterator[np.ndarray]:
-        for pairs in batches:
-            yield self.dist_many(pairs)
+        """Pipelined streaming: keep up to ``pipeline_depth`` batches
+        submitted, yield answers in submit order (replies may arrive out
+        of order; the id window reorders them).  Batch *k+1*'s encode
+        and round-trip overlap batch *k*'s server-side work — the PR 5
+        double-buffering, extended over the wire."""
+        stats = self.pipeline
+        window: deque = deque()  # (rid | None for empty batch, t_submit)
+        feed = iter(batches)
+        exhausted = False
+        try:
+            while True:
+                while not exhausted and len(window) < self.pipeline_depth:
+                    try:
+                        pairs = next(feed)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    inflight = sum(1 for r, _ in window if r is not None)
+                    t0 = time.perf_counter()
+                    arr = parse_pair_array(pairs)
+                    if arr.size == 0:
+                        window.append((None, t0))
+                        continue
+                    rid = self._post({"kind": "query"}, tree_to_bytes(arr))
+                    submit_cost = time.perf_counter() - t0
+                    window.append((rid, t0))
+                    stats.requests += 1
+                    stats.max_inflight = max(stats.max_inflight,
+                                             inflight + 1)
+                    if inflight:
+                        # encode+send seconds hidden behind requests
+                        # already in flight: the pipelining win
+                        stats.overlap_seconds += submit_cost
+                if not window:
+                    return
+                rid, t0 = window.popleft()
+                if rid is None:
+                    yield np.empty(0, dtype=np.float64)
+                    continue
+                head, body = self._await(rid)
+                stats.latencies.append(time.perf_counter() - t0)
+                self.epoch = int(head["epoch"])
+                yield np.array(tree_from_bytes(body), dtype=np.float64)
+        finally:
+            # abandoned (or errored) mid-stream: collect the in-flight
+            # replies so the session is clean for the next request
+            for rid, _ in window:
+                if rid is not None:
+                    try:
+                        self._await(rid)
+                    except (ReproError, ConnectionError):
+                        pass
+
+    def pipeline_stats(self, reset: bool = False) -> dict:
+        """The pipelined-stream telemetry (and per-batch latencies)
+        accumulated so far; ``reset=True`` starts a fresh window."""
+        stats = self.pipeline
+        out = dict(stats.summary(), depth=self.pipeline_depth,
+                   latencies=list(stats.latencies))
+        if reset:
+            self.pipeline = PipelineStats()
+        return out
 
     def apply_updates(self, changes) -> UpdateReport:
         from repro.oracle.serialization import change_to_dict
@@ -690,7 +1154,9 @@ class _TcpTransport:
             "changes": [change_to_dict(c) for c in changes]})
         if head.get("kind") != "report":
             raise ReproError(f"unexpected reply frame {head.get('kind')!r}")
-        report = UpdateReport(**head["report"])
+        # tolerant construction: a newer server may report fields this
+        # client does not know (version skew must not crash the session)
+        report = UpdateReport.from_wire(head["report"])
         self.epoch = report.epoch
         return report
 
@@ -698,7 +1164,10 @@ class _TcpTransport:
         head, _ = self._request({"kind": "stats"})
         if head.get("kind") != "stats_reply":
             raise ReproError(f"unexpected reply frame {head.get('kind')!r}")
-        return head["stats"]
+        stats = head["stats"]
+        stats["pipeline"] = dict(self.pipeline.summary(),
+                                 depth=self.pipeline_depth)
+        return stats
 
     def fetch_index(self, path: Optional[str]):
         from repro.oracle.serialization import load_index_binary
@@ -723,10 +1192,11 @@ class _TcpTransport:
         if self._closed:
             return
         self._closed = True
-        try:
-            _send_frame(self._sock, {"kind": "close"})
-        except OSError:
-            pass
+        if self._dead is None:
+            try:
+                _send_frame(self._sock, {"kind": "close"})
+            except OSError:
+                pass
         try:
             self._sock.close()
         except OSError:  # pragma: no cover - already closed
@@ -789,10 +1259,20 @@ class OracleClient:
 
     def dist_stream(self, batches: Iterable) -> Iterator[np.ndarray]:
         """Pipelined serving over an iterable of pair batches (the
-        double-buffered dispatch on pooled local transports); yields one
+        double-buffered dispatch on pooled local transports; a
+        ``pipeline_depth``-deep request-id window over tcp); yields one
         answer array per batch, in order, bit-identical to per-batch
         :meth:`dist_many` on a cold cache."""
         return self._transport.dist_stream(batches)
+
+    def pipeline_stats(self, reset: bool = False) -> Optional[dict]:
+        """Client-side pipelining telemetry of a tcp session —
+        ``requests`` / ``max_inflight`` / ``overlap_seconds`` /
+        per-batch ``latencies`` of the :meth:`dist_stream` window
+        (``None`` for local transports, whose overlap shows up in the
+        server's phase timings instead)."""
+        fn = getattr(self._transport, "pipeline_stats", None)
+        return fn(reset) if fn is not None else None
 
     # -- control plane -------------------------------------------------
     def apply_updates(self, changes) -> UpdateReport:
@@ -840,7 +1320,8 @@ class OracleClient:
 # ----------------------------------------------------------------------
 def connect(spec: str, source: Any = None, *,
             cache_size: Optional[int] = None,
-            timeout: Optional[float] = None) -> OracleClient:
+            timeout: Optional[float] = None,
+            pipeline_depth: Optional[int] = None) -> OracleClient:
     """Open a serving session on an endpoint spec — the one front door
     of the serving layer.
 
@@ -857,7 +1338,11 @@ def connect(spec: str, source: Any = None, *,
     :class:`~repro.oracle.api.BuiltSketches`, pre-built store, or
     :class:`~repro.service.updates.UpdateableIndex` (which enables
     :meth:`OracleClient.apply_updates`).  ``cache_size`` overrides the
-    spec's ``cache`` option; ``timeout`` bounds the TCP connect.
+    spec's ``cache`` option; ``timeout`` bounds the TCP connect +
+    handshake (it is cleared once the session is up, so a slow
+    large-batch reply can never desync the stream); ``pipeline_depth``
+    sets how many ``dist_stream`` batches a tcp session keeps in flight
+    (default 4, minimum 1).
 
     :raises ConfigError: on a bad spec, a missing/forbidden ``source``,
         or an unreachable server.
@@ -871,8 +1356,15 @@ def connect(spec: str, source: Any = None, *,
         if cache_size is not None:
             raise ConfigError(
                 "cache_size is a server-side knob for tcp:// sessions")
-        return OracleClient(_TcpTransport(endpoint, timeout=timeout),
-                            endpoint=endpoint.describe())
+        depth = (DEFAULT_PIPELINE_DEPTH if pipeline_depth is None
+                 else pipeline_depth)
+        return OracleClient(
+            _TcpTransport(endpoint, timeout=timeout, pipeline_depth=depth),
+            endpoint=endpoint.describe())
+    if pipeline_depth is not None:
+        raise ConfigError(
+            "pipeline_depth is a tcp:// session knob (local transports "
+            "pipeline in the engine's double-buffered dispatch)")
     if source is None:
         raise ConfigError(
             f"{endpoint.transport}:// serves in this process and needs "

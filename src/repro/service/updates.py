@@ -63,7 +63,7 @@ from __future__ import annotations
 
 import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Iterable, Mapping, Optional, Sequence
 
 import numpy as np
@@ -584,6 +584,22 @@ class UpdateReport:
                 "touched": self.touched, "n": self.n,
                 "dirty_fraction": self.dirty_fraction,
                 "seconds": dict(self.seconds)}
+
+    _WIRE_DEFAULTS = {"mode": "unknown", "epoch": 0, "changes": 0,
+                      "dirty": 0, "touched": 0, "n": 0,
+                      "dirty_fraction": 0.0}
+
+    @classmethod
+    def from_wire(cls, data: Mapping) -> "UpdateReport":
+        """Construct tolerantly from a wire dict: unknown keys (a newer
+        server reporting fields this build does not know) are ignored,
+        missing ones fall back to neutral defaults — protocol version
+        skew must degrade the report, not crash the session."""
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in dict(data).items() if k in known}
+        for name, default in cls._WIRE_DEFAULTS.items():
+            kwargs.setdefault(name, default)
+        return cls(**kwargs)
 
 
 class UpdateableIndex:

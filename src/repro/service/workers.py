@@ -276,6 +276,16 @@ class ShardServer:
                                       initializer=_attach_index,
                                       initargs=(self._packed.handle(),))
 
+    @property
+    def ring_dispatch(self) -> bool:
+        """True when dispatch rotates through shared message rings
+        (``jobs > 1`` with a shared/mmap plane).  Ring slots are
+        single-producer state (``_inflight`` / ``_tick``), so this mode
+        is **not re-entrant** — callers fanning queries across threads
+        must serialize it.  Heap-pool and in-process dispatch are
+        re-entrant."""
+        return self._pool is not None and self.memory != "heap"
+
     # ------------------------------------------------------------------
     # ring management (master side)
     # ------------------------------------------------------------------
