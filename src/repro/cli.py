@@ -267,6 +267,10 @@ def _cmd_serve_bench(args) -> int:
         raise ReproError(
             "--clients drives concurrent sessions against a live server; "
             "it needs --connect tcp://host:port")
+    if args.depth is not None and args.clients is None:
+        raise ReproError(
+            "--depth sets the per-session pipelining window of the "
+            "--clients load generator; add --clients N")
     if args.connect is not None:
         if args.sketches is not None:
             raise ReproError(

@@ -235,7 +235,8 @@ def _percentiles_ms(latencies: Sequence[float]) -> dict:
 
 def run_load_benchmark(spec: str, clients: int = 4, queries: int = 1000,
                        batch: Optional[int] = None, seed: SeedLike = 0,
-                       depth: Optional[int] = None) -> dict:
+                       depth: Optional[int] = None,
+                       phase_timeout: float = 600.0) -> dict:
     """Closed-loop multi-client load generator — the ``serve-bench
     --clients N --connect`` harness and the E18 experiment.
 
@@ -260,6 +261,10 @@ def run_load_benchmark(spec: str, clients: int = 4, queries: int = 1000,
         measures the wire; local transports have no wire to pipeline).
     :param depth: pipelining window per session (default: the
         transport's default, 4).
+    :param phase_timeout: seconds any one barrier phase (connect,
+        sequential pass, pipelined pass) may take before the run aborts
+        with an error — a hung session must surface as a failure, not
+        hang the benchmark forever.
     """
     from repro.service.transport import connect, parse_endpoint
 
@@ -270,6 +275,9 @@ def run_load_benchmark(spec: str, clients: int = 4, queries: int = 1000,
         raise ConfigError(f"clients must be >= 1, got {clients}")
     if queries < 1:
         raise ConfigError(f"queries must be >= 1, got {queries}")
+    if phase_timeout <= 0:
+        raise ConfigError(
+            f"phase_timeout must be > 0, got {phase_timeout}")
 
     # three sync points: all sessions up / sequential pass / pipelined
     # pass; the main thread participates to time each phase's wall
@@ -293,7 +301,7 @@ def run_load_benchmark(spec: str, clients: int = 4, queries: int = 1000,
             chunks = [pairs[lo:lo + size]
                       for lo in range(0, queries, size)]
 
-            barrier.wait()  # sessions up
+            barrier.wait(phase_timeout)  # sessions up
             seq_lat = []
             t0 = time.perf_counter()
             seq_answers = []
@@ -304,14 +312,14 @@ def run_load_benchmark(spec: str, clients: int = 4, queries: int = 1000,
             t_seq = time.perf_counter() - t0
             seq = np.concatenate(seq_answers)
 
-            barrier.wait()  # sequential done everywhere
+            barrier.wait(phase_timeout)  # sequential done everywhere
             client.pipeline_stats(reset=True)
             t0 = time.perf_counter()
             piped = np.concatenate(list(client.dist_stream(chunks)))
             t_pipe = time.perf_counter() - t0
             pstats = client.pipeline_stats(reset=True)
 
-            barrier.wait()  # pipelined done everywhere
+            barrier.wait(phase_timeout)  # pipelined done everywhere
             rows[cid] = {
                 "client": cid,
                 "queries": int(queries),
@@ -342,21 +350,29 @@ def run_load_benchmark(spec: str, clients: int = 4, queries: int = 1000,
     for t in threads:
         t.start()
     walls = {}
+    stalled = False
     try:
-        barrier.wait()
+        # a timed-out wait breaks the barrier for every participant, so
+        # one hung session aborts the whole run instead of wedging it
+        barrier.wait(phase_timeout)
         t0 = time.perf_counter()
-        barrier.wait()
+        barrier.wait(phase_timeout)
         walls["seq_wall_seconds"] = time.perf_counter() - t0
         t0 = time.perf_counter()
-        barrier.wait()
+        barrier.wait(phase_timeout)
         walls["pipe_wall_seconds"] = time.perf_counter() - t0
     except threading.BrokenBarrierError:
-        pass
+        stalled = True
     for t in threads:
-        t.join()
+        t.join(timeout=phase_timeout)
     if errors:
         cid, exc = errors[0]
         raise ReproError(f"load client {cid} failed: {exc}") from exc
+    if stalled or any(row is None for row in rows):
+        missing = [cid for cid, row in enumerate(rows) if row is None]
+        raise ReproError(
+            f"load benchmark stalled: clients {missing or '(none)'} did "
+            f"not finish within phase_timeout={phase_timeout:.0f}s")
 
     seq_lat = [x for row in rows for x in row["_seq_lat"]]
     pipe_lat = [x for row in rows for x in row["_pipe_lat"]]

@@ -70,6 +70,7 @@ from __future__ import annotations
 
 import json
 import os
+import select
 import selectors
 import socket
 import struct
@@ -687,8 +688,15 @@ class OracleServer:
                     err = True
         if err:
             self._drop(conn)
-        else:
-            self._update_interest(conn)
+            return
+        # a drained outbuf can lift backpressure, and the client may be
+        # blocked waiting on answers with its whole window already sent
+        # — so frames parked in inbuf while the connection was paused
+        # must resume from here, not only from handler completions
+        if conn.inbuf and not conn.closed and not self._paused(conn):
+            if not self._parse_frames(conn):
+                return  # dropped while dispatching
+        self._update_interest(conn)
 
     def _update_interest(self, conn: _Connection) -> None:
         """Recompute the selector interest set from the connection's
@@ -720,18 +728,14 @@ class OracleServer:
 
     def _apply_dirty(self) -> None:
         """Pick up connections flagged by handler threads: flush their
-        fresh output, and resume dispatching any frames that were parked
-        in ``inbuf`` while the connection was backpressured."""
+        fresh output (:meth:`_flush` also resumes dispatching any frames
+        that were parked in ``inbuf`` while the connection was
+        backpressured)."""
         with self._dirty_lock:
             dirty, self._dirty = self._dirty, set()
         for conn in dirty:
-            if conn.closed:
-                continue
-            self._flush(conn)
-            if (not conn.closed and conn.inbuf
-                    and not self._paused(conn)):
-                if self._parse_frames(conn):
-                    self._update_interest(conn)
+            if not conn.closed:
+                self._flush(conn)
 
     def _queue_frame(self, conn: _Connection, head: dict,
                      body: bytes = b"") -> None:
@@ -899,6 +903,12 @@ class _LocalTransport:
     def epoch(self) -> int:
         return self._server.epoch
 
+    @property
+    def last_result_epoch(self) -> int:
+        # local answers always come from the live epoch — no wire, no
+        # stale in-flight replies
+        return self._server.epoch
+
     def dist_many(self, pairs) -> np.ndarray:
         return self._server._engine.dist_many(pairs)
 
@@ -999,6 +1009,9 @@ class _TcpTransport:
         self.n = int(head["n"])
         self.scheme = head.get("scheme")
         self.epoch = int(head["epoch"])
+        #: the epoch that served the most recently consumed result —
+        #: the per-batch pin.  ``epoch`` itself only moves forward.
+        self.last_result_epoch = self.epoch
         self.num_shards = int(head["shards"])
         self.updateable = bool(head["updateable"])
         # the connect timeout must not linger on the session socket: a
@@ -1037,6 +1050,62 @@ class _TcpTransport:
                     f"oracle connection lost: {exc}") from None
             return rid
 
+    def _post_stream(self, head: dict, body: bytes = b"") -> int:
+        """:meth:`_post` for the pipelined window: while the request
+        frame is only partially written, consume any replies the server
+        has already queued.  A plain ``sendall`` here can deadlock —
+        with large frames the server may be write-backpressured (its
+        read paused) while this side blocks mid-send, both directions'
+        kernel buffers full; draining the receive side breaks the
+        cycle."""
+        with self._send_lock:
+            self._check_alive()
+            rid = self._next_id
+            self._next_id += 1
+            data = memoryview(_frame_bytes(dict(head, id=rid), body))
+            try:
+                while data:
+                    rlist, wlist, _ = select.select(
+                        [self._sock], [self._sock], [])
+                    drained = self._drain_ready() if rlist else False
+                    if wlist:
+                        data = data[self._sock.send(data):]
+                    elif not drained:
+                        # another thread owns the receive side and is
+                        # already reading; just wait for writability
+                        select.select([], [self._sock], [], 0.05)
+            except (OSError, ValueError) as exc:
+                self._mark_dead(f"send failed: {exc}")
+                raise ConnectionError(
+                    f"oracle connection lost: {exc}") from None
+            return rid
+
+    def _drain_ready(self) -> bool:
+        """Stash every reply frame the kernel has already delivered
+        (non-blocking readiness check, so a quiet socket costs nothing);
+        pushed epoch bumps fold into the session on the way.  Returns
+        False without reading when another thread holds the receive
+        side — that thread is draining already."""
+        if not self._recv_lock.acquire(blocking=False):
+            return False
+        try:
+            while self._dead is None:
+                ready, _, _ = select.select([self._sock], [], [], 0.0)
+                if not ready:
+                    return True
+                head, payload = _recv_frame(self._sock)
+                if "id" not in head:
+                    if head.get("kind") == "epoch":
+                        self.epoch = max(self.epoch, int(head["epoch"]))
+                    continue
+                self._replies[head["id"]] = (head, payload)
+            return True
+        except (ConnectionError, OSError, ValueError) as exc:
+            self._mark_dead(f"receive failed: {exc}")
+            return True
+        finally:
+            self._recv_lock.release()
+
     def _await(self, rid: int) -> tuple[dict, bytes]:
         """Collect the reply for ``rid``, folding pushed epoch bumps
         into the session and stashing out-of-order replies for their
@@ -1055,7 +1124,8 @@ class _TcpTransport:
                             f"oracle connection lost: {exc}") from None
                     if "id" not in head:
                         if head.get("kind") == "epoch":
-                            self.epoch = int(head["epoch"])
+                            self.epoch = max(self.epoch,
+                                             int(head["epoch"]))
                         continue  # pushed frame; keep reading
                     if head["id"] != rid:
                         self._replies[head["id"]] = (head, payload)
@@ -1077,9 +1147,12 @@ class _TcpTransport:
         head, body = self._request({"kind": "query"}, tree_to_bytes(arr))
         if head.get("kind") != "result":
             raise ReproError(f"unexpected reply frame {head.get('kind')!r}")
-        # the batch is pinned to the epoch that served it, even when an
-        # epoch push for a newer one arrived while it was in flight
-        self.epoch = int(head["epoch"])
+        # the batch stays pinned to the epoch that served it
+        # (last_result_epoch); the session epoch only moves forward —
+        # an old-epoch reply consumed after a pushed bump must not roll
+        # it back
+        self.last_result_epoch = int(head["epoch"])
+        self.epoch = max(self.epoch, self.last_result_epoch)
         return np.array(tree_from_bytes(body), dtype=np.float64)
 
     def dist_stream(self, batches) -> Iterator[np.ndarray]:
@@ -1106,7 +1179,8 @@ class _TcpTransport:
                     if arr.size == 0:
                         window.append((None, t0))
                         continue
-                    rid = self._post({"kind": "query"}, tree_to_bytes(arr))
+                    rid = self._post_stream({"kind": "query"},
+                                            tree_to_bytes(arr))
                     submit_cost = time.perf_counter() - t0
                     window.append((rid, t0))
                     stats.requests += 1
@@ -1124,7 +1198,8 @@ class _TcpTransport:
                     continue
                 head, body = self._await(rid)
                 stats.latencies.append(time.perf_counter() - t0)
-                self.epoch = int(head["epoch"])
+                self.last_result_epoch = int(head["epoch"])
+                self.epoch = max(self.epoch, self.last_result_epoch)
                 yield np.array(tree_from_bytes(body), dtype=np.float64)
         finally:
             # abandoned (or errored) mid-stream: collect the in-flight
@@ -1157,7 +1232,7 @@ class _TcpTransport:
         # tolerant construction: a newer server may report fields this
         # client does not know (version skew must not crash the session)
         report = UpdateReport.from_wire(head["report"])
-        self.epoch = report.epoch
+        self.epoch = max(self.epoch, report.epoch)
         return report
 
     def stats(self) -> dict:
@@ -1242,9 +1317,18 @@ class OracleClient:
 
     @property
     def epoch(self) -> int:
-        """The last epoch this session observed — updated by every
-        result frame and by server-pushed epoch bumps."""
+        """The newest epoch this session has observed — advanced (never
+        rolled back) by result frames and server-pushed epoch bumps."""
         return self._transport.epoch
+
+    @property
+    def last_result_epoch(self) -> int:
+        """The epoch that served the most recently consumed
+        ``dist`` / ``dist_many`` / ``dist_stream`` answer — the
+        per-batch pin.  Unlike :attr:`epoch`, this can name an older
+        epoch when a reply that was in flight across a hot swap is
+        consumed after the pushed bump."""
+        return self._transport.last_result_epoch
 
     # -- queries -------------------------------------------------------
     def dist(self, u: int, v: int) -> float:

@@ -71,6 +71,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import tempfile
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Iterable, Optional
@@ -231,6 +232,12 @@ class ShardServer:
         self._inflight = 0       # submitted-but-uncollected batches
         self._tick = 0
         self.timings = PhaseTimings()
+        # heap-pool and in-process dispatch are re-entrant, so several
+        # handler threads can be inside estimate_many at once; the
+        # in-flight count and timing accumulators they share must not
+        # lose updates (ring mode serializes outside, but pays the same
+        # uncontended lock for uniformity)
+        self._state_lock = threading.Lock()
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
         if memory not in MEMORY_MODES:
@@ -322,7 +329,8 @@ class ShardServer:
                 _serve_shard, list(enumerate(requests))))
         else:
             handle = self._submit_rings(requests)
-        self._inflight += 1
+        with self._state_lock:
+            self._inflight += 1
         return handle
 
     def _submit_rings(self, requests: list) -> tuple:
@@ -389,7 +397,8 @@ class ShardServer:
                 responses.append(self.index.shard_answer(s, r))
                 total += time.perf_counter() - t0
             return responses, total, total
-        self._inflight -= 1
+        with self._state_lock:
+            self._inflight -= 1
         if kind == "heap":
             raw = handle[1].get()
             seconds = [dt for dt, _ in raw]
@@ -434,12 +443,13 @@ class ShardServer:
         finally:
             t3 = time.perf_counter()
             tm = self.timings
-            tm.plan += t1 - t0
-            tm.shard_answer += shard_sum
-            tm.finish += t3 - t2
-            if self._pool is not None:
-                tm.ipc += max(0.0, (t2 - t1) - shard_max)
-            tm.batches += 1
+            with self._state_lock:
+                tm.plan += t1 - t0
+                tm.shard_answer += shard_sum
+                tm.finish += t3 - t2
+                if self._pool is not None:
+                    tm.ipc += max(0.0, (t2 - t1) - shard_max)
+                tm.batches += 1
         return answers
 
     def estimate_stream(self, batches) -> "Iterable[np.ndarray]":
@@ -481,7 +491,8 @@ class ShardServer:
                         yield self._finish_pending(prev)
                     handle = self._submit(requests)
                 t2 = time.perf_counter()
-                self.timings.plan += t1 - t0
+                with self._state_lock:
+                    self.timings.plan += t1 - t0
                 prev, pending = pending, (state, handle, t2)
                 if prev is not None:
                     if self._pool is not None:
@@ -489,7 +500,8 @@ class ShardServer:
                         # batch's probes were in flight: the overlap window
                         # (in-process "submit" defers the compute, so
                         # there is nothing to overlap with)
-                        self.timings.overlap += t2 - t0
+                        with self._state_lock:
+                            self.timings.overlap += t2 - t0
                     yield self._finish_pending(prev)
             if pending is not None:
                 prev, pending = pending, None
@@ -507,7 +519,8 @@ class ShardServer:
         state, handle, t_submitted = pending
         tm = self.timings
         if handle[0] == "empty":
-            tm.batches += 1
+            with self._state_lock:
+                tm.batches += 1
             return np.empty(0, dtype=np.float64)
         t0 = time.perf_counter()
         responses, shard_sum, shard_max = self._collect(handle)
@@ -516,11 +529,12 @@ class ShardServer:
             answers = self.index.finish(state, responses)
         finally:
             t2 = time.perf_counter()
-            tm.shard_answer += shard_sum
-            tm.finish += t2 - t1
-            if self._pool is not None:
-                tm.ipc += max(0.0, (t1 - t_submitted) - shard_max)
-            tm.batches += 1
+            with self._state_lock:
+                tm.shard_answer += shard_sum
+                tm.finish += t2 - t1
+                if self._pool is not None:
+                    tm.ipc += max(0.0, (t1 - t_submitted) - shard_max)
+                tm.batches += 1
         return answers
 
     def dist_many(self, pairs: Iterable[tuple[int, int]] | np.ndarray,

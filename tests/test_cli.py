@@ -263,6 +263,17 @@ class TestConnectFlows:
         assert rc == 2
         assert "--connect" in capsys.readouterr().err
 
+    def test_serve_bench_clients_needs_connect(self, capsys):
+        rc = main(["serve-bench", "--clients", "2", "--queries", "10"])
+        assert rc == 2
+        assert "--connect" in capsys.readouterr().err
+
+    def test_serve_bench_depth_needs_clients(self, capsys):
+        rc = main(["serve-bench", "--connect", "tcp://127.0.0.1:1",
+                   "--depth", "2", "--queries", "10"])
+        assert rc == 2
+        assert "--clients" in capsys.readouterr().err
+
 
 class TestSchemesCommand:
     def test_json_matrix(self, capsys):

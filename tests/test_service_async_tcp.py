@@ -134,6 +134,38 @@ class TestPipelining:
         with connect("inproc://", built) as client:
             assert client.pipeline_stats() is None
 
+    def test_large_frames_drain_under_backpressure(self, graph, built):
+        # replies bigger than the server's 1 MiB write high-water mark
+        # read-pause the connection with the rest of the window parked
+        # in its inbuf, while the client's window fill is mid-send of
+        # the next multi-MiB request.  Both ends must keep making
+        # progress: the server resumes parked frames once its write
+        # drains, and the client drains ready replies while its own
+        # send is blocked — either one missing deadlocks this stream.
+        batch, batches = 200_000, 5
+        rng = np.random.default_rng(13)
+        pairs = rng.integers(0, graph.n, size=(batch * batches, 2))
+        chunks = [pairs[lo:lo + batch]
+                  for lo in range(0, batch * batches, batch)]
+        server, addr = _serve(built, jobs=1)
+        done: list = []
+
+        def run() -> None:
+            with connect(addr) as client:
+                want = client.dist_many(chunks[0])
+                got = list(client.dist_stream(chunks))
+                assert [len(g) for g in got] == [batch] * batches
+                assert got[0].tolist() == want.tolist()
+                done.append(True)
+
+        worker = threading.Thread(target=run, daemon=True)
+        try:
+            worker.start()
+            worker.join(timeout=120.0)
+            assert done, "large-frame pipelined stream deadlocked"
+        finally:
+            server.close()
+
 
 # ----------------------------------------------------------------------
 # session robustness
@@ -279,15 +311,18 @@ class TestConcurrentSessions:
                     for r in range(rounds):
                         if r % 2 == 0:
                             got = client.dist_many(pairs)
-                            epoch = client.epoch  # pinned by the reply
+                            # pinned by the reply (client.epoch itself
+                            # only moves forward and may already name a
+                            # newer pushed epoch)
+                            epoch = client.last_result_epoch
                             assert got.tolist() == \
                                 expect[epoch].tolist(), (rid, r, epoch)
                         else:
                             out, lo = [], 0
                             for ans in client.dist_stream(chunks):
                                 # each pipelined batch pins its own
-                                # epoch — client.epoch names it
-                                epoch = client.epoch
+                                # epoch — last_result_epoch names it
+                                epoch = client.last_result_epoch
                                 want = expect[epoch][lo:lo + len(ans)]
                                 assert ans.tolist() == want.tolist(), \
                                     (rid, r, epoch)
