@@ -40,13 +40,14 @@ BATCHES = (1, 4, 16, 64)
 SHARDS = 4
 SEED = 61
 MIN_SPEEDUP = float(os.environ.get("REPRO_E16_MIN_SPEEDUP", "1.0"))
-# self-arm only where the ratio is physically meaningful: full size and
-# not a throttled CI runner; an explicit REPRO_E16_MIN_SPEEDUP arms it
-# anywhere
+# self-arm only where the ratio is physically meaningful: full size,
+# >= 2 CPUs, and not a throttled CI runner; an explicit
+# REPRO_E16_MIN_SPEEDUP arms it anywhere
 _GATE_TIMING = (N >= 1200
                 and not os.environ.get("REPRO_E16_SKIP_TIMING")
                 and ("REPRO_E16_MIN_SPEEDUP" in os.environ
-                     or not os.environ.get("CI")))
+                     or ((os.cpu_count() or 1) >= 2
+                         and not os.environ.get("CI"))))
 
 
 @pytest.fixture(scope="module")
@@ -103,7 +104,7 @@ def test_e16_small_batches_beat_rebuild(e16_table):
     repair beats the from-scratch rebuild (gated to hardware where a
     timing ratio means something — see the module docstring)."""
     if not _GATE_TIMING:
-        pytest.skip("timing gate needs full size outside CI "
+        pytest.skip("timing gate needs full size, >= 2 CPUs, and no CI "
                     "(set REPRO_E16_MIN_SPEEDUP to arm it anywhere)")
     smallest = e16_table[0]
     assert smallest["speedup"] >= MIN_SPEEDUP, (

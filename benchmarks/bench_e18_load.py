@@ -21,7 +21,8 @@ Hard claims (always asserted, any size, any hardware):
   pass (distinct per-client workloads also catch cross-request reply
   mixups under multiplexing),
 * pipelining actually engages: every client saw ≥ 2 requests in flight
-  and hid some submit time behind the wire (``overlap_seconds > 0``),
+  (the wall-clock half — ``overlap_seconds > 0`` — rides the timing
+  gate),
 * p50/p99 are present and ordered (p50 ≤ p99) in both modes.
 
 Timing gate (pipelined throughput above the sequential baseline for
@@ -96,11 +97,11 @@ def e18_report(experiment_report, e18_built):
 
 def test_e18_pipelining_engages_for_every_client(e18_report):
     """Structural claim: each of the N sessions actually multiplexed —
-    ≥ 2 requests in flight, submit time hidden behind the wire."""
+    ≥ 2 requests in flight.  (``overlap_seconds > 0`` is a wall-clock
+    claim and lives behind the timing gate below.)"""
     assert len(e18_report["per_client"]) == CLIENTS
     for row in e18_report["per_client"]:
         assert row["max_inflight"] >= 2, row
-        assert row["overlap_seconds"] > 0.0, row
 
 
 def test_e18_percentiles_present_and_ordered(e18_report):
@@ -123,4 +124,5 @@ def test_e18_pipelined_beats_sequential(e18_report):
         pytest.skip("timing gate needs >= 2 CPUs outside CI "
                     "(or unset REPRO_E18_SKIP_TIMING)")
     for row in e18_report["per_client"]:
+        assert row["overlap_seconds"] > 0.0, row
         assert row["pipe_qps"] > row["seq_qps"], row

@@ -108,7 +108,8 @@ class BuiltSketches:
         return self._engine().dist_many(pairs)
 
     def updateable(self, num_shards: int = 1,
-                   rebuild_threshold: Optional[float] = None):
+                   rebuild_threshold: Optional[float] = None,
+                   policy=None):
         """An :class:`~repro.service.updates.UpdateableIndex` over this
         build — accepts edge-change streams and incrementally repairs
         the index (bit-identical to a rebuild with the same artifacts).
@@ -122,12 +123,20 @@ class BuiltSketches:
         :class:`~repro.service.updates.UpdateableIndex` from the graph
         and a seed for those.
 
+        ``policy`` is a :class:`~repro.service.updates.RepairPolicy`
+        (or a :func:`~repro.service.updates.make_policy` name such as
+        ``"adaptive"``) deciding repair vs rebuild per batch; by
+        default the static ``rebuild_threshold`` rule applies.  Policy
+        choice can only ever change seconds, never answers.
+
         :raises ConfigError: for a distributed build or a scheme whose
             artifacts are not recoverable from ``extras``.
         """
         from repro.service.updates import (REBUILD_THRESHOLD_DEFAULT,
-                                           UpdateableIndex)
+                                           UpdateableIndex, make_policy)
 
+        if isinstance(policy, str):
+            policy = make_policy(policy, rebuild_threshold=rebuild_threshold)
         if self.mode != "centralized":
             raise ConfigError(
                 "updateable() needs a centralized build (distributed "
@@ -158,6 +167,7 @@ class BuiltSketches:
         return UpdateableIndex(self.graph, scheme=name,
                                num_shards=num_shards,
                                rebuild_threshold=rebuild_threshold,
+                               policy=policy,
                                sketches=self.sketches, **artifacts)
 
     def sizes_words(self) -> list[int]:

@@ -70,25 +70,50 @@ from repro.service.index import (CDGIndex, GracefulIndex, IndexStore,
                                  refresh_index, scheme_name_of,
                                  scheme_name_of_index)
 from repro.service.parallel import build_tz_sketches_parallel, default_jobs
-from repro.service.transport import (TRANSPORTS, Endpoint, OracleClient,
-                                     OracleServer, PipelineStats, connect,
-                                     parse_endpoint)
-from repro.service.updates import (EdgeChange, UpdateReport, UpdateableIndex,
-                                   dirty_frontier, load_changes_jsonl,
+from repro.service.scenario import (SCENARIOS, ChurnEvent, QueryEvent,
+                                    ScenarioOracle, ScenarioResult, Trace,
+                                    compare_policies, generate_trace,
+                                    run_named_scenario, run_scenario,
+                                    served_subprocess)
+from repro.service.transport import (TRANSPORTS, Endpoint, EpochStaleness,
+                                     OracleClient, OracleServer,
+                                     PipelineStats, connect, parse_endpoint)
+from repro.service.updates import (POLICY_NAMES, AdaptiveCostPolicy,
+                                   EdgeChange, RepairPolicy,
+                                   StaticThresholdPolicy, UpdateReport,
+                                   UpdateableIndex, dirty_frontier,
+                                   load_changes_jsonl, make_policy,
                                    run_update_benchmark,
                                    sample_weight_changes, save_changes_jsonl)
 from repro.service.workers import MEMORY_MODES, PhaseTimings, ShardServer
 
 __all__ = [
+    "AdaptiveCostPolicy",
     "BufferPack",
+    "ChurnEvent",
     "Endpoint",
+    "EpochStaleness",
     "OracleClient",
     "OracleServer",
+    "POLICY_NAMES",
+    "QueryEvent",
+    "RepairPolicy",
+    "SCENARIOS",
+    "ScenarioOracle",
+    "ScenarioResult",
+    "StaticThresholdPolicy",
     "TRANSPORTS",
+    "Trace",
+    "compare_policies",
     "connect",
+    "generate_trace",
+    "make_policy",
     "parse_endpoint",
     "run_connect_benchmark",
+    "run_named_scenario",
+    "run_scenario",
     "scheme_name_of_index",
+    "served_subprocess",
     "CDGIndex",
     "CacheStats",
     "EdgeChange",

@@ -387,15 +387,28 @@ class QueryEngine:
         swap.  Answers are bit-identical to calling :meth:`dist_many`
         per batch on a cold cache.
         """
+        for answers, _ in self.dist_stream_pinned(batches):
+            yield answers
+
+    def dist_stream_pinned(self, batches: Iterable,
+                           ) -> Iterator[tuple[np.ndarray, int]]:
+        """:meth:`dist_stream` plus the pinned epoch — yields
+        ``(answers, epoch)`` per batch.  The whole stream is served by
+        one epoch (pinned at first pull), so the epoch is constant
+        across the stream; exposing it per batch lets a transport
+        report the true per-result pin instead of reading the server's
+        live clock (which a concurrent :meth:`apply_updates` may have
+        advanced mid-stream)."""
         epoch, server = self._acquire_epoch()
         try:
             if server is None:
                 for pairs in batches:
                     arr = parse_pair_array(pairs)
                     if arr.size == 0:
-                        yield np.empty(0, dtype=np.float64)
+                        yield np.empty(0, dtype=np.float64), epoch
                     else:
-                        yield self._compute_many(arr[:, 0], arr[:, 1], None)
+                        yield (self._compute_many(arr[:, 0], arr[:, 1],
+                                                  None), epoch)
                 return
 
             def split(feed):
@@ -403,7 +416,8 @@ class QueryEngine:
                     arr = parse_pair_array(pairs)
                     yield arr[:, 0], arr[:, 1]
 
-            yield from server.estimate_stream(split(batches))
+            for answers in server.estimate_stream(split(batches)):
+                yield answers, epoch
         finally:
             self._release_epoch(epoch)
 

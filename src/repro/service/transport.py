@@ -340,6 +340,11 @@ class OracleServer:
         # UpdateableIndex.apply is not re-entrant either: concurrent
         # apply frames (or an apply racing a local one) serialize here
         self._apply_lock = threading.Lock()
+        # hot-swap telemetry (guarded by _apply_lock): how many
+        # effective applies this server performed and what they cost
+        self._swap_count = 0
+        self._swap_seconds_total = 0.0
+        self._swap_seconds_last = 0.0
         self._closed = False
         self.address: Optional[tuple[str, int]] = None
 
@@ -441,7 +446,12 @@ class OracleServer:
         :raises ConfigError: when the server hosts a static source.
         """
         with self._apply_lock:
+            t0 = time.perf_counter()
             report = self._engine.apply_updates(changes)
+            if report.mode != "noop":
+                self._swap_count += 1
+                self._swap_seconds_last = time.perf_counter() - t0
+                self._swap_seconds_total += self._swap_seconds_last
         if report.mode != "noop":
             self._broadcast({"kind": "epoch", "epoch": report.epoch})
         return report
@@ -468,6 +478,9 @@ class OracleServer:
             "phases": engine.phase_timings(),
             "handlers": self._handler_count,
             "connections": connections,
+            "swaps": {"count": self._swap_count,
+                      "seconds_total": self._swap_seconds_total,
+                      "seconds_last": self._swap_seconds_last},
         }
 
     # ------------------------------------------------------------------
@@ -643,6 +656,12 @@ class OracleServer:
             try:
                 head = json.loads(bytes(buf[8:8 + head_len]).decode("utf-8"))
             except (ValueError, UnicodeDecodeError):
+                self._drop(conn)
+                return False
+            if not isinstance(head, dict):
+                # valid JSON but not an object ("[1,2]", "null", ...):
+                # treat as corrupt rather than let head.get() blow up
+                # the shared IO loop
                 self._drop(conn)
                 return False
             body = bytes(buf[8 + head_len:end])
@@ -881,6 +900,61 @@ class OracleServer:
 # ----------------------------------------------------------------------
 # transports (the client side)
 # ----------------------------------------------------------------------
+@dataclass
+class EpochStaleness:
+    """Per-session staleness telemetry — the introspection surface the
+    scenario harness (and any churn-aware operator) reads.
+
+    A result is **stale** when the epoch that served it
+    (``last_result_epoch``) is older than the newest epoch the session
+    had observed by consume time — legal under the monotonic-epoch rule
+    (an in-flight batch finishes on the epoch it started on), but worth
+    measuring: ``window_seconds`` records, per stale result, how long
+    the newer epoch had already been visible to this session when the
+    old-epoch answer arrived (the *staleness window*).
+    """
+
+    results: int = 0
+    stale_results: int = 0
+    max_epoch_lag: int = 0
+    window_seconds: list = field(default_factory=list)
+    _first_seen: dict = field(default_factory=dict)
+
+    #: per-session epochs whose first-seen timestamps are retained
+    _KEEP = 64
+
+    def note_epoch(self, epoch: int) -> None:
+        """The session just observed ``epoch`` (hello, pushed bump, or
+        result frame) — timestamp its first sighting."""
+        if epoch not in self._first_seen:
+            self._first_seen[epoch] = time.perf_counter()
+            if len(self._first_seen) > self._KEEP:
+                for old in sorted(self._first_seen)[:-self._KEEP]:
+                    del self._first_seen[old]
+
+    def note_result(self, result_epoch: int, session_epoch: int) -> None:
+        """A result pinned to ``result_epoch`` was consumed while the
+        session knew about ``session_epoch``."""
+        self.results += 1
+        lag = session_epoch - result_epoch
+        if lag <= 0:
+            return
+        self.stale_results += 1
+        self.max_epoch_lag = max(self.max_epoch_lag, lag)
+        newer = [t for e, t in self._first_seen.items() if e > result_epoch]
+        if newer and len(self.window_seconds) < 1 << 16:
+            self.window_seconds.append(time.perf_counter() - min(newer))
+
+    def summary(self) -> dict:
+        windows = self.window_seconds
+        return {"results": self.results,
+                "stale_results": self.stale_results,
+                "max_epoch_lag": self.max_epoch_lag,
+                "window_count": len(windows),
+                "window_max_s": max(windows) if windows else 0.0,
+                "window_seconds": list(windows)}
+
+
 class _LocalTransport:
     """In-process binding to an :class:`OracleServer` — the ``inproc``
     and ``proc`` data path (no serialization at all)."""
@@ -890,6 +964,12 @@ class _LocalTransport:
     def __init__(self, server: OracleServer, owns_server: bool):
         self._server = server
         self._owns_server = owns_server
+        self.staleness = EpochStaleness()
+        #: the epoch that served the most recently consumed result — a
+        #: batch pinned before a concurrent hot swap keeps naming the
+        #: old epoch here even though :attr:`epoch` has moved on
+        self.last_result_epoch = server.epoch
+        self.staleness.note_epoch(server.epoch)
 
     @property
     def n(self) -> int:
@@ -903,20 +983,34 @@ class _LocalTransport:
     def epoch(self) -> int:
         return self._server.epoch
 
-    @property
-    def last_result_epoch(self) -> int:
-        # local answers always come from the live epoch — no wire, no
-        # stale in-flight replies
-        return self._server.epoch
+    def _note_result(self, epoch: int) -> None:
+        self.last_result_epoch = epoch
+        live = self._server.epoch
+        self.staleness.note_epoch(live)
+        self.staleness.note_result(epoch, live)
 
     def dist_many(self, pairs) -> np.ndarray:
-        return self._server._engine.dist_many(pairs)
+        answers, epoch = self._server._engine.dist_many_pinned(pairs)
+        self._note_result(epoch)
+        return answers
 
     def dist_stream(self, batches) -> Iterator[np.ndarray]:
-        return self._server._engine.dist_stream(batches)
+        for answers, epoch in self._server._engine.dist_stream_pinned(
+                batches):
+            self._note_result(epoch)
+            yield answers
+
+    def staleness_stats(self, reset: bool = False) -> dict:
+        out = self.staleness.summary()
+        if reset:
+            self.staleness = EpochStaleness()
+            self.staleness.note_epoch(self._server.epoch)
+        return out
 
     def apply_updates(self, changes) -> UpdateReport:
-        return self._server.apply_updates(changes)
+        report = self._server.apply_updates(changes)
+        self.staleness.note_epoch(self._server.epoch)
+        return report
 
     def stats(self) -> dict:
         return self._server.stats()
@@ -991,6 +1085,7 @@ class _TcpTransport:
         self._replies: dict[int, tuple[dict, bytes]] = {}
         self.pipeline_depth = int(pipeline_depth)
         self.pipeline = PipelineStats()
+        self.staleness = EpochStaleness()
         try:
             head, _ = _recv_frame(self._sock)
         except OSError as exc:  # includes socket.timeout on a mute peer
@@ -1012,6 +1107,7 @@ class _TcpTransport:
         #: the epoch that served the most recently consumed result —
         #: the per-batch pin.  ``epoch`` itself only moves forward.
         self.last_result_epoch = self.epoch
+        self.staleness.note_epoch(self.epoch)
         self.num_shards = int(head["shards"])
         self.updateable = bool(head["updateable"])
         # the connect timeout must not linger on the session socket: a
@@ -1033,6 +1129,23 @@ class _TcpTransport:
             self._sock.close()
         except OSError:  # pragma: no cover - already closed
             pass
+
+    # -- epoch bookkeeping ---------------------------------------------
+    def _fold_epoch(self, epoch: int) -> None:
+        """A pushed epoch-bump frame: the session clock only moves
+        forward, and the staleness telemetry timestamps the sighting."""
+        self.epoch = max(self.epoch, epoch)
+        self.staleness.note_epoch(self.epoch)
+
+    def _note_result_epoch(self, epoch: int) -> None:
+        """A result frame was consumed: re-pin ``last_result_epoch`` to
+        the epoch that actually served it (which may be older than the
+        session clock — the monotonic-epoch rule) and account the
+        staleness window."""
+        self.last_result_epoch = epoch
+        self.epoch = max(self.epoch, epoch)
+        self.staleness.note_epoch(self.epoch)
+        self.staleness.note_result(epoch, self.epoch)
 
     # -- the multiplexed request/reply core ----------------------------
     def _post(self, head: dict, body: bytes = b"") -> int:
@@ -1096,7 +1209,7 @@ class _TcpTransport:
                 head, payload = _recv_frame(self._sock)
                 if "id" not in head:
                     if head.get("kind") == "epoch":
-                        self.epoch = max(self.epoch, int(head["epoch"]))
+                        self._fold_epoch(int(head["epoch"]))
                     continue
                 self._replies[head["id"]] = (head, payload)
             return True
@@ -1124,8 +1237,7 @@ class _TcpTransport:
                             f"oracle connection lost: {exc}") from None
                     if "id" not in head:
                         if head.get("kind") == "epoch":
-                            self.epoch = max(self.epoch,
-                                             int(head["epoch"]))
+                            self._fold_epoch(int(head["epoch"]))
                         continue  # pushed frame; keep reading
                     if head["id"] != rid:
                         self._replies[head["id"]] = (head, payload)
@@ -1151,8 +1263,7 @@ class _TcpTransport:
         # (last_result_epoch); the session epoch only moves forward —
         # an old-epoch reply consumed after a pushed bump must not roll
         # it back
-        self.last_result_epoch = int(head["epoch"])
-        self.epoch = max(self.epoch, self.last_result_epoch)
+        self._note_result_epoch(int(head["epoch"]))
         return np.array(tree_from_bytes(body), dtype=np.float64)
 
     def dist_stream(self, batches) -> Iterator[np.ndarray]:
@@ -1198,8 +1309,7 @@ class _TcpTransport:
                     continue
                 head, body = self._await(rid)
                 stats.latencies.append(time.perf_counter() - t0)
-                self.last_result_epoch = int(head["epoch"])
-                self.epoch = max(self.epoch, self.last_result_epoch)
+                self._note_result_epoch(int(head["epoch"]))
                 yield np.array(tree_from_bytes(body), dtype=np.float64)
         finally:
             # abandoned (or errored) mid-stream: collect the in-flight
@@ -1221,6 +1331,16 @@ class _TcpTransport:
             self.pipeline = PipelineStats()
         return out
 
+    def staleness_stats(self, reset: bool = False) -> dict:
+        """The per-session epoch-staleness telemetry accumulated so
+        far; ``reset=True`` starts a fresh window (the session clock
+        itself is untouched)."""
+        out = self.staleness.summary()
+        if reset:
+            self.staleness = EpochStaleness()
+            self.staleness.note_epoch(self.epoch)
+        return out
+
     def apply_updates(self, changes) -> UpdateReport:
         from repro.oracle.serialization import change_to_dict
 
@@ -1232,7 +1352,7 @@ class _TcpTransport:
         # tolerant construction: a newer server may report fields this
         # client does not know (version skew must not crash the session)
         report = UpdateReport.from_wire(head["report"])
-        self.epoch = max(self.epoch, report.epoch)
+        self._fold_epoch(report.epoch)
         return report
 
     def stats(self) -> dict:
@@ -1357,6 +1477,15 @@ class OracleClient:
         server's phase timings instead)."""
         fn = getattr(self._transport, "pipeline_stats", None)
         return fn(reset) if fn is not None else None
+
+    def staleness_stats(self, reset: bool = False) -> dict:
+        """Per-session epoch-staleness telemetry (every transport):
+        how many consumed results were pinned to an epoch older than
+        the newest one the session had observed (legal under the
+        monotonic-epoch rule), the worst epoch lag, and per stale
+        result the seconds the newer epoch had already been visible
+        (the *staleness window*)."""
+        return self._transport.staleness_stats(reset)
 
     # -- control plane -------------------------------------------------
     def apply_updates(self, changes) -> UpdateReport:

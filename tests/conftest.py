@@ -95,6 +95,32 @@ def er_weighted_S(er_weighted) -> int:
     return shortest_path_diameter(er_weighted)
 
 
+@pytest.fixture
+def timing_gate():
+    """Gate for wall-clock assertions that need real parallel hardware.
+
+    Timing-sensitive assertions (speedup ratios, overlap windows) are
+    meaningless on CI runners and single-CPU boxes, where scheduling
+    noise dwarfs the effect under test.  Tests call ``timing_gate(why)``
+    before such an assertion; the call self-skips — with the reason —
+    unless the host can support the measurement.  Setting
+    ``REPRO_FORCE_TIMING=1`` arms the gate everywhere (for debugging a
+    runner that *should* pass).
+    """
+
+    def gate(why: str) -> None:
+        if os.environ.get("REPRO_FORCE_TIMING"):
+            return
+        if os.environ.get("CI"):
+            pytest.skip(f"{why}: timing assertion self-skips on CI "
+                        "(set REPRO_FORCE_TIMING=1 to arm)")
+        if (os.cpu_count() or 1) < 2:
+            pytest.skip(f"{why}: timing assertion needs >= 2 CPUs "
+                        "(set REPRO_FORCE_TIMING=1 to arm)")
+
+    return gate
+
+
 def pytest_addoption(parser):
     parser.addoption("--runslow", action="store_true", default=False,
                      help="run slow end-to-end protocol tests")

@@ -1,0 +1,189 @@
+"""Protocol-v2 frame fuzzing: hostile bytes must never wedge the server.
+
+One :class:`OracleServer` IO loop multiplexes every connection, so a
+single malformed frame that escapes as an exception kills serving for
+*everyone* — the failure mode this suite exists to prevent (it caught
+exactly that: a valid-JSON-but-non-dict head used to ``AttributeError``
+the loop).  Hypothesis drives raw sockets with
+
+* arbitrary garbage bytes,
+* corrupt length prefixes (``head_len`` overrunning ``frame_len``,
+  frame lengths past ``MAX_FRAME_BYTES``),
+* truncated prefixes of well-formed frames,
+* framing-valid heads that are invalid UTF-8 / invalid JSON / valid
+  JSON but not an object,
+* well-formed JSON requests with unknown kinds, bogus request ids, and
+  junk bodies,
+
+and after every exchange asserts the contract: the fuzzed connection
+yields only well-formed reply frames (typed ``error`` frames included)
+or a clean disconnect — and a **control client on a fresh connection
+still gets answers**, proving the IO loop and handler pool survived.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import build_sketches
+from repro.graphs import assign_uniform_weights, erdos_renyi
+from repro.service import OracleServer, connect, sample_query_pairs
+from repro.service.transport import MAX_FRAME_BYTES
+
+_PREFIX = struct.Struct("<II")
+
+
+@pytest.fixture(scope="module")
+def fuzz_server():
+    g = assign_uniform_weights(erdos_renyi(16, seed=21), seed=22)
+    built = build_sketches(g, scheme="stretch3", seed=5, eps=0.5)
+    server = OracleServer(built, jobs=1, cache_size=0)
+    host, port = server.serve("127.0.0.1:0", block=False)
+    yield server, (host, port), g
+    server.close()
+
+
+def _frame(head_bytes: bytes, body: bytes = b"",
+           frame_len: int | None = None,
+           head_len: int | None = None) -> bytes:
+    if frame_len is None:
+        frame_len = 4 + len(head_bytes) + len(body)
+    if head_len is None:
+        head_len = len(head_bytes)
+    return _PREFIX.pack(frame_len, head_len) + head_bytes + body
+
+
+def _json_frame(head: dict, body: bytes = b"") -> bytes:
+    return _frame(json.dumps(head).encode("utf-8"), body)
+
+
+# -- payload strategies ------------------------------------------------
+garbage = st.binary(min_size=0, max_size=256)
+
+corrupt_prefix = st.tuples(
+    st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1),
+    st.binary(max_size=64),
+).map(lambda t: _PREFIX.pack(t[0], t[1]) + t[2])
+
+oversized = st.binary(max_size=32).map(
+    lambda tail: _PREFIX.pack(MAX_FRAME_BYTES + 7, 4) + tail)
+
+non_json_head = st.binary(min_size=1, max_size=64).map(
+    lambda hb: _frame(hb))
+
+non_dict_head = st.sampled_from(
+    [b"[1,2]", b"null", b'"query"', b"3", b"true"]).map(
+    lambda hb: _frame(hb))
+
+_rid = st.one_of(st.none(), st.integers(-9, 9), st.text(max_size=6),
+                 st.lists(st.integers(0, 3), max_size=2),
+                 st.dictionaries(st.text(max_size=3),
+                                 st.integers(0, 3), max_size=2))
+
+bogus_request = st.fixed_dictionaries({
+    "kind": st.sampled_from(["query", "dist_many", "stats", "apply",
+                             "close?", "", "hello", "epoch"]),
+    "id": _rid,
+}).flatmap(lambda head: st.binary(max_size=64).map(
+    lambda body: _json_frame(head, body)))
+
+well_formed = st.one_of(non_json_head, non_dict_head, bogus_request)
+
+truncated = st.tuples(well_formed, st.integers(1, 32)).map(
+    lambda t: t[0][:max(1, len(t[0]) - t[1])])
+
+payloads = st.lists(
+    st.one_of(garbage, corrupt_prefix, oversized, non_json_head,
+              non_dict_head, bogus_request, truncated),
+    min_size=1, max_size=3)
+
+
+def _exchange(addr, payload: bytes) -> None:
+    """Send one hostile payload and drain the connection to EOF (or a
+    short timeout); every complete reply frame must parse."""
+    with socket.create_connection(addr, timeout=5.0) as sock:
+        sock.sendall(payload)
+        try:
+            sock.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass
+        buf = b""
+        while True:
+            try:
+                chunk = sock.recv(1 << 16)
+            except socket.timeout:
+                pytest.fail("fuzzed connection hung: no reply, no "
+                            f"disconnect for {payload[:40]!r}...")
+            except OSError:
+                break
+            if not chunk:
+                break
+            buf += chunk
+        # whatever came back must be a clean frame stream prefix:
+        # hello first, then results / typed error frames
+        while len(buf) >= 8:
+            frame_len, head_len = _PREFIX.unpack_from(buf)
+            assert 4 + head_len <= frame_len <= MAX_FRAME_BYTES
+            if len(buf) < 4 + frame_len:
+                break  # server was cut off mid-frame by our close: fine
+            head = json.loads(buf[8:8 + head_len].decode("utf-8"))
+            assert isinstance(head, dict) and "kind" in head
+            buf = buf[4 + frame_len:]
+
+
+@given(batch=payloads)
+@settings(deadline=None, max_examples=60,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_hostile_frames_never_wedge_the_server(fuzz_server, batch):
+    server, addr, g = fuzz_server
+    for payload in batch:
+        _exchange(addr, payload)
+    # the liveness contract: a fresh client still gets answers after
+    # every hostile exchange (IO loop alive, handler pool not leaked)
+    pairs = sample_query_pairs(g.n, 8, seed=1)
+    with connect(f"tcp://{addr[0]}:{addr[1]}") as control:
+        assert len(control.dist_many(pairs)) == len(pairs)
+
+
+def test_bogus_request_id_comes_back_typed(fuzz_server):
+    """A JSON request with an unknown kind and a junk id yields a typed
+    error frame echoing that id — not a disconnect, not silence."""
+    server, addr, _ = fuzz_server
+    with socket.create_connection(addr, timeout=5.0) as sock:
+        frames = []
+
+        def read_frame():
+            hdr = b""
+            while len(hdr) < 8:
+                hdr += sock.recv(8 - len(hdr))
+            frame_len, head_len = _PREFIX.unpack(hdr)
+            data = b""
+            while len(data) < frame_len - 4:
+                data += sock.recv(frame_len - 4 - len(data))
+            return json.loads(data[:head_len].decode("utf-8"))
+
+        frames.append(read_frame())  # hello
+        sock.sendall(_json_frame({"kind": "no-such-kind", "id": [3, "x"]}))
+        reply = read_frame()
+        frames.append(reply)
+    assert frames[0]["kind"] == "hello"
+    assert reply["kind"] == "error"
+    assert reply["id"] == [3, "x"]
+    assert reply.get("etype")
+
+
+def test_non_dict_json_head_disconnects_cleanly(fuzz_server):
+    """The regression this suite caught: ``[1,2]`` as a frame head must
+    drop the one connection, not crash the shared IO loop."""
+    server, addr, g = fuzz_server
+    for hb in (b"[1,2]", b"null", b'"hi"'):
+        _exchange(addr, _frame(hb))
+    with connect(f"tcp://{addr[0]}:{addr[1]}") as control:
+        pairs = sample_query_pairs(g.n, 4, seed=2)
+        assert len(control.dist_many(pairs)) == len(pairs)

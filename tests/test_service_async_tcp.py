@@ -4,7 +4,8 @@ Five claim families:
 
 * **pipelining** — a tcp ``dist_stream`` keeps ≥ 2 requests in flight
   (``max_inflight``) and hides submit time behind the wire
-  (``overlap_seconds > 0``) while staying bit-identical to per-batch
+  (``overlap_seconds > 0``, a timing claim gated by the shared
+  ``timing_gate`` fixture) while staying bit-identical to per-batch
   ``dist_many`` — the regression guard for the v1 bug where streaming
   silently degraded to sequential round-trips;
 * **session robustness** — the connect timeout is cleared after the
@@ -77,9 +78,23 @@ class TestPipelining:
             for g, w in zip(got, want):
                 assert g.tolist() == w.tolist()  # exact floats, in order
             assert stats["requests"] == len(chunks)
+            assert len(stats["latencies"]) == len(chunks)
+        finally:
+            server.close()
+
+    def test_stream_overlaps_requests(self, graph, built, timing_gate):
+        """``max_inflight >= 2`` / ``overlap_seconds > 0`` are wall-clock
+        scheduling claims — gated so CI/1-CPU runners self-skip."""
+        timing_gate("dist_stream overlap")
+        pairs = sample_query_pairs(graph.n, 240, seed=3)
+        chunks = [pairs[lo:lo + 30] for lo in range(0, 240, 30)]
+        server, addr = _serve(built, jobs=1)
+        try:
+            with connect(addr) as client:
+                list(client.dist_stream(chunks))
+                stats = client.pipeline_stats()
             assert stats["max_inflight"] >= 2
             assert stats["overlap_seconds"] > 0.0
-            assert len(stats["latencies"]) == len(chunks)
         finally:
             server.close()
 
@@ -163,6 +178,123 @@ class TestPipelining:
             worker.start()
             worker.join(timeout=120.0)
             assert done, "large-frame pipelined stream deadlocked"
+        finally:
+            server.close()
+
+
+# ----------------------------------------------------------------------
+# pipeline stats and epoch pinning (the introspection surface)
+# ----------------------------------------------------------------------
+class TestStatsAndPinning:
+    def test_empty_stream_records_nothing(self, built):
+        server, addr = _serve(built, jobs=1)
+        try:
+            with connect(addr) as client:
+                client.pipeline_stats(reset=True)
+                assert list(client.dist_stream([])) == []
+                stats = client.pipeline_stats()
+            assert stats["requests"] == 0
+            assert stats["max_inflight"] == 0
+            assert stats["overlap_seconds"] == 0.0
+            assert stats["latencies"] == []
+        finally:
+            server.close()
+
+    def test_single_batch_stream(self, graph, built):
+        pairs = sample_query_pairs(graph.n, 15, seed=14)
+        server, addr = _serve(built, jobs=1)
+        try:
+            with connect(addr) as client:
+                want = client.dist_many(pairs)
+                client.pipeline_stats(reset=True)
+                got = list(client.dist_stream([pairs]))
+                stats = client.pipeline_stats()
+            assert len(got) == 1
+            assert got[0].tolist() == want.tolist()
+            # one request can never overlap itself
+            assert stats["requests"] == 1
+            assert stats["max_inflight"] == 1
+            assert len(stats["latencies"]) == 1
+        finally:
+            server.close()
+
+    def test_last_result_epoch_pins_per_batch(self, graph):
+        """``epoch`` only moves forward; ``last_result_epoch`` is the
+        per-batch pin and tracks what actually served each answer —
+        across interleaved ``apply_updates`` calls on the same
+        session."""
+        upd = UpdateableIndex(graph, scheme="tz", seed=9, k=2)
+        server, addr = _serve(upd, jobs=1)
+        try:
+            with connect(addr) as client:
+                pairs = sample_query_pairs(graph.n, 12, seed=15)
+                client.dist_many(pairs)
+                e0 = client.last_result_epoch
+                assert e0 == client.epoch
+                report = client.apply_updates(
+                    sample_weight_changes(graph, 3, seed=44,
+                                          low=0.3, high=0.8))
+                assert report.epoch > e0
+                # the pin still names the pre-apply serve until a new
+                # result is consumed
+                assert client.last_result_epoch == e0
+                client.dist_many(pairs)
+                assert client.last_result_epoch == report.epoch
+                assert client.epoch == report.epoch
+        finally:
+            server.close()
+
+    def test_local_transport_pins_too(self, graph):
+        upd = UpdateableIndex(graph, scheme="tz", seed=9, k=2)
+        with connect("inproc://", upd) as client:
+            pairs = sample_query_pairs(graph.n, 12, seed=16)
+            client.dist_many(pairs)
+            e0 = client.last_result_epoch
+            report = client.apply_updates(
+                sample_weight_changes(graph, 3, seed=45,
+                                      low=0.3, high=0.8))
+            client.dist_many(pairs)
+            assert client.last_result_epoch == report.epoch > e0
+
+    def test_staleness_stats_surface_and_reset(self, graph, built):
+        server, addr = _serve(built, jobs=1)
+        try:
+            with connect(addr) as client:
+                pairs = sample_query_pairs(graph.n, 10, seed=17)
+                client.dist_many(pairs)
+                client.dist_many(pairs)
+                stats = client.staleness_stats()
+                assert stats["results"] == 2
+                assert stats["stale_results"] == 0  # no churn here
+                stats = client.staleness_stats(reset=True)
+                assert stats["results"] == 2
+                assert client.staleness_stats()["results"] == 0
+        finally:
+            server.close()
+
+    def test_abandoned_stream_drain_keeps_stats_consistent(
+            self, graph, built):
+        """Stats for an abandoned stream count the submitted window —
+        the drain consumes the in-flight replies without corrupting the
+        next request's accounting."""
+        pairs = sample_query_pairs(graph.n, 120, seed=18)
+        chunks = [pairs[lo:lo + 20] for lo in range(0, 120, 20)]
+        server, addr = _serve(built, jobs=1)
+        try:
+            with connect(addr) as client:
+                client.pipeline_stats(reset=True)
+                stream = client.dist_stream(chunks)
+                next(stream)
+                stream.close()
+                submitted = client.pipeline_stats(reset=True)["requests"]
+                assert 1 <= submitted <= len(chunks)
+                # dist_many is not pipelined: the fresh window stays
+                # empty, and the drained session answers correctly
+                got = client.dist_many(chunks[0])
+                again = client.dist_many(chunks[0])
+                stats = client.pipeline_stats()
+            assert got.tolist() == again.tolist()
+            assert stats["requests"] == 0
         finally:
             server.close()
 
