@@ -37,7 +37,9 @@ from repro.service import (QueryEngine, build_tz_sketches_parallel,
 N = 2000
 QUERIES = 4000
 SEED = 71
-JOBS = (1, 2, 4)
+#: (jobs, pool) cells — proc scaling plus the thread-plane arm (E20
+#: duels the planes head to head; this row keeps the scaling table whole)
+CELLS = ((1, "proc"), (2, "proc"), (4, "proc"), (4, "thread"))
 SHARDS = 4
 MIN_EFFICIENCY = os.environ.get("REPRO_E15_MIN_EFFICIENCY")
 
@@ -52,13 +54,15 @@ def e15_sketches():
 @pytest.fixture(scope="module")
 def e15_table(experiment_report, e15_sketches):
     rows = []
-    for jobs in JOBS:
+    for jobs, pool in CELLS:
         rep = run_serve_benchmark(e15_sketches, queries=QUERIES,
                                   batch=QUERIES, seed=7, repeats=3,
-                                  num_shards=SHARDS, jobs=jobs)
-        assert rep["identical"], f"jobs={jobs}: batched answers diverged"
+                                  num_shards=SHARDS, jobs=jobs, pool=pool)
+        assert rep["identical"], \
+            f"jobs={jobs} pool={pool}: batched answers diverged"
         rows.append({
-            "jobs": jobs, "shards": SHARDS, "Q": rep["queries"],
+            "jobs": jobs, "pool": pool, "shards": SHARDS,
+            "Q": rep["queries"],
             "batched-qps": int(rep["batched_qps"]),
             "vs-jobs1": (round(rep["batched_qps"] / rows[0]["batched-qps"], 2)
                          if rows else 1.0),
@@ -94,9 +98,22 @@ def test_e15_slack_scheme_through_workers():
 
 
 def test_e15_table_complete(e15_table):
-    assert [r["jobs"] for r in e15_table] == list(JOBS)
+    assert [(r["jobs"], r["pool"]) for r in e15_table] == list(CELLS)
     if MIN_EFFICIENCY is not None:
-        assert e15_table[-1]["vs-jobs1"] >= float(MIN_EFFICIENCY)
+        proc4 = next(r for r in e15_table
+                     if r["jobs"] == 4 and r["pool"] == "proc")
+        assert proc4["vs-jobs1"] >= float(MIN_EFFICIENCY)
+
+
+def test_e15_thread_plane_identical(e15_sketches):
+    """The thread arm serves the same bytes as the in-process path."""
+    pairs = sample_query_pairs(N, 1000, seed=3)
+    with QueryEngine(e15_sketches, cache_size=0, num_shards=SHARDS,
+                     jobs=1) as solo:
+        base = solo.dist_many(pairs)
+    with QueryEngine(e15_sketches, cache_size=0, num_shards=SHARDS,
+                     jobs=4, pool="thread") as threaded:
+        assert np.array_equal(threaded.dist_many(pairs), base)
 
 
 def test_e15_benchmark_pooled_pass(benchmark, e15_sketches, e15_table):

@@ -55,7 +55,11 @@ BATCH = min(1000, QUERIES)
 EPS = 0.04  # |net| ~ 5 ln n / eps: ~1000 columns at n=5000
 SEED = 83
 SHARDS = 4
-CELLS = (("heap", 1), ("heap", 4), ("shared", 4), ("mmap", 4))
+#: (memory, jobs, pool) — the proc-plane sweep plus the thread arm
+#: (``pool="thread"`` shares the address space, so heap is its natural
+#: memory mode: nothing needs to move)
+CELLS = (("heap", 1, "proc"), ("heap", 4, "proc"), ("shared", 4, "proc"),
+         ("mmap", 4, "proc"), ("heap", 4, "thread"))
 MIN_SPEEDUP = float(os.environ.get("REPRO_E15B_MIN_SPEEDUP", "1.0"))
 # self-arm only where the claim is physically checkable: full size, >= 4
 # CPUs, and not a CI runner (logical-CPU counts lie there); an explicit
@@ -78,16 +82,17 @@ def e15b_sketches():
 @pytest.fixture(scope="module")
 def e15b_table(experiment_report, e15b_sketches):
     rows = []
-    for memory, jobs in CELLS:
+    for memory, jobs, pool in CELLS:
         rep = run_serve_benchmark(e15b_sketches, queries=QUERIES,
                                   batch=BATCH, seed=9, repeats=3,
                                   num_shards=SHARDS, jobs=jobs,
-                                  memory=memory)
+                                  memory=memory, pool=pool)
         assert rep["identical"], \
-            f"memory={memory} jobs={jobs}: batched answers diverged"
+            f"memory={memory} jobs={jobs} pool={pool}: answers diverged"
         phases = rep["phases"]
         rows.append({
-            "memory": memory, "jobs": rep["jobs"], "batch": rep["batch"],
+            "memory": memory, "jobs": rep["jobs"], "pool": pool,
+            "batch": rep["batch"],
             "batched-qps": int(rep["batched_qps"]),
             "vs-jobs1": (round(rep["batched_qps"] / rows[0]["batched-qps"], 2)
                          if rows else 1.0),
@@ -106,19 +111,19 @@ def test_e15b_answers_identical_across_memory_modes(e15b_sketches):
     """The hard claim: every (memory, jobs) cell produces the same bytes."""
     pairs = sample_query_pairs(N, min(1000, QUERIES), seed=3)
     base = None
-    for memory, jobs in CELLS:
+    for memory, jobs, pool in CELLS:
         with QueryEngine(e15b_sketches, cache_size=0, num_shards=SHARDS,
-                         jobs=jobs, memory=memory) as eng:
+                         jobs=jobs, memory=memory, pool=pool) as eng:
             got = eng.dist_many(pairs)
         if base is None:
             base = got
         else:
-            assert np.array_equal(got, base), (memory, jobs)
+            assert np.array_equal(got, base), (memory, jobs, pool)
 
 
 def test_e15b_table_complete(e15b_table):
-    assert [(r["memory"], r["jobs"]) for r in e15b_table] == [
-        (m, min(j, SHARDS)) for m, j in CELLS]
+    assert [(r["memory"], r["jobs"], r["pool"]) for r in e15b_table] == [
+        (m, min(j, SHARDS), p) for m, j, p in CELLS]
 
 
 def test_e15b_shared_workers_beat_in_process(e15b_table):

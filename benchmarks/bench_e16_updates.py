@@ -60,16 +60,14 @@ def e16_report():
 
 @pytest.fixture(scope="module")
 def e16_table(experiment_report, e16_report):
-    rows = []
-    for r in e16_report["rows"]:
-        rows.append({
-            "batch": r["batch"], "mode": r["mode"], "dirty": r["dirty"],
-            "dirty-frac": round(r["dirty"] / e16_report["n"], 3),
-            "update-ms": round(r["update_seconds"] * 1e3, 1),
-            "rebuild-ms": round(r["rebuild_seconds"] * 1e3, 1),
-            "speedup": round(r["speedup"], 2),
-            "identical": r["identical"],
-        })
+    rows = [{
+        "batch": r["batch"], "mode": r["mode"], "dirty": r["dirty"],
+        "dirty-frac": round(r["dirty"] / e16_report["n"], 3),
+        "update-ms": round(r["update_seconds"] * 1e3, 1),
+        "rebuild-ms": round(r["rebuild_seconds"] * 1e3, 1),
+        "speedup": round(r["speedup"], 2),
+        "identical": r["identical"],
+    } for r in e16_report["rows"]]
     experiment_report("E16-incremental-updates", render_table(
         rows, title=f"E16: incremental update vs full rebuild "
                     f"(TZ k=2, geometric n={N}, {SHARDS} shards, "

@@ -1,0 +1,154 @@
+"""E20 — columnar batch kernels and the thread execution plane.
+
+E15b fixed the process pool's pickle tax with shared-memory rings, but a
+fundamental cost remains: every ``proc`` dispatch crosses a process
+boundary (descriptor pickles, ring handshakes, scheduler wakeups).  The
+thread plane (``pool="thread"``) removes the boundary entirely — shard
+probes run on a ``ThreadPoolExecutor`` in the master's address space,
+and because the probe kernels are columnar numpy (gathers, adds,
+row-mins over the packed arrays) they release the GIL and overlap for
+real.
+
+This experiment duels the three local execution planes across batch
+sizes and schemes:
+
+* ``inproc``  — ``jobs=1``, the single-threaded decomposition,
+* ``proc``    — ``jobs=4`` worker processes on the shared-memory data
+  plane (E15b's winner),
+* ``thread``  — ``jobs=4`` executor threads, heap memory (nothing needs
+  to move when the address space is shared),
+
+reporting per-cell throughput plus the ``kernel`` / ``ipc`` phase split
+(``kernel_seconds`` is the per-batch critical path of pure shard
+compute; the gap to the dispatch wall is transport overhead).
+
+Hard claims (always asserted, any hardware): answers are bit-identical
+across every arm, batch size, and scheme.  Timing claim (thread >=
+``REPRO_E20_MIN_SPEEDUP``x proc qps at batch >= 256 on >= 2 schemes):
+gated by ``timing_gate`` — self-skips on CI and single-CPU hosts, armed
+anywhere by ``REPRO_FORCE_TIMING=1``.
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_e20_kernels.py -q``
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from benchmarks._workloads import workload, workload_apsp
+from repro import build_sketches
+from repro.analysis import render_table
+from repro.service import (QueryEngine, build_tz_sketches_parallel,
+                           run_serve_benchmark, sample_query_pairs)
+
+N = int(os.environ.get("REPRO_E20_N", "2000"))
+QUERIES = int(os.environ.get("REPRO_E20_QUERIES", "4096"))
+BATCHES = tuple(int(b) for b in
+                os.environ.get("REPRO_E20_BATCHES", "64,256,1024").split(","))
+SEED = 97
+SHARDS = 4
+JOBS = 4
+EPS = 0.1  # |net| ~ 5 ln n / eps: a few hundred columns at n=2000
+SCHEMES = ("tz", "stretch3")
+#: (arm label, jobs, memory, pool)
+ARMS = (("inproc", 1, "heap", "proc"),
+        ("proc", JOBS, "shared", "proc"),
+        ("thread", JOBS, "heap", "thread"))
+MIN_SPEEDUP = float(os.environ.get("REPRO_E20_MIN_SPEEDUP", "1.5"))
+
+
+@pytest.fixture(scope="module")
+def e20_sketches():
+    g = workload("er", N, weighted=True)
+    tz, _ = build_tz_sketches_parallel(g, k=2, seed=SEED, jobs=2)
+    s3 = build_sketches(g, scheme="stretch3", eps=EPS, seed=SEED,
+                        dist_matrix=workload_apsp("er", N, weighted=True))
+    return {"tz": tz, "stretch3": s3.sketches}
+
+
+@pytest.fixture(scope="module")
+def e20_table(experiment_report, e20_sketches):
+    rows = []
+    for scheme in SCHEMES:
+        sketches = e20_sketches[scheme]
+        for batch in BATCHES:
+            proc_qps = None
+            for arm, jobs, memory, pool in ARMS:
+                rep = run_serve_benchmark(sketches, queries=QUERIES,
+                                          batch=batch, seed=11, repeats=3,
+                                          num_shards=SHARDS, jobs=jobs,
+                                          memory=memory, pool=pool)
+                assert rep["identical"], \
+                    f"{scheme} batch={batch} {arm}: answers diverged"
+                phases = rep["phases"]
+                qps = rep["batched_qps"]
+                if arm == "proc":
+                    proc_qps = qps
+                rows.append({
+                    "scheme": scheme, "batch": batch, "arm": arm,
+                    "jobs": rep["jobs"],
+                    "qps": int(qps),
+                    "vs-proc": (round(qps / proc_qps, 2)
+                                if arm == "thread" else ""),
+                    "kernel-ms": round(phases["kernel_seconds"] * 1e3, 2),
+                    "ipc-ms": round(phases["ipc_seconds"] * 1e3, 2),
+                })
+    experiment_report("E20-kernels", render_table(
+        rows, title=f"E20: execution-plane duel (ER n={N}, {SHARDS} "
+                    f"shards, jobs={JOBS}, Q={QUERIES})"),
+        data={"n": N, "queries": QUERIES, "batches": list(BATCHES),
+              "shards": SHARDS, "jobs": JOBS, "eps": EPS,
+              "min_speedup": MIN_SPEEDUP, "rows": rows})
+    return rows
+
+
+def test_e20_answers_identical_across_planes(e20_sketches):
+    """The hard claim: every arm serves the same bytes, every scheme."""
+    pairs = sample_query_pairs(N, min(1000, QUERIES), seed=3)
+    for scheme in SCHEMES:
+        base = None
+        for arm, jobs, memory, pool in ARMS:
+            with QueryEngine(e20_sketches[scheme], cache_size=0,
+                             num_shards=SHARDS, jobs=jobs, memory=memory,
+                             pool=pool, _deprecation=False) as eng:
+                got = eng.dist_many(pairs)
+            if base is None:
+                base = got
+            else:
+                assert np.array_equal(got, base), (scheme, arm)
+
+
+def test_e20_table_complete(e20_table):
+    assert len(e20_table) == len(SCHEMES) * len(BATCHES) * len(ARMS)
+    for row in e20_table:
+        assert row["qps"] > 0
+
+
+def test_e20_kernel_phase_reported(e20_table):
+    """The kernel split is present: fanned-out arms report a nonzero
+    critical path, and it never exceeds the shard total implied by the
+    dispatch accounting."""
+    for row in e20_table:
+        assert row["kernel-ms"] > 0.0
+        if row["arm"] == "inproc":
+            assert row["ipc-ms"] == 0.0  # no transport in-process
+
+
+def test_e20_thread_beats_proc_at_large_batches(e20_table, timing_gate):
+    """The tentpole claim: with no process boundary to cross, the thread
+    plane out-serves the process pool at batch >= 256 on >= 2 schemes."""
+    timing_gate("thread-vs-proc duel")
+    winners = 0
+    for scheme in SCHEMES:
+        ratios = [row["vs-proc"] for row in e20_table
+                  if row["scheme"] == scheme and row["arm"] == "thread"
+                  and row["batch"] >= 256]
+        assert ratios, f"no large-batch thread rows for {scheme}"
+        if all(r >= MIN_SPEEDUP for r in ratios):
+            winners += 1
+    assert winners >= 2, (
+        f"thread plane >= {MIN_SPEEDUP}x proc on only {winners} scheme(s); "
+        f"rows: {[r for r in e20_table if r['arm'] == 'thread']}")

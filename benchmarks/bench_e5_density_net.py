@@ -99,7 +99,7 @@ def test_e5_ablation_ordering(e5_ablation):
     by_eps = {}
     for r in e5_ablation:
         by_eps.setdefault(r["eps"], {})[r["net"][:3]] = r["|N|"]
-    for eps, d in by_eps.items():
+    for d in by_eps.values():
         assert d["CDG"] <= d["pap"]  # original net is smaller...
     # ...but cannot be built by local sampling (it needs global greedy)
 

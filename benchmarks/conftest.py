@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import datetime
 import json
+import os
 import pathlib
 import platform
 import subprocess
@@ -73,6 +74,30 @@ def experiment_report():
             + "\n", encoding="utf-8")
 
     return report
+
+
+@pytest.fixture()
+def timing_gate():
+    """Gate for wall-clock assertions that need real parallel hardware
+    (the benchmarks-side twin of the fixture in ``tests/conftest.py``).
+
+    Identity claims in the experiment files are asserted unconditionally;
+    speedup ratios call ``timing_gate(why)`` first and self-skip on CI
+    runners and single-CPU boxes, where scheduling noise dwarfs the
+    effect under test.  ``REPRO_FORCE_TIMING=1`` arms the gate anywhere.
+    """
+
+    def gate(why: str) -> None:
+        if os.environ.get("REPRO_FORCE_TIMING"):
+            return
+        if os.environ.get("CI"):
+            pytest.skip(f"{why}: timing assertion self-skips on CI "
+                        "(set REPRO_FORCE_TIMING=1 to arm)")
+        if (os.cpu_count() or 1) < 2:
+            pytest.skip(f"{why}: timing assertion needs >= 2 CPUs "
+                        "(set REPRO_FORCE_TIMING=1 to arm)")
+
+    return gate
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

@@ -1,0 +1,88 @@
+"""Consolidate per-experiment benchmark telemetry into one summary file.
+
+Every benchmark run leaves a ``BENCH_<name>.json`` envelope in
+``benchmarks/results/`` (written by the ``experiment_report`` fixture:
+git sha, timestamp, python/platform, and the experiment's table rows).
+This module folds all of them into a single ``BENCH_summary.json`` so a
+CI artifact — or a human diffing two runs — needs exactly one file:
+
+    PYTHONPATH=src python -m repro.analysis.summarize benchmarks/results
+
+The summary carries one entry per experiment (name, sha, timestamp, row
+count, and the rows themselves) plus run-level metadata lifted from the
+envelopes.  Envelopes that fail to parse are reported and skipped — a
+truncated file from a crashed run must not hide every other result.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+#: the consolidated output filename (deliberately not ``BENCH_E*`` so the
+#: summarizer never swallows its own previous output)
+SUMMARY_NAME = "BENCH_summary.json"
+
+
+def summarize_results(results_dir: str | pathlib.Path) -> dict:
+    """Fold every ``BENCH_E*.json`` envelope under ``results_dir`` into
+    one summary dict (also returned, for tests and programmatic use).
+
+    :param results_dir: directory the benchmark harness writes into.
+    :returns: the summary payload that is written to
+        :data:`SUMMARY_NAME` in the same directory.
+    """
+    root = pathlib.Path(results_dir)
+    experiments = []
+    skipped = []
+    for path in sorted(root.glob("BENCH_E*.json")):
+        try:
+            envelope = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            skipped.append({"file": path.name, "error": str(exc)})
+            continue
+        data = envelope.get("data") or {}
+        rows = data.get("rows") if isinstance(data, dict) else None
+        experiments.append({
+            "name": envelope.get("name", path.stem),
+            "git_sha": envelope.get("git_sha", "unknown"),
+            "generated_at": envelope.get("generated_at"),
+            "rows": len(rows) if isinstance(rows, list) else None,
+            "data": data,
+        })
+    summary = {
+        "experiments": experiments,
+        "skipped": skipped,
+        # run-level metadata: every envelope of one run shares these
+        "git_sha": (experiments[0]["git_sha"] if experiments else "unknown"),
+        "python": next((e["data"].get("python") for e in experiments
+                        if isinstance(e["data"], dict)
+                        and "python" in e["data"]), None),
+        "count": len(experiments),
+    }
+    out = root / SUMMARY_NAME
+    out.write_text(json.dumps(summary, indent=2, sort_keys=True,
+                              default=float) + "\n", encoding="utf-8")
+    return summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if len(args) != 1:
+        print("usage: python -m repro.analysis.summarize <results-dir>",
+              file=sys.stderr)
+        return 2
+    root = pathlib.Path(args[0])
+    if not root.is_dir():
+        print(f"summarize: no such directory: {root}", file=sys.stderr)
+        return 2
+    summary = summarize_results(root)
+    print(f"wrote {root / SUMMARY_NAME}: {summary['count']} experiment(s)"
+          + (f", {len(summary['skipped'])} skipped" if summary["skipped"]
+             else ""))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

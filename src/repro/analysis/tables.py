@@ -28,11 +28,8 @@ def render_table(rows: Sequence[dict], title: Optional[str] = None,
     if not rows:
         return f"{title}\n(no rows)" if title else "(no rows)"
     if columns is None:
-        columns = []
-        for r in rows:
-            for key in r:
-                if key not in columns:
-                    columns.append(key)
+        # first-seen column order, deduped across rows
+        columns = list(dict.fromkeys(k for r in rows for k in r))
     cells = [[format_cell(r.get(c, "")) for c in columns] for r in rows]
     widths = [len(c) for c in columns]
     for row in cells:
@@ -43,7 +40,7 @@ def render_table(rows: Sequence[dict], title: Optional[str] = None,
         lines.append(title)
     lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(columns)))
     lines.append("  ".join("-" * w for w in widths))
-    for row in cells:
-        lines.append("  ".join(cell.ljust(widths[i])
-                               for i, cell in enumerate(row)))
+    lines.extend("  ".join(cell.ljust(widths[i])
+                           for i, cell in enumerate(row))
+                 for row in cells)
     return "\n".join(lines)

@@ -246,12 +246,13 @@ def _cmd_serve(args) -> int:
             source = load_sketch_set(args.source)
             shards = args.shards or max(args.jobs, 1)
     server = OracleServer(source, jobs=args.jobs, memory=args.memory,
-                          num_shards=shards, cache_size=args.cache_size)
+                          pool=args.pool, num_shards=shards,
+                          cache_size=args.cache_size)
     host, port = server.serve(args.addr, block=False,
                               handlers=args.handlers)
     print(f"serving {server.scheme or '?'} n={server.n} "
           f"shards={server.num_shards} jobs={server.jobs} "
-          f"memory={args.memory} epoch={server.epoch} "
+          f"memory={args.memory} pool={args.pool} epoch={server.epoch} "
           f"updateable={'yes' if server.updateable else 'no'} "
           f"on tcp://{host}:{port}", flush=True)
     try:
@@ -379,7 +380,8 @@ def _cmd_serve_bench(args) -> int:
         report = run_serve_benchmark(
             index=index, queries=args.queries, batch=args.batch,
             seed=args.seed, repeats=args.repeats,
-            cache_size=args.cache_size, jobs=args.jobs, memory=args.memory)
+            cache_size=args.cache_size, jobs=args.jobs, memory=args.memory,
+            pool=args.pool)
     else:
         sketches = load_sketch_set(args.sketches)
         if args.scheme is not None:
@@ -393,7 +395,7 @@ def _cmd_serve_bench(args) -> int:
             seed=args.seed, repeats=args.repeats,
             cache_size=args.cache_size,
             num_shards=1 if args.shards is None else args.shards,
-            jobs=args.jobs, memory=args.memory)
+            jobs=args.jobs, memory=args.memory, pool=args.pool)
     print(json.dumps(report, indent=2))
     if not report["identical"]:
         print("error: batched answers diverged from the single-query path",
@@ -537,11 +539,16 @@ def build_parser() -> argparse.ArgumentParser:
                     help="listen address (port 0 picks a free one; the "
                          "bound address is printed on startup)")
     sv.add_argument("--jobs", type=int, default=1,
-                    help="worker processes behind the landmark shards")
+                    help="workers behind the landmark shards")
     sv.add_argument("--memory", choices=["heap", "shared", "mmap"],
                     default="heap",
                     help="serving data plane (a binary index with "
                          "--memory mmap is attached zero-parse)")
+    sv.add_argument("--pool", choices=["proc", "thread"], default="proc",
+                    help="shard execution plane for --jobs > 1: proc = "
+                         "worker processes; thread = a GIL-releasing "
+                         "thread pool in the server's address space "
+                         "(no pickling; answers identical either way)")
     sv.add_argument("--shards", type=int, default=None,
                     help="landmark shard count when building from "
                          "sketches or a graph (a binary index bakes "
@@ -651,7 +658,7 @@ def build_parser() -> argparse.ArgumentParser:
     sb.add_argument("--cache-size", type=int, default=0,
                     help="LRU result-cache capacity (0 = cold-cache run)")
     sb.add_argument("--jobs", type=int, default=1,
-                    help="worker processes behind the landmark shards "
+                    help="workers behind the landmark shards "
                          "(1 = in-process; clamped to --shards; answers "
                          "are identical either way)")
     sb.add_argument("--memory", choices=["heap", "shared", "mmap"],
@@ -660,6 +667,11 @@ def build_parser() -> argparse.ArgumentParser:
                          "pickle IPC; shared = zero-copy worker attach + "
                          "shared ring buffers; mmap = memory-mapped index "
                          "pack (answers are identical in every mode)")
+    sb.add_argument("--pool", choices=["proc", "thread"], default="proc",
+                    help="shard execution plane for --jobs > 1: proc = "
+                         "worker processes; thread = a GIL-releasing "
+                         "thread pool sharing the address space "
+                         "(answers identical either way)")
     sb.add_argument("--scheme",
                     choices=["tz", "stretch3", "cdg", "graceful"],
                     default=None,

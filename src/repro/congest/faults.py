@@ -99,8 +99,5 @@ class FaultySimulator(Simulator):
             return sends
         fm = self.fault_model
         round_no = self.metrics.rounds  # sends from round r deliver at r+1
-        out = []
-        for src, dst, payload in sends:
-            if fm.delivers(src, dst, round_no + 1):
-                out.append((src, dst, payload))
-        return out
+        return [(src, dst, payload) for src, dst, payload in sends
+                if fm.delivers(src, dst, round_no + 1)]

@@ -52,9 +52,10 @@ class BuiltSketches:
         """A serving session over this build —
         ``built.connect("proc://jobs=4;memory=shared")`` is shorthand
         for :func:`repro.service.transport.connect` with this sketch set
-        as the source.  Returns an
-        :class:`~repro.service.transport.OracleClient`; close it (or use
-        it as a context manager) when done.
+        as the source (``proc://jobs=4;pool=thread`` serves the shards
+        from a GIL-releasing thread pool instead of worker processes).
+        Returns an :class:`~repro.service.transport.OracleClient`; close
+        it (or use it as a context manager) when done.
         """
         from repro.service.transport import connect as _connect
 

@@ -131,7 +131,7 @@ class SketchRelayProgram(NodeProgram):
             ctx.send(self.next_hop, self._chunk(self._to_send.pop(0)))
 
     def on_round(self, ctx: NodeContext, inbox: dict[int, Any]) -> None:
-        for _, payload in inbox.items():
+        for payload in inbox.values():
             if isinstance(payload, tuple) and payload[0] == "chunk":
                 seq = payload[1]
                 if self.next_hop is not None:

@@ -68,6 +68,16 @@ class SchemeSpec:
             return ("inproc", "proc", "tcp")
         return ("inproc",)
 
+    @property
+    def pools(self) -> tuple[str, ...]:
+        """Which shard execution planes
+        (:data:`~repro.service.workers.POOL_MODES`) can fan this
+        scheme's batches out.  Both require the shard-decomposed
+        batched index; without one the scheme serves in-process only."""
+        if self.supports_batch:
+            return ("proc", "thread")
+        return ()
+
     def describe(self, params: dict) -> str:
         """One-line human summary of the guarantee under ``params``."""
         slack = self.slack_of(params)
@@ -157,6 +167,7 @@ def scheme_support_matrix() -> list[dict]:
         "serialize": spec.supports_serialize,
         "updates": spec.supports_updates,
         "transports": list(spec.transports),
+        "pools": list(spec.pools),
     } for name, spec in sorted(SCHEMES.items())]
 
 
@@ -167,14 +178,15 @@ def schemes_markdown() -> str:
     yn = {True: "yes", False: "no"}
     lines = [
         "| scheme | build | single query | batched query | serialized "
-        "| incremental updates | transports |",
+        "| incremental updates | transports | pools |",
         "|--------|-------|--------------|---------------|------------"
-        "|---------------------|------------|",
+        "|---------------------|------------|-------|",
     ]
-    for row in scheme_support_matrix():
-        lines.append(
-            f"| `{row['scheme']}` | {', '.join(row['build'])} "
-            f"| {yn[row['query']]} | {yn[row['batch']]} "
-            f"| {yn[row['serialize']]} | {yn[row['updates']]} "
-            f"| {', '.join(row['transports'])} |")
+    lines.extend(
+        f"| `{row['scheme']}` | {', '.join(row['build'])} "
+        f"| {yn[row['query']]} | {yn[row['batch']]} "
+        f"| {yn[row['serialize']]} | {yn[row['updates']]} "
+        f"| {', '.join(row['transports'])} "
+        f"| {', '.join(row['pools']) or '—'} |"
+        for row in scheme_support_matrix())
     return "\n".join(lines)

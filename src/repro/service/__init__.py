@@ -34,11 +34,14 @@ The front door is :func:`~repro.service.transport.connect`::
 * :class:`~repro.service.engine.QueryEngine` — the engine every session
   hosts (LRU result cache, epoch pinning); constructing one directly is
   the deprecated legacy path,
-* :class:`~repro.service.workers.ShardServer` — a persistent
-  ``multiprocessing`` pool running the shard probes (``jobs=1`` is an
-  in-process fallback with the identical dataflow); ``memory="shared"``
-  attaches workers to the pack zero-copy and moves requests/responses
-  through preallocated shared ring buffers instead of pickles,
+* :class:`~repro.service.workers.ShardServer` — the shard execution
+  plane: a persistent ``multiprocessing`` pool (``pool="proc"``) or a
+  GIL-releasing ``ThreadPoolExecutor`` in this address space
+  (``pool="thread"`` — no pickling, no rings, no attach) running the
+  shard probes (``jobs=1`` is an in-process fallback with the identical
+  dataflow); ``memory="shared"`` attaches process workers to the pack
+  zero-copy and moves requests/responses through preallocated shared
+  ring buffers instead of pickles,
 * :mod:`repro.service.updates` — the dynamic-update subsystem:
   :class:`UpdateableIndex` applies edge-change streams by repairing
   only the dirty frontier (bit-identical to a from-scratch rebuild,
@@ -85,7 +88,8 @@ from repro.service.updates import (POLICY_NAMES, AdaptiveCostPolicy,
                                    load_changes_jsonl, make_policy,
                                    run_update_benchmark,
                                    sample_weight_changes, save_changes_jsonl)
-from repro.service.workers import MEMORY_MODES, PhaseTimings, ShardServer
+from repro.service.workers import (MEMORY_MODES, POOL_MODES, PhaseTimings,
+                                   ShardServer)
 
 __all__ = [
     "AdaptiveCostPolicy",
@@ -120,6 +124,7 @@ __all__ = [
     "GracefulIndex",
     "IndexStore",
     "MEMORY_MODES",
+    "POOL_MODES",
     "PackHandle",
     "PackedIndex",
     "PhaseTimings",

@@ -50,7 +50,7 @@ def run_serve_benchmark(sketches: Optional[Sequence[Any]] = None,
                         batch: Optional[int] = None, seed: SeedLike = 0,
                         repeats: int = 3, cache_size: int = 0,
                         num_shards: int = 1, jobs: int = 1,
-                        memory: str = "heap",
+                        memory: str = "heap", pool: str = "proc",
                         index: Optional[IndexStore] = None) -> dict:
     """Time ``queries`` random queries answered one-by-one vs in batches.
 
@@ -62,11 +62,13 @@ def run_serve_benchmark(sketches: Optional[Sequence[Any]] = None,
         measures the raw vectorized path (cold-cache throughput).
     :param num_shards: landmark shard count in the pre-built index
         (ignored when ``index`` is given — its own shard count rules).
-    :param jobs: worker processes behind the shards (``1`` = in-process;
+    :param jobs: workers behind the shards (``1`` = in-process;
         clamped to the shard count, and the report shows the effective
         count).
     :param memory: serving data plane — ``heap`` | ``shared`` | ``mmap``
         (see :class:`~repro.service.workers.ShardServer`).
+    :param pool: shard execution plane for ``jobs > 1`` — ``proc``
+        (worker processes) or ``thread`` (a GIL-releasing thread pool).
     :param index: serve a pre-built store (e.g. loaded from a binary
         container) instead of building one from sketches; the
         single-query baseline is then the store's own one-pair path.
@@ -82,13 +84,13 @@ def run_serve_benchmark(sketches: Optional[Sequence[Any]] = None,
             "run_serve_benchmark wants exactly one of sketches= or index=")
     if index is not None:
         engine = QueryEngine.from_index(index, cache_size=cache_size,
-                                        jobs=jobs, memory=memory,
+                                        jobs=jobs, memory=memory, pool=pool,
                                         _deprecation=False)
         scheme = (scheme_name_of_index(index) or "?")
     else:
         engine = QueryEngine(sketches, cache_size=cache_size,
                              num_shards=num_shards, jobs=jobs,
-                             memory=memory, _deprecation=False)
+                             memory=memory, pool=pool, _deprecation=False)
         scheme = scheme_name_of(sketches)
     try:
         pairs = sample_query_pairs(engine.n, queries, seed=seed)
@@ -129,6 +131,7 @@ def run_serve_benchmark(sketches: Optional[Sequence[Any]] = None,
             # unit of work) — report the worker count that actually served
             "jobs": int(engine.jobs),
             "memory": memory,
+            "pool": pool,
             "cache_size": int(cache_size),
             "single_seconds": t_single,
             "batched_seconds": t_batched,

@@ -113,13 +113,17 @@ class QueryEngine:
         registry's :attr:`~repro.oracle.schemes.SchemeSpec.supports_batch`
         is the intended source of this value — see
         :meth:`~repro.oracle.api.BuiltSketches.engine`).
-    :param jobs: worker processes behind the landmark shards (``1`` =
+    :param jobs: workers behind the landmark shards (``1`` =
         everything in-process).  Requires an indexed engine; values above
         ``num_shards`` are clamped (a shard is the unit of work) and the
         attribute reflects the effective count.
     :param memory: the serving data plane — ``"heap"``, ``"shared"``, or
         ``"mmap"`` (see :class:`~repro.service.workers.ShardServer`).
         Non-heap modes require an indexed engine.
+    :param pool: the shard execution plane for ``jobs > 1`` —
+        ``"proc"`` (worker processes) or ``"thread"`` (a GIL-releasing
+        thread pool in this address space); see
+        :class:`~repro.service.workers.ShardServer`.
     :raises ConfigError: on an empty set, negative cache size,
         ``use_index=True`` without an indexable set, or ``jobs``/
         ``memory`` without an index.
@@ -127,7 +131,7 @@ class QueryEngine:
 
     def __init__(self, sketches: Sequence[Any], cache_size: int = 65536,
                  num_shards: int = 1, use_index: Optional[bool] = None,
-                 jobs: int = 1, memory: str = "heap", *,
+                 jobs: int = 1, memory: str = "heap", pool: str = "proc", *,
                  _deprecation: bool = True):
         if _deprecation:
             _warn_deprecated("QueryEngine(sketches=...)")
@@ -149,12 +153,12 @@ class QueryEngine:
         if use_index is not False and indexable:
             index = build_index(self.sketches, num_shards=num_shards)
         self._init_serving(index, cache_size=cache_size, jobs=jobs,
-                           memory=memory)
+                           memory=memory, pool=pool)
 
     @classmethod
     def from_index(cls, index: IndexStore, cache_size: int = 65536,
-                   jobs: int = 1, memory: str = "heap", *,
-                   _deprecation: bool = True) -> "QueryEngine":
+                   jobs: int = 1, memory: str = "heap", pool: str = "proc",
+                   *, _deprecation: bool = True) -> "QueryEngine":
         """Serve a pre-built store directly (no sketch set needed — e.g.
         an index loaded from a binary container, possibly mmap-backed).
 
@@ -168,25 +172,27 @@ class QueryEngine:
         self.sketches = None
         self.n = index.n
         self._init_serving(index, cache_size=cache_size, jobs=jobs,
-                           memory=memory)
+                           memory=memory, pool=pool)
         return self
 
     @classmethod
     def from_updateable(cls, updateable, cache_size: int = 65536,
-                        jobs: int = 1, memory: str = "heap", *,
+                        jobs: int = 1, memory: str = "heap",
+                        pool: str = "proc", *,
                         _deprecation: bool = True) -> "QueryEngine":
         """Serve a live :class:`~repro.service.updates.UpdateableIndex`,
         enabling :meth:`apply_updates` epoch hot-swaps."""
         if _deprecation:
             _warn_deprecated("QueryEngine.from_updateable")
         self = cls.from_index(updateable.index, cache_size=cache_size,
-                              jobs=jobs, memory=memory, _deprecation=False)
+                              jobs=jobs, memory=memory, pool=pool,
+                              _deprecation=False)
         self._updateable = updateable
         self.epoch = updateable.epoch  # share one epoch clock
         return self
 
     def _init_serving(self, index: Optional[IndexStore], cache_size: int,
-                      jobs: int, memory: str) -> None:
+                      jobs: int, memory: str, pool: str = "proc") -> None:
         if cache_size < 0:
             raise ConfigError(f"cache_size must be >= 0, got {cache_size}")
         if jobs < 1:
@@ -195,6 +201,7 @@ class QueryEngine:
         self.jobs = int(jobs)
         self._jobs_requested = int(jobs)
         self.memory = memory
+        self.pool = pool
         self.index = index
         self._server: Optional[ShardServer] = None
         # epoch bookkeeping: dist_many snapshots (epoch, server) under
@@ -206,7 +213,8 @@ class QueryEngine:
         self._retired: dict[int, ShardServer] = {}
         self._updateable = None
         if index is not None:
-            self._server = ShardServer(index, jobs=self.jobs, memory=memory)
+            self._server = ShardServer(index, jobs=self.jobs, memory=memory,
+                                       pool=pool)
             # the server may rebuild the store over a packed backing —
             # serve (and expose) that store, and reflect the clamped
             # worker count (a shard is the unit of work)
@@ -446,7 +454,7 @@ class QueryEngine:
             return report
         new_server = ShardServer(self._updateable.index,
                                  jobs=self._jobs_requested,
-                                 memory=self.memory)
+                                 memory=self.memory, pool=self.pool)
         with self._lock:
             old_epoch, old_server = self.epoch, self._server
             self._server = new_server

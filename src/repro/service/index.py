@@ -188,6 +188,10 @@ class _BaseIndex:
     def estimate_many(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
         """Batched estimates, bit-identical to the single-pair query."""
         state, requests = self.plan(us, vs)
+        if self.num_shards == 1:
+            # trivial layout: one shard owns everything — go straight to
+            # the kernel and skip the enumerate/scatter round-trip
+            return self.finish(state, [self.shard_answer(0, requests[0])])
         responses = [self.shard_answer(s, r) for s, r in enumerate(requests)]
         return self.finish(state, responses)
 
@@ -483,6 +487,13 @@ class TZIndex(_BaseIndex):
         """Validate the batch, gather pivots and the dense-top hits, and
         split the sub-top membership probes into per-shard key requests."""
         us, vs = _validated_pairs(us, vs, self.n)
+        return self._plan_checked(us, vs)
+
+    def _plan_checked(self, us: np.ndarray, vs: np.ndarray,
+                      ) -> tuple[_TZPlan, list]:
+        """:meth:`plan` minus the batch validation — wrapping stores
+        (CDG, graceful) route already-validated compact-universe ids
+        here so a batch is checked once, not once per layer."""
         q, k, n = us.shape[0], self.k, self.n
 
         pu = self.pivot_ids[us]      # (q, k)
@@ -828,6 +839,18 @@ class Stretch3Index(_BaseIndex):
                 for cols in self._shard_cols]
 
     # ------------------------------------------------------------------
+    def estimate_many(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """Batched estimates via the direct columnar kernel — two row
+        gathers, one add, one row-wise min over the full table (an IEEE
+        min is order-independent, so this is bit-identical to the
+        shard-partial decomposition for any shard count)."""
+        us, vs = _validated_pairs(us, vs, self.n)
+        if self.net_ids.size:
+            best = (self.dist[us] + self.dist[vs]).min(axis=1)
+        else:
+            best = np.full(us.size, np.inf, dtype=np.float64)
+        return self._combine(us, vs, best)
+
     def plan(self, us: np.ndarray, vs: np.ndarray) -> tuple[Any, list]:
         """Validate the batch; every shard receives the full pair list
         (each owns a disjoint column block of the min)."""
@@ -841,6 +864,10 @@ class Stretch3Index(_BaseIndex):
         cols = self._shard_cols[shard]
         if cols.size == 0:
             return np.full(us.size, np.inf, dtype=np.float64)
+        if cols.size == self.net_ids.size:
+            # the shard owns every column (single-shard layout): plain
+            # row gathers beat the 2-d fancy gather
+            return (self.dist[us] + self.dist[vs]).min(axis=1)
         through = (self.dist[us[:, None], cols[None, :]]
                    + self.dist[vs[:, None], cols[None, :]])
         return through.min(axis=1)
@@ -853,6 +880,12 @@ class Stretch3Index(_BaseIndex):
         best = responses[0]
         for part in responses[1:]:
             best = np.minimum(best, part)
+        return self._combine(us, vs, best)
+
+    def _combine(self, us: np.ndarray, vs: np.ndarray,
+                 best: np.ndarray) -> np.ndarray:
+        """Shared tail of the kernel and the shard combine: zero the
+        diagonal, raise on pairs with no shared net node."""
         est = np.where(us == vs, 0.0, best)
         bad = (us != vs) & ~np.isfinite(best)
         if bad.any():
@@ -1041,8 +1074,16 @@ class CDGIndex(_BaseIndex):
     def plan(self, us: np.ndarray, vs: np.ndarray) -> tuple[Any, list]:
         """Validate the batch and plan the gateway-label TZ sub-batch."""
         us, vs = _validated_pairs(us, vs, self.n)
-        sub_state, requests = self._sub.plan(self._gw_slot[us],
-                                             self._gw_slot[vs])
+        return self._plan_checked(us, vs)
+
+    def _plan_checked(self, us: np.ndarray, vs: np.ndarray,
+                      ) -> tuple[Any, list]:
+        """:meth:`plan` minus the batch validation.  The gateway slots
+        gathered from ``_gw_slot`` are valid sub-universe ids by
+        construction, so the TZ sub-plan skips its own check too —
+        one validation per batch, however deep the store nests."""
+        sub_state, requests = self._sub._plan_checked(self._gw_slot[us],
+                                                      self._gw_slot[vs])
         return (us, vs, sub_state), requests
 
     def shard_answer(self, shard: int, request: Any) -> Any:
@@ -1183,7 +1224,8 @@ class GracefulIndex(_BaseIndex):
         us, vs = _validated_pairs(us, vs, self.n)
         states, per_comp = [], []
         for comp in self.components:
-            st, reqs = comp.plan(us, vs)
+            # validated once above — components share this store's id space
+            st, reqs = comp._plan_checked(us, vs)
             states.append(st)
             per_comp.append(reqs)
         requests = [tuple(per_comp[i][s] for i in range(len(self.components)))

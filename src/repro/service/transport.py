@@ -106,7 +106,7 @@ DEFAULT_PIPELINE_DEPTH = 4
 #: options each local transport accepts in its endpoint spec
 _ENDPOINT_OPTIONS = {
     "inproc": ("memory", "shards", "cache"),
-    "proc": ("jobs", "memory", "shards", "cache"),
+    "proc": ("jobs", "memory", "pool", "shards", "cache"),
 }
 
 _FRAME_PREFIX = struct.Struct("<II")
@@ -150,8 +150,11 @@ def parse_endpoint(spec: str) -> Endpoint:
         option  := key "=" value
 
     ``inproc`` accepts ``memory`` / ``shards`` / ``cache``; ``proc``
-    additionally ``jobs``.  Integer-valued options are validated here,
-    so a typo fails at :func:`connect` time, not mid-serve.
+    additionally ``jobs`` and ``pool`` (``proc`` | ``thread`` — the
+    shard execution plane; ``proc://jobs=4;pool=thread`` is a worker
+    *pool* session whose shards run on GIL-releasing threads).
+    Integer-valued options are validated here, so a typo fails at
+    :func:`connect` time, not mid-serve.
 
     :raises ConfigError: on an unknown transport, malformed address, or
         unknown/malformed option.
@@ -193,6 +196,13 @@ def parse_endpoint(spec: str) -> Endpoint:
                 raise ConfigError(
                     f"endpoint option {key}={value!r} is not an "
                     f"integer") from None
+        elif key == "pool":
+            from repro.service.workers import POOL_MODES
+            if value not in POOL_MODES:
+                raise ConfigError(
+                    f"endpoint option pool={value!r} is not one of "
+                    f"{POOL_MODES}")
+            options[key] = value
         else:
             options[key] = value
     return Endpoint(transport, options=options)
@@ -299,11 +309,14 @@ class OracleServer:
         * an :class:`~repro.service.updates.UpdateableIndex`: serves the
           live epoch and enables :meth:`apply_updates` hot swaps.
 
-    :param jobs: worker processes behind the landmark shards (``1`` =
+    :param jobs: workers behind the landmark shards (``1`` =
         in-process) — exactly
         :class:`~repro.service.workers.ShardServer`'s knob.
     :param memory: the data plane (``"heap"`` / ``"shared"`` /
         ``"mmap"``).
+    :param pool: the shard execution plane for ``jobs > 1`` —
+        ``"proc"`` (worker processes) or ``"thread"`` (a GIL-releasing
+        thread pool sharing the server's address space).
     :param num_shards: landmark shard count when building from
         sketches; must match (or be omitted for) a pre-built source.
     :param cache_size: LRU result-cache capacity of the hosted engine.
@@ -318,7 +331,8 @@ class OracleServer:
     """
 
     def __init__(self, source: Any, *, jobs: int = 1, memory: str = "heap",
-                 num_shards: Optional[int] = None, cache_size: int = 65536):
+                 pool: str = "proc", num_shards: Optional[int] = None,
+                 cache_size: int = 65536):
         self._listener: Optional[socket.socket] = None
         self._io_thread: Optional[threading.Thread] = None
         self._selector: Optional[selectors.BaseSelector] = None
@@ -354,16 +368,16 @@ class OracleServer:
         if kind == "updateable":
             self._engine = QueryEngine.from_updateable(
                 payload, cache_size=cache_size, jobs=jobs, memory=memory,
-                _deprecation=False)
+                pool=pool, _deprecation=False)
         elif kind == "index":
             self._engine = QueryEngine.from_index(
                 payload, cache_size=cache_size, jobs=jobs, memory=memory,
-                _deprecation=False)
+                pool=pool, _deprecation=False)
         else:
             self._engine = QueryEngine(
                 payload, cache_size=cache_size,
                 num_shards=num_shards or max(int(jobs), 1),
-                jobs=jobs, memory=memory, _deprecation=False)
+                jobs=jobs, memory=memory, pool=pool, _deprecation=False)
         if (kind in ("updateable", "index") and num_shards is not None
                 and self._engine.index is not None
                 and num_shards != self._engine.index.num_shards):
@@ -402,14 +416,14 @@ class OracleServer:
 
     @classmethod
     def local(cls, source: Any, *, jobs: int = 1, memory: str = "heap",
-              num_shards: Optional[int] = None,
+              pool: str = "proc", num_shards: Optional[int] = None,
               cache_size: int = 65536) -> "OracleServer":
         """A server wrapping today's in-process/pooled
         :class:`~repro.service.workers.ShardServer` — the host behind
         ``inproc://`` (``jobs=1``) and ``proc://`` endpoints.  Identical
         to the constructor; the name states the topology."""
-        return cls(source, jobs=jobs, memory=memory, num_shards=num_shards,
-                   cache_size=cache_size)
+        return cls(source, jobs=jobs, memory=memory, pool=pool,
+                   num_shards=num_shards, cache_size=cache_size)
 
     # ------------------------------------------------------------------
     @property
@@ -472,6 +486,7 @@ class OracleServer:
             "shards": self.num_shards,
             "jobs": engine.jobs,
             "memory": engine.memory,
+            "pool": engine.pool,
             "cache_size": engine.cache_size,
             "cache": {"hits": cache.hits, "misses": cache.misses,
                       "evictions": cache.evictions},
@@ -1544,6 +1559,10 @@ def connect(spec: str, source: Any = None, *,
     * ``connect("proc://jobs=4;memory=shared", source)`` — a local
       worker pool behind the landmark shards (``jobs`` defaults to the
       CPU count, ``memory`` to ``shared``, ``shards`` to ``jobs``);
+      ``pool=thread`` runs the shards on a GIL-releasing thread pool
+      instead of worker processes — no pickling, no rings, no segment
+      attach (``memory`` then defaults to ``heap``: nothing needs to
+      move);
     * ``connect("tcp://host:port")`` — a remote
       :class:`OracleServer`; no ``source`` (the server owns the index).
 
@@ -1588,6 +1607,7 @@ def connect(spec: str, source: Any = None, *,
     # defaults sketch sources to one shard per worker and leaves
     # pre-built sources on their baked layout
     shards = options.get("shards")
+    pool = "proc"
     if endpoint.transport == "inproc":
         jobs = 1
         memory = options.get("memory", "heap")
@@ -1599,9 +1619,13 @@ def connect(spec: str, source: Any = None, *,
             jobs = default_jobs()
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
-        memory = options.get("memory", "shared")
+        pool = options.get("pool", "proc")
+        # process workers want the zero-copy plane; the thread plane
+        # shares the address space, so nothing needs to move
+        memory = options.get("memory",
+                             "shared" if pool == "proc" else "heap")
     cache = cache_size if cache_size is not None \
         else options.get("cache", 65536)
-    server = OracleServer.local(source, jobs=jobs, memory=memory,
+    server = OracleServer.local(source, jobs=jobs, memory=memory, pool=pool,
                                 num_shards=shards, cache_size=cache)
     return server.client(endpoint=endpoint.describe(), owns_server=True)

@@ -16,6 +16,21 @@ The pool is created once and reused for every batch; ``jobs=1`` runs the
 identical plan/probe/finish path in-process — no pool, no pickling — so
 the decomposition itself is exercised even in single-process tests.
 
+**Execution plane.**  ``pool=`` selects what executes the per-shard
+probes when ``jobs > 1``:
+
+* ``"proc"`` (default) — the persistent ``multiprocessing`` pool above.
+  Workers are separate address spaces, so index data and per-batch
+  messages must move (the memory plane below decides how).
+* ``"thread"`` — a ``concurrent.futures.ThreadPoolExecutor`` sharing
+  this process's address space.  ``shard_answer`` is numpy-kernel work
+  that releases the GIL, so threads overlap for real — and because the
+  executor sees the master's own index object there is **no pickling,
+  no ring buffers, no segment attach**: dispatch cost is a function
+  submission.  The ``memory=`` axis stays orthogonal (a non-heap mode
+  still rebuilds the store over the packed backing, so the same bytes
+  are served), but message rings are never allocated.
+
 **Memory plane.**  ``memory=`` selects how index data and per-batch
 messages move (see ``docs/architecture.md`` for the layout diagram):
 
@@ -73,6 +88,7 @@ import os
 import tempfile
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Iterable, Optional
 
@@ -87,6 +103,12 @@ from repro.service.index import (IndexStore, index_from_handle,
                                  parse_pair_array)
 
 MEMORY_MODES = ("heap", "shared", "mmap")
+POOL_MODES = ("proc", "thread")
+
+#: thread-plane executor threads carry this name prefix so tests (and
+#: operators reading a stack dump) can tell them from handler threads —
+#: and assert none outlive their server
+THREAD_POOL_PREFIX = "repro-shard"
 
 #: floor for ring slot capacities — avoids reallocation churn on the
 #: first few small batches
@@ -171,6 +193,14 @@ class PhaseTimings:
     (:meth:`ShardServer.estimate_stream`): master-side seconds — batch
     *k+1*'s plan and request encode — spent while batch *k*'s shard
     probes were still in flight.  Sequential serving leaves it 0.
+
+    ``kernel`` is the per-batch **critical path** of pure shard-kernel
+    compute: the slowest shard's probe seconds, summed over batches.
+    ``shard_answer`` is the *total* across shards, so with S balanced
+    shards ``shard_answer ≈ S × kernel``; the dispatch wall window is
+    ``kernel + ipc``.  One report therefore separates "the numpy
+    kernels are slow" (``kernel`` dominates) from "moving the work
+    costs more than the work" (``ipc`` dominates).
     """
 
     plan: float = 0.0
@@ -178,6 +208,7 @@ class PhaseTimings:
     finish: float = 0.0
     ipc: float = 0.0
     overlap: float = 0.0
+    kernel: float = 0.0
     batches: int = 0
 
     def as_dict(self) -> dict:
@@ -186,6 +217,7 @@ class PhaseTimings:
                 "finish_seconds": self.finish,
                 "ipc_seconds": self.ipc,
                 "overlap_seconds": self.overlap,
+                "kernel_seconds": self.kernel,
                 "batches": self.batches}
 
 
@@ -194,7 +226,7 @@ class ShardServer:
     landmark shard, fanned across a persistent worker pool.
 
     :param index: any built index store (all schemes).
-    :param jobs: worker processes.  ``1`` keeps everything in-process
+    :param jobs: workers.  ``1`` keeps everything in-process
         (same decomposition, no pool); values above the shard count are
         clamped — a shard is the unit of work, so extra workers would
         idle.
@@ -204,8 +236,13 @@ class ShardServer:
         ``jobs=1`` a non-heap mode still rebuilds the store over the
         packed backing, so single-process serving exercises the same
         bytes a worker would read.
+    :param pool: execution plane for ``jobs > 1`` — ``"proc"`` (worker
+        processes; the memory plane moves data) or ``"thread"`` (a
+        ``ThreadPoolExecutor`` in this address space; the numpy shard
+        kernels release the GIL, and nothing is pickled or attached).
     :param ring_slots: slots per message ring (rotated batch by batch).
-    :raises ConfigError: when ``jobs < 1`` or ``memory`` is unknown.
+    :raises ConfigError: when ``jobs < 1``, or ``memory`` / ``pool``
+        is unknown.
 
     Use as a context manager (or call :meth:`close`) so the pool and any
     shared segments do not outlive the server::
@@ -216,13 +253,15 @@ class ShardServer:
     """
 
     def __init__(self, index: IndexStore, jobs: int = 1,
-                 memory: str = "heap", ring_slots: int = 2):
+                 memory: str = "heap", pool: str = "proc",
+                 ring_slots: int = 2):
         # every attribute close() releases exists before anything that
         # can raise: a failed construction (bad argument, failed pack or
         # pool spawn) still reaches __del__, and the GC backstop must
         # release whatever was allocated instead of tripping over a
         # missing attribute and silently leaking the pack segment
         self._pool = None
+        self._executor: Optional[ThreadPoolExecutor] = None
         self._req_ring: Optional[SharedArea] = None
         self._resp_ring: Optional[SharedArea] = None
         self._packed = None
@@ -243,9 +282,13 @@ class ShardServer:
         if memory not in MEMORY_MODES:
             raise ConfigError(f"unknown memory mode {memory!r}; "
                               f"choose from {MEMORY_MODES}")
+        if pool not in POOL_MODES:
+            raise ConfigError(f"unknown pool mode {pool!r}; "
+                              f"choose from {POOL_MODES}")
         if ring_slots < 1:
             raise ConfigError(f"ring_slots must be >= 1, got {ring_slots}")
         self.memory = memory
+        self.pool = pool
         self.jobs = min(int(jobs), index.num_shards)
         self.ring_slots = int(ring_slots)
 
@@ -273,12 +316,19 @@ class ShardServer:
                 self.index = index_from_pack(self._packed)
 
         if self.jobs > 1:
-            ctx = multiprocessing.get_context()
-            if memory == "heap":
+            if pool == "thread":
+                # same address space: the executor probes the master's
+                # own index object — no initializer, no data movement
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.jobs,
+                    thread_name_prefix=THREAD_POOL_PREFIX)
+            elif memory == "heap":
+                ctx = multiprocessing.get_context()
                 self._pool = ctx.Pool(processes=self.jobs,
                                       initializer=_install_index,
                                       initargs=(self.index,))
             else:
+                ctx = multiprocessing.get_context()
                 self._pool = ctx.Pool(processes=self.jobs,
                                       initializer=_attach_index,
                                       initargs=(self._packed.handle(),))
@@ -286,12 +336,19 @@ class ShardServer:
     @property
     def ring_dispatch(self) -> bool:
         """True when dispatch rotates through shared message rings
-        (``jobs > 1`` with a shared/mmap plane).  Ring slots are
+        (a ``proc`` pool with a shared/mmap plane).  Ring slots are
         single-producer state (``_inflight`` / ``_tick``), so this mode
         is **not re-entrant** — callers fanning queries across threads
-        must serialize it.  Heap-pool and in-process dispatch are
-        re-entrant."""
+        must serialize it.  Heap-pool, thread-plane, and in-process
+        dispatch are re-entrant (the thread plane never allocates
+        rings, whatever the memory mode)."""
         return self._pool is not None and self.memory != "heap"
+
+    @property
+    def _fanout(self) -> bool:
+        """True when shard probes actually leave the calling thread
+        (either executor) — what the ipc/overlap accounting keys on."""
+        return self._pool is not None or self._executor is not None
 
     # ------------------------------------------------------------------
     # ring management (master side)
@@ -318,13 +375,24 @@ class ShardServer:
     # ------------------------------------------------------------------
     # dispatch: submit (start the probes) / collect (gather responses)
     # ------------------------------------------------------------------
+    def _thread_shard(self, shard: int, request) -> tuple[float, Any]:
+        """Thread-plane task: probe the master's own index — the numpy
+        kernel inside releases the GIL, so submissions overlap."""
+        t0 = time.perf_counter()
+        response = self.index.shard_answer(shard, request)
+        return time.perf_counter() - t0, response
+
     def _submit(self, requests: list) -> tuple:
         """Start the per-shard probes; returns an opaque handle for
         :meth:`_collect`.  In-process servers defer the actual compute to
         collect time (there is nothing to overlap with)."""
-        if self._pool is None:
+        if self._executor is not None:
+            handle = ("threads", [
+                self._executor.submit(self._thread_shard, s, request)
+                for s, request in enumerate(requests)])
+        elif self._pool is None:
             return ("sync", requests)
-        if self.memory == "heap":
+        elif self.memory == "heap":
             handle = ("heap", self._pool.map_async(
                 _serve_shard, list(enumerate(requests))))
         else:
@@ -399,6 +467,10 @@ class ShardServer:
             return responses, total, total
         with self._state_lock:
             self._inflight -= 1
+        if kind == "threads":
+            raw = [future.result() for future in handle[1]]
+            seconds = [dt for dt, _ in raw]
+            return [resp for _, resp in raw], sum(seconds), max(seconds)
         if kind == "heap":
             raw = handle[1].get()
             seconds = [dt for dt, _ in raw]
@@ -447,7 +519,8 @@ class ShardServer:
                 tm.plan += t1 - t0
                 tm.shard_answer += shard_sum
                 tm.finish += t3 - t2
-                if self._pool is not None:
+                tm.kernel += shard_max
+                if self._fanout:
                     tm.ipc += max(0.0, (t2 - t1) - shard_max)
                 tm.batches += 1
         return answers
@@ -495,7 +568,7 @@ class ShardServer:
                     self.timings.plan += t1 - t0
                 prev, pending = pending, (state, handle, t2)
                 if prev is not None:
-                    if self._pool is not None:
+                    if self._fanout:
                         # this batch's plan+encode ran while the previous
                         # batch's probes were in flight: the overlap window
                         # (in-process "submit" defers the compute, so
@@ -532,7 +605,8 @@ class ShardServer:
             with self._state_lock:
                 tm.shard_answer += shard_sum
                 tm.finish += t2 - t1
-                if self._pool is not None:
+                tm.kernel += shard_max
+                if self._fanout:
                     tm.ipc += max(0.0, (t1 - t_submitted) - shard_max)
                 tm.batches += 1
         return answers
@@ -561,7 +635,8 @@ class ShardServer:
         epoch's workers serve from a *different* shared segment and the
         old epoch's segments are unlinked once its batches drain.
         """
-        info: dict = {"memory": self.memory, "jobs": self.jobs}
+        info: dict = {"memory": self.memory, "jobs": self.jobs,
+                      "pool": self.pool}
         if self._packed is not None:
             pack = self._packed.pack
             info["pack_backing"] = pack.backing
@@ -589,6 +664,10 @@ class ShardServer:
             pool.terminate()
             pool.join()
             self._pool = None
+        executor = getattr(self, "_executor", None)
+        if executor is not None:
+            executor.shutdown(wait=True)
+            self._executor = None
         for name in ("_req_ring", "_resp_ring"):
             ring = getattr(self, name, None)
             if ring is not None:
@@ -612,6 +691,10 @@ class ShardServer:
             pass
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        mode = (f"{self.jobs} workers" if self._pool is not None
-                else "in-process")
+        if self._executor is not None:
+            mode = f"{self.jobs} threads"
+        elif self._pool is not None:
+            mode = f"{self.jobs} workers"
+        else:
+            mode = "in-process"
         return f"ShardServer({self.index!r}, {mode}, memory={self.memory})"

@@ -73,11 +73,9 @@ def cdg_sampling_probability(n: int, eps: float, k: int) -> float:
 
 def _assemble(eps: float, k: int, gateways: list[tuple[float, int]],
               net_labels: dict[int, TZSketch]) -> list[CDGSketch]:
-    out = []
-    for u, (gd, gw) in enumerate(gateways):
-        out.append(CDGSketch(node=u, eps=eps, k=k, gateway=gw,
-                             gateway_dist=gd, label=net_labels[gw]))
-    return out
+    return [CDGSketch(node=u, eps=eps, k=k, gateway=gw,
+                      gateway_dist=gd, label=net_labels[gw])
+            for u, (gd, gw) in enumerate(gateways)]
 
 
 def _net_hierarchy(graph: Graph, net: DensityNet, eps: float, k: int,

@@ -55,7 +55,7 @@ class TestMechanics:
                     ctx.send(1, ("seq", self.to_send.pop(0)))
 
             def on_round(self, ctx, inbox):
-                for _, payload in inbox.items():
+                for payload in inbox.values():
                     if payload[0] == "seq" and self.node == 1:
                         self.seen.append(payload[1])
                 self._pump(ctx)

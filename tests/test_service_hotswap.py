@@ -101,6 +101,59 @@ def test_batch_mid_update_sees_exactly_one_epoch(updateable, jobs):
         engine.close()
 
 
+def test_thread_plane_stream_mid_update_sees_exactly_one_epoch(updateable):
+    """``pool="thread"`` epoch swaps are torn-read-free: a concurrent
+    ``dist_stream`` is wholly served by the epoch it pinned at first
+    pull, and retiring an epoch shuts its executor down (no leaked
+    ``repro-shard`` threads)."""
+    from repro.service.workers import THREAD_POOL_PREFIX
+
+    g = updateable.graph.copy()
+    pairs = sample_query_pairs(g.n, 400, seed=3)
+    twin = UpdateableIndex(g, scheme="tz", seed=5, k=2, num_shards=4,
+                           rebuild_threshold=1.0)
+    refs, batches = _epoch_references(twin, pairs)
+    ref_bytes = {r.tobytes() for r in refs}
+    assert len(ref_bytes) == EPOCHS + 1
+
+    engine = QueryEngine.from_updateable(updateable, cache_size=0,
+                                         jobs=4, pool="thread")
+    chunks = [pairs[lo:lo + 100] for lo in range(0, 400, 100)]
+    results: list[bytes] = []
+    stop = threading.Event()
+    failures: list[Exception] = []
+
+    def hammer():
+        try:
+            while not stop.is_set():
+                out = np.concatenate(list(engine.dist_stream(chunks)))
+                results.append(out.tobytes())
+        except Exception as exc:  # pragma: no cover - surfaced below
+            failures.append(exc)
+
+    try:
+        thread = threading.Thread(target=hammer)
+        thread.start()
+        for changes in batches:
+            report = engine.apply_updates(changes)
+            assert report.mode in ("repair", "rebuild")
+        stop.set()
+        thread.join()
+        assert not failures, failures[0]
+        assert results, "hammer thread never completed a stream"
+        for got in results:
+            assert got in ref_bytes  # one epoch wholesale, never torn
+        assert engine.epoch == EPOCHS
+        assert engine.dist_many(pairs).tobytes() == refs[-1].tobytes()
+        assert not engine._retired  # old epochs (and executors) drained
+    finally:
+        stop.set()
+        engine.close()
+    leaked = [t.name for t in threading.enumerate()
+              if t.name.startswith(THREAD_POOL_PREFIX)]
+    assert leaked == []
+
+
 def test_epoch_swap_invalidates_cache(updateable):
     engine = QueryEngine.from_updateable(updateable, cache_size=1024)
     try:

@@ -50,8 +50,24 @@ SCHEME_PARAMS = {
     "graceful": {},
 }
 
-#: the three topologies every scheme must serve identically
-TRANSPORT_SPECS = ("inproc://", "proc://jobs=2;memory=shared", "tcp")
+#: the four topologies every scheme must serve identically — in-process,
+#: the GIL-releasing thread plane, the process pool, and tcp-loopback
+TRANSPORT_SPECS = ("inproc://", "proc://jobs=2;pool=thread",
+                   "proc://jobs=2;memory=shared", "tcp")
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_shard_threads():
+    """Every test in this module must tear its sessions down without
+    leaking a shard-executor thread."""
+    yield
+    import threading
+
+    from repro.service.workers import THREAD_POOL_PREFIX
+
+    leaked = [t.name for t in threading.enumerate()
+              if t.name.startswith(THREAD_POOL_PREFIX)]
+    assert leaked == []
 
 
 @pytest.fixture(scope="module")
@@ -99,6 +115,11 @@ class TestEndpointGrammar:
         assert ep.options == {"jobs": 4, "memory": "shared", "shards": 8,
                               "cache": 0}
 
+    def test_proc_pool_option(self):
+        ep = parse_endpoint("proc://jobs=2;pool=thread")
+        assert ep.options == {"jobs": 2, "pool": "thread"}
+        assert parse_endpoint("proc://pool=proc").options == {"pool": "proc"}
+
     def test_tcp_host_port(self):
         ep = parse_endpoint("tcp://serving-box:7111")
         assert (ep.transport, ep.host, ep.port) == ("tcp", "serving-box",
@@ -115,6 +136,8 @@ class TestEndpointGrammar:
         "proc://jobs=abc",             # non-integer int option
         "proc://bogus=1",              # unknown option
         "inproc://jobs=2",             # jobs is proc-only
+        "proc://pool=fiber",           # unknown pool mode
+        "inproc://pool=thread",        # pool is proc-only
     ])
     def test_bad_specs_fail_loudly(self, bad):
         with pytest.raises(ConfigError):
@@ -193,6 +216,14 @@ class TestTransportEquivalence:
                     client.dist_many(np.array([[0, 2]]))
                 # the session survives the error and keeps answering
                 assert client.dist_many(ok).tolist() == want, spec
+
+    def test_stats_report_the_execution_plane(self, builds):
+        with session("proc://jobs=2;pool=thread", builds["tz"]) as client:
+            stats = client.stats()
+            assert stats["pool"] == "thread"
+            assert stats["memory"] == "heap"  # thread default: nothing moves
+        with session("proc://jobs=2;memory=shared", builds["tz"]) as client:
+            assert client.stats()["pool"] == "proc"
 
     def test_static_session_rejects_updates(self, builds):
         from repro.service import EdgeChange

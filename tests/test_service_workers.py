@@ -73,6 +73,92 @@ class TestShardServerIdentity:
                 srv.dist_many(np.arange(6))
 
 
+class TestThreadPlane:
+    """The ``pool="thread"`` execution plane: a GIL-releasing
+    ThreadPoolExecutor sharing the master's address space — no pickling,
+    no rings, no attach — with byte-identical answers."""
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("memory", ["heap", "shared"])
+    def test_thread_jobs_match_inline(self, built_sets, scheme, memory):
+        sketches = built_sets[scheme]
+        index = build_index(sketches, num_shards=4)
+        pairs = sample_query_pairs(len(sketches), 300, seed=17)
+        us, vs = pairs[:, 0], pairs[:, 1]
+        want = index.estimate_many(us, vs)
+        with ShardServer(index, jobs=4, memory=memory,
+                         pool="thread") as srv:
+            got = srv.estimate_many(us, vs)
+            again = srv.estimate_many(us, vs)  # executor is reusable
+        assert got.tolist() == want.tolist()  # exact, not approx
+        assert again.tolist() == want.tolist()
+
+    def test_thread_plane_has_no_pool_and_no_rings(self, built_sets):
+        index = build_index(built_sets["tz"], num_shards=4)
+        with ShardServer(index, jobs=4, pool="thread") as srv:
+            assert srv._pool is None and srv._executor is not None
+            assert not srv.ring_dispatch  # re-entrant: no serializing
+            plane = srv.data_plane()
+            assert plane["pool"] == "thread"
+            srv.estimate_many(np.array([0, 1]), np.array([1, 0]))
+            assert srv._req_ring is None  # never allocated
+            assert srv._resp_ring is None
+
+    def test_close_shuts_the_executor_down(self, built_sets):
+        import threading
+
+        from repro.service.workers import THREAD_POOL_PREFIX
+
+        index = build_index(built_sets["tz"], num_shards=2)
+        srv = ShardServer(index, jobs=2, pool="thread")
+        srv.estimate_many(np.array([0]), np.array([1]))
+        srv.close()
+        srv.close()  # idempotent
+        leaked = [t.name for t in threading.enumerate()
+                  if t.name.startswith(THREAD_POOL_PREFIX)]
+        assert leaked == []
+
+    def test_rejects_unknown_pool(self, built_sets):
+        index = build_index(built_sets["tz"], num_shards=2)
+        with pytest.raises(ConfigError, match="pool"):
+            ShardServer(index, jobs=2, pool="fiber")
+
+    def test_kernel_timing_accumulates(self, built_sets):
+        index = build_index(built_sets["stretch3"], num_shards=4)
+        pairs = sample_query_pairs(index.n, 400, seed=23)
+        with ShardServer(index, jobs=4, pool="thread") as srv:
+            srv.estimate_many(pairs[:, 0], pairs[:, 1])
+            tm = srv.timings
+            assert tm.kernel > 0.0
+            # the critical path is never longer than the shard total
+            assert tm.kernel <= tm.shard_answer + 1e-12
+            assert "kernel_seconds" in tm.as_dict()
+
+    def test_stream_overlaps_on_the_thread_plane(self, built_sets):
+        index = build_index(built_sets["cdg"], num_shards=4)
+        pairs = sample_query_pairs(index.n, 600, seed=29)
+        batches = [(pairs[lo:lo + 150, 0], pairs[lo:lo + 150, 1])
+                   for lo in range(0, 600, 150)]
+        with ShardServer(index, jobs=4, pool="thread") as srv:
+            want = [srv.estimate_many(us, vs).tolist()
+                    for us, vs in batches]
+            srv.reset_timings()
+            got = [out.tolist() for out in srv.estimate_stream(batches)]
+            assert srv.timings.overlap > 0.0
+        assert got == want
+
+    def test_query_error_propagates_through_threads(self):
+        from repro.graphs import Graph
+
+        g = Graph(5, [(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0), (2, 4, 2.0)])
+        sketches, _ = build_tz_sketches_centralized(g, k=2, seed=1)
+        index = build_index(sketches, num_shards=2)
+        with ShardServer(index, jobs=2, pool="thread") as srv:
+            assert srv.estimate_many(np.array([2]), np.array([4])).size == 1
+            with pytest.raises(QueryError):
+                srv.estimate_many(np.array([0]), np.array([2]))
+
+
 class TestShardServerLifecycle:
     def test_jobs_clamped_to_shard_count(self, built_sets):
         index = build_index(built_sets["tz"], num_shards=2)
