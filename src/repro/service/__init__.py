@@ -42,6 +42,12 @@ The front door is :func:`~repro.service.transport.connect`::
   dataflow); ``memory="shared"`` attaches process workers to the pack
   zero-copy and moves requests/responses through preallocated shared
   ring buffers instead of pickles,
+* :mod:`repro.service.cluster` — the fleet subsystem:
+  :class:`ClusterClient` scatters shard probes across N shard-range
+  ``OracleServer`` hosts (``cluster://h1:p1,h2:p2`` endpoints) and
+  combines the partials client-side, bit-identical to one full host;
+  :func:`build_distributed` scatters construction the same way and
+  gathers per-range RPIX blobs,
 * :mod:`repro.service.updates` — the dynamic-update subsystem:
   :class:`UpdateableIndex` applies edge-change streams by repairing
   only the dirty frontier (bit-identical to a from-scratch rebuild,
@@ -65,13 +71,18 @@ map and ``docs/serving.md`` for the operator's guide.
 from repro.service.bench import (run_connect_benchmark, run_load_benchmark,
                                  run_serve_benchmark, sample_query_pairs)
 from repro.service.buffers import BufferPack, PackedIndex, PackHandle
+from repro.service.cluster import (ClusterClient, ClusterSpec,
+                                   apply_updates_distributed,
+                                   build_distributed, build_shard_range,
+                                   even_ranges, loopback_fleet,
+                                   run_cluster_benchmark)
 from repro.service.engine import CacheStats, QueryEngine
 from repro.service.index import (CDGIndex, GracefulIndex, IndexStore,
                                  Stretch3Index, TZIndex, build_index,
                                  index_class_for, index_from_handle,
                                  index_from_pack, index_to_pack,
-                                 refresh_index, scheme_name_of,
-                                 scheme_name_of_index)
+                                 refresh_index, restrict_index_shards,
+                                 scheme_name_of, scheme_name_of_index)
 from repro.service.parallel import build_tz_sketches_parallel, default_jobs
 from repro.service.scenario import (SCENARIOS, ChurnEvent, QueryEvent,
                                     ScenarioOracle, ScenarioResult, Trace,
@@ -95,6 +106,8 @@ __all__ = [
     "AdaptiveCostPolicy",
     "BufferPack",
     "ChurnEvent",
+    "ClusterClient",
+    "ClusterSpec",
     "Endpoint",
     "EpochStaleness",
     "OracleClient",
@@ -135,16 +148,23 @@ __all__ = [
     "TZIndex",
     "UpdateReport",
     "UpdateableIndex",
+    "apply_updates_distributed",
+    "build_distributed",
     "build_index",
+    "build_shard_range",
     "build_tz_sketches_parallel",
     "default_jobs",
     "dirty_frontier",
+    "even_ranges",
     "index_class_for",
     "index_from_handle",
     "index_from_pack",
     "index_to_pack",
     "load_changes_jsonl",
+    "loopback_fleet",
     "refresh_index",
+    "restrict_index_shards",
+    "run_cluster_benchmark",
     "run_load_benchmark",
     "run_serve_benchmark",
     "run_update_benchmark",

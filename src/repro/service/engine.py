@@ -254,6 +254,26 @@ class QueryEngine:
         with self._lock:
             return self.index, self.epoch
 
+    def shard_answers_pinned(self, shards, requests) -> tuple[tuple, int]:
+        """Serve raw per-shard probe requests — ``(responses, epoch)``.
+
+        This is the fleet fan-out hook: a :class:`ClusterClient
+        <repro.service.cluster.ClusterClient>` plans a batch client-side
+        and ships each host only the requests for the shards it owns;
+        ``shard_answer`` is a pure function of ``(shard data, request)``,
+        so the responses are bit-identical to the ones an in-process
+        ``estimate_many`` would have produced.  The whole probe batch is
+        answered by one atomically-snapshotted ``(store, epoch)`` pair.
+
+        :raises ConfigError: on a non-indexed engine.
+        """
+        index, epoch = self.index_snapshot()
+        if index is None:
+            raise ConfigError("shard probes need an indexed engine")
+        responses = tuple(index.shard_answer(int(s), r)
+                          for s, r in zip(shards, requests))
+        return responses, epoch
+
     def _acquire_epoch(self) -> tuple[int, Optional[ShardServer]]:
         """Pin the current epoch for one batch (it will be served wholly
         by this epoch's server, even if a swap lands mid-flight)."""

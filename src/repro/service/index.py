@@ -1374,6 +1374,84 @@ def refresh_index(index: IndexStore, sketches: Sequence[Any],
     return build_index(sketches, num_shards=index.num_shards)
 
 
+def _empty_shard() -> _Shard:
+    """A landmark shard with no entries (the canonical empty layout —
+    exactly what :class:`TZIndex` builds when no entry routes to a
+    shard, so restricted and partially-built stores are byte-identical)."""
+    keys = np.empty(0, dtype=np.int64)
+    slot_key, slot_idx, mask, shift = _build_hash(keys)
+    return _Shard(keys=keys, dists=np.empty(0, dtype=np.float64),
+                  levels=np.empty(0, dtype=np.int64),
+                  slot_key=slot_key, slot_idx=slot_idx, mask=mask,
+                  shift=shift)
+
+
+def restrict_index_shards(index: IndexStore, lo: int, hi: int) -> IndexStore:
+    """A new store serving only landmark shards ``[lo, hi)`` — the unit a
+    fleet host owns (``repro serve --shard-range LO:HI``).
+
+    Router state (pivot tables, the dense top block, gateway arrays, net
+    universes) is kept in full, so ``plan`` and ``finish`` on the
+    restricted store behave exactly like the original's; only the
+    shard-local tables outside the range are replaced by canonical empty
+    ones.  ``shard_answer`` for an owned shard is bit-identical to the
+    full store's, and the restriction is idempotent.  ``[0, S)`` returns
+    the store itself unchanged.
+
+    :raises ConfigError: on an invalid range or an unknown store type.
+    """
+    S = index.num_shards
+    lo, hi = int(lo), int(hi)
+    if not (0 <= lo < hi <= S):
+        raise ConfigError(
+            f"shard range [{lo}, {hi}) invalid for {S} shards")
+    if (lo, hi) == (0, S):
+        return index
+    if isinstance(index, TZIndex):
+        new = TZIndex.__new__(TZIndex)
+        new.n, new.k, new.num_shards = index.n, index.k, S
+        new.dense_top = index.dense_top
+        new.sentinel_pivots = index.sentinel_pivots
+        new.pivot_ids = index.pivot_ids
+        new.pivot_dists = index.pivot_dists
+        new.top_ids = index.top_ids
+        new.top_col = index.top_col
+        new.top_dist = index.top_dist
+        new.shards = [sh if lo <= s < hi else _empty_shard()
+                      for s, sh in enumerate(index.shards)]
+        return new
+    if isinstance(index, Stretch3Index):
+        new = Stretch3Index.__new__(Stretch3Index)
+        new.n, new.eps, new.num_shards = index.n, index.eps, S
+        new.net_ids = index.net_ids
+        dist = np.array(index.dist)
+        for s, cols in enumerate(index._shard_cols):
+            if not (lo <= s < hi):
+                dist[:, cols] = np.inf
+        new.dist = dist
+        new._shard_cols = index._shard_cols
+        return new
+    if isinstance(index, CDGIndex):
+        new = CDGIndex.__new__(CDGIndex)
+        new.n, new.eps, new.k = index.n, index.eps, index.k
+        new.num_shards = S
+        new.gateway_ids = index.gateway_ids
+        new.gateway_dists = index.gateway_dists
+        new.net_ids = index.net_ids
+        new._gw_slot = index._gw_slot
+        new._sub = restrict_index_shards(index._sub, lo, hi)
+        new._labels = None
+        return new
+    if isinstance(index, GracefulIndex):
+        new = GracefulIndex.__new__(GracefulIndex)
+        new.n, new.num_shards = index.n, S
+        new.components = [restrict_index_shards(c, lo, hi)
+                          for c in index.components]
+        return new
+    raise ConfigError(
+        f"cannot shard-restrict a {type(index).__name__}")
+
+
 # ----------------------------------------------------------------------
 # buffer-pack plumbing: any store <-> (tag, meta, named arrays)
 # ----------------------------------------------------------------------

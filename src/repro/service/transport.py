@@ -92,7 +92,7 @@ from repro.service.index import (parse_pair_array, scheme_name_of,
 from repro.service.updates import UpdateReport
 
 #: transports :func:`connect` understands
-TRANSPORTS = ("inproc", "proc", "tcp")
+TRANSPORTS = ("inproc", "proc", "tcp", "cluster")
 
 #: frame protocol version (carried by the hello frame).  Version 2
 #: added request-id multiplexing: request frames carry ``id``, replies
@@ -135,6 +135,9 @@ class Endpoint:
     def describe(self) -> str:
         if self.transport == "tcp":
             return f"tcp://{self.host}:{self.port}"
+        if self.transport == "cluster":
+            hosts = ",".join(f"{h}:{p}" for h, p in self.options["hosts"])
+            return f"cluster://{hosts}"
         opts = ";".join(f"{k}={v}" for k, v in sorted(self.options.items()))
         return f"{self.transport}://{opts}"
 
@@ -146,6 +149,7 @@ def parse_endpoint(spec: str) -> Endpoint:
 
         spec    := transport "://" rest
         rest    := host ":" port          (tcp)
+                 | addr ("," addr)*       (cluster; addr := host ":" port)
                  | [option (";" option)*] (inproc, proc)
         option  := key "=" value
 
@@ -175,6 +179,20 @@ def parse_endpoint(spec: str) -> Endpoint:
         if not (0 <= port_num <= 65535):
             raise ConfigError(f"tcp port out of range in {spec!r}")
         return Endpoint("tcp", host=host, port=port_num)
+    if transport == "cluster":
+        hosts = []
+        for item in rest.rstrip(";").split(","):
+            item = item.strip()
+            if not item:
+                raise ConfigError(
+                    f"cluster endpoint wants "
+                    f"cluster://host:port,host:port..., got {spec!r}")
+            member = parse_endpoint(f"tcp://{item}")
+            hosts.append((member.host, member.port))
+        if not hosts:
+            raise ConfigError(
+                f"cluster endpoint names no hosts: {spec!r}")
+        return Endpoint("cluster", options={"hosts": tuple(hosts)})
     options: dict = {}
     allowed = _ENDPOINT_OPTIONS[transport]
     for item in rest.split(";") if rest else ():
@@ -320,6 +338,15 @@ class OracleServer:
     :param num_shards: landmark shard count when building from
         sketches; must match (or be omitted for) a pre-built source.
     :param cache_size: LRU result-cache capacity of the hosted engine.
+    :param shard_range: ``(lo, hi)`` — serve only landmark shards
+        ``[lo, hi)`` (the fleet-host topology behind ``repro serve
+        --shard-range``).  Static sources are physically restricted
+        (:func:`~repro.service.index.restrict_index_shards`); an
+        updateable source keeps the full store (repair is global) and
+        the range only gates what this host advertises and answers.  A
+        proper-subset host answers ``probe`` frames for its shards and
+        rejects whole-batch ``query`` frames — combining partials is
+        the :class:`~repro.service.cluster.ClusterClient`'s job.
 
     The same server object backs every transport: :meth:`client` hands
     out in-process sessions (what ``inproc://`` / ``proc://`` bind to),
@@ -332,7 +359,8 @@ class OracleServer:
 
     def __init__(self, source: Any, *, jobs: int = 1, memory: str = "heap",
                  pool: str = "proc", num_shards: Optional[int] = None,
-                 cache_size: int = 65536):
+                 cache_size: int = 65536,
+                 shard_range: Optional[tuple[int, int]] = None):
         self._listener: Optional[socket.socket] = None
         self._io_thread: Optional[threading.Thread] = None
         self._selector: Optional[selectors.BaseSelector] = None
@@ -365,6 +393,27 @@ class OracleServer:
         kind, payload = self._normalize_source(source)
         if num_shards is not None and num_shards < 1:
             raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
+        self.shard_range: Optional[tuple[int, int]] = None
+        if shard_range is not None:
+            from repro.service.index import build_index, restrict_index_shards
+
+            lo, hi = int(shard_range[0]), int(shard_range[1])
+            if kind == "sketches":
+                payload = build_index(
+                    payload, num_shards=num_shards or max(int(jobs), 1))
+                kind = "index"
+            if kind == "index":
+                # validates the range; [0, S) returns the store unchanged
+                payload = restrict_index_shards(payload, lo, hi)
+                total = payload.num_shards
+            else:  # updateable: full store stays, the range only gates
+                total = payload.index.num_shards
+                if not (0 <= lo < hi <= total):
+                    raise ConfigError(
+                        f"shard range [{lo}, {hi}) invalid for "
+                        f"{total} shards")
+            if (lo, hi) != (0, total):
+                self.shard_range = (lo, hi)
         if kind == "updateable":
             self._engine = QueryEngine.from_updateable(
                 payload, cache_size=cache_size, jobs=jobs, memory=memory,
@@ -630,7 +679,9 @@ class OracleServer:
             self._queue_frame(conn, {
                 "kind": "hello", "v": PROTOCOL_VERSION, "n": self.n,
                 "scheme": self.scheme, "epoch": self.epoch,
-                "shards": self.num_shards, "updateable": self.updateable})
+                "shards": self.num_shards, "updateable": self.updateable,
+                "shard_range": (list(self.shard_range)
+                                if self.shard_range else None)})
             with self._conn_lock:
                 self._conns.add(conn)
             self._update_interest(conn)
@@ -843,6 +894,12 @@ class OracleServer:
     def _handle(self, head: dict, body: bytes) -> tuple[dict, bytes]:
         kind = head.get("kind")
         if kind == "query":
+            if self.shard_range is not None:
+                lo, hi = self.shard_range
+                raise ConfigError(
+                    f"this host serves landmark shards [{lo}, {hi}) of "
+                    f"{self.num_shards} — whole-batch queries need a "
+                    f"cluster:// session combining the fleet's partials")
             pairs = np.asarray(tree_from_bytes(body))
             if self._engine.serial_dispatch:
                 # shared ring slots rotate assuming one batch in flight:
@@ -853,6 +910,23 @@ class OracleServer:
                 answers, epoch = self._engine.dist_many_pinned(pairs)
             return ({"kind": "result", "epoch": int(epoch)},
                     tree_to_bytes(answers))
+        if kind == "probe":
+            shards = [int(s) for s in head.get("shards", ())]
+            lo, hi = self.shard_range or (0, self.num_shards)
+            for s in shards:
+                if not (lo <= s < hi):
+                    raise ConfigError(
+                        f"shard {s} is not served here (this host owns "
+                        f"[{lo}, {hi}) of {self.num_shards})")
+            requests = tree_from_bytes(body)
+            if len(requests) != len(shards):
+                raise ConfigError(
+                    f"probe names {len(shards)} shards but carries "
+                    f"{len(requests)} requests")
+            responses, epoch = self._engine.shard_answers_pinned(
+                shards, requests)
+            return ({"kind": "probe_result", "epoch": int(epoch)},
+                    tree_to_bytes(responses))
         if kind == "apply":
             from repro.oracle.serialization import change_from_dict
 
@@ -1125,6 +1199,11 @@ class _TcpTransport:
         self.staleness.note_epoch(self.epoch)
         self.num_shards = int(head["shards"])
         self.updateable = bool(head["updateable"])
+        #: ``(lo, hi)`` when the host serves only a landmark-shard
+        #: subset (a fleet member), else None (a full host)
+        raw_range = head.get("shard_range")
+        self.shard_range = (None if raw_range is None
+                            else (int(raw_range[0]), int(raw_range[1])))
         # the connect timeout must not linger on the session socket: a
         # slow large-batch reply would raise socket.timeout mid-frame
         # and leave the stream misaligned forever
@@ -1266,6 +1345,23 @@ class _TcpTransport:
     def _request(self, head: dict, body: bytes = b"") -> tuple[dict, bytes]:
         return self._await(self._post(head, body))
 
+    # -- fleet probes (the cluster client's fan-out primitive) ---------
+    def post_probe(self, shards: Iterable[int], body: bytes) -> int:
+        """Send one ``probe`` frame (a pre-encoded tuple of per-shard
+        requests for the named shards); returns its request id.  Uses
+        the deadlock-free interleaved send, so probe windows pipeline
+        exactly like :meth:`dist_stream` batches."""
+        return self._post_stream({"kind": "probe", "shards": list(shards)},
+                                 body)
+
+    def await_probe(self, rid: int) -> tuple[Any, int]:
+        """Collect one probe reply — ``(responses, epoch)``, the
+        responses a tuple aligned with the posted shard list."""
+        head, payload = self._await(rid)
+        if head.get("kind") != "probe_result":
+            raise ReproError(f"unexpected reply frame {head.get('kind')!r}")
+        return tree_from_bytes(payload), int(head["epoch"])
+
     # -- the session surface -------------------------------------------
     def dist_many(self, pairs) -> np.ndarray:
         arr = parse_pair_array(pairs)
@@ -1380,23 +1476,31 @@ class _TcpTransport:
         return stats
 
     def fetch_index(self, path: Optional[str]):
+        return self.fetch_index_pinned(path)[0]
+
+    def fetch_index_pinned(self, path: Optional[str]):
+        """:meth:`fetch_index` plus the epoch that produced the blob —
+        ``(store, epoch)`` (the pair the server snapshotted atomically).
+        The cluster client uses the epoch to keep its routing store in
+        lockstep with the fleet."""
         from repro.oracle.serialization import load_index_binary
 
         head, blob = self._request({"kind": "fetch_index"})
         if head.get("kind") != "index_blob":
             raise ReproError(f"unexpected reply frame {head.get('kind')!r}")
+        epoch = int(head["epoch"])
         if path is None:
             # no attach target: materialize in memory via a scratch file
             fd, tmp = tempfile.mkstemp(prefix="repro-fetch-", suffix=".rpix")
             try:
                 with os.fdopen(fd, "wb") as fh:
                     fh.write(blob)
-                return load_index_binary(tmp, backing="heap")
+                return load_index_binary(tmp, backing="heap"), epoch
             finally:
                 os.unlink(tmp)
         with open(path, "wb") as fh:
             fh.write(blob)
-        return load_index_binary(path, backing="mmap")
+        return load_index_binary(path, backing="mmap"), epoch
 
     def close(self) -> None:
         if self._closed:
@@ -1564,7 +1668,12 @@ def connect(spec: str, source: Any = None, *,
       attach (``memory`` then defaults to ``heap``: nothing needs to
       move);
     * ``connect("tcp://host:port")`` — a remote
-      :class:`OracleServer`; no ``source`` (the server owns the index).
+      :class:`OracleServer`; no ``source`` (the server owns the index);
+    * ``connect("cluster://h1:p1,h2:p2")`` — a fleet of
+      :class:`OracleServer` hosts each owning a landmark-shard range
+      (``repro serve --shard-range``): batches are planned client-side,
+      probes fan out per host, and the partials are combined by the
+      store's ``finish`` — answers bit-identical to one full host.
 
     ``source`` for local transports: a sketch list,
     :class:`~repro.oracle.api.BuiltSketches`, pre-built store, or
@@ -1580,6 +1689,22 @@ def connect(spec: str, source: Any = None, *,
         or an unreachable server.
     """
     endpoint = parse_endpoint(spec)
+    if endpoint.transport == "cluster":
+        from repro.service.cluster import ClusterClient
+
+        if source is not None:
+            raise ConfigError(
+                "a cluster:// session carries no data — the fleet owns "
+                "the index (drop source=)")
+        if cache_size is not None:
+            raise ConfigError(
+                "cache_size is a server-side knob for cluster:// sessions")
+        depth = (DEFAULT_PIPELINE_DEPTH if pipeline_depth is None
+                 else pipeline_depth)
+        return OracleClient(
+            ClusterClient(endpoint.options["hosts"], timeout=timeout,
+                          pipeline_depth=depth),
+            endpoint=endpoint.describe())
     if endpoint.transport == "tcp":
         if source is not None:
             raise ConfigError(
